@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Section VII-B.2: glue instructions executed by the output dispatchers.
+ * Paper: ~15 RISC instructions with no branch/end/transform, +7 per
+ * branch, 12-20 at end of trace, 12 per 2KB transform; worst case ~50 and
+ * an average of 18 per output-dispatcher operation.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  const auto res = workload::run_experiment(
+      bench::social_network_config(core::OrchKind::kAccelFlow));
+  const auto& g = res.engine;
+
+  stats::Table t("Output-dispatcher glue instructions (paper: avg 18, "
+                 "range ~15..50)");
+  t.set_header({"Metric", "Value"});
+  t.add_row({"dispatcher operations",
+             std::to_string(g.glue_instrs.count())});
+  t.add_row({"avg instructions / op",
+             stats::Table::fmt(g.glue_instrs.mean(), 1)});
+  t.add_row({"min", stats::Table::fmt(g.glue_instrs.min(), 0)});
+  t.add_row({"max", stats::Table::fmt(g.glue_instrs.max(), 0)});
+  t.add_row({"ops that resolved a branch",
+             stats::Table::fmt_pct(
+                 static_cast<double>(g.glue_branch_ops) /
+                 static_cast<double>(g.glue_instrs.count()))});
+  t.add_row({"ops that ran a transform",
+             stats::Table::fmt_pct(
+                 static_cast<double>(g.glue_transform_ops) /
+                 static_cast<double>(g.glue_instrs.count()))});
+  t.add_row({"ops at end of trace",
+             stats::Table::fmt_pct(
+                 static_cast<double>(g.glue_eot_ops) /
+                 static_cast<double>(g.glue_instrs.count()))});
+  t.add_row({"ATM continuation loads", std::to_string(g.atm_loads)});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Section VI (area) and Section VII-B.5 (power/energy). Paper: AccelFlow's
+ * orchestration structures are at most 2.9% of the SoC; accelerators and
+ * orchestration draw at most 12.5W and 5.0W (3.1% / 1.2% of the server);
+ * running the suite at production rates, AccelFlow cuts energy by 74% vs
+ * Non-acc and improves performance/W by 7.2x vs Non-acc and 2.1x vs
+ * RELIEF; the queues add 2.4MB of SRAM.
+ */
+
+#include "bench_common.h"
+#include "energy/model.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace accelflow;
+
+energy::EnergyReport energy_of(const workload::ExperimentResult& res) {
+  energy::Activity act;
+  act.elapsed = res.elapsed;
+  act.core_busy = res.core_busy;
+  act.accel_busy = res.accel_busy_by_type;
+  act.dispatcher_busy = res.dispatcher_busy;
+  act.dma_busy = res.dma_busy;
+  act.requests = res.total_completed();
+  return energy::compute_energy(act);
+}
+
+}  // namespace
+
+int main() {
+  // --- Area (Section VI) -------------------------------------------------
+  const energy::AreaModel area;
+  stats::Table a("Area accounting (paper: accelerators 44.9mm^2 = 26.1% "
+                 "of SoC; AccelFlow structures <= 2.9%)");
+  a.set_header({"Component", "mm^2", "share of SoC"});
+  const double total = area.total_mm2();
+  a.add_row({"cores + private caches", stats::Table::fmt(area.cores_mm2, 1),
+             stats::Table::fmt_pct(area.cores_mm2 / total)});
+  a.add_row({"LLC", stats::Table::fmt(area.llc_mm2, 1),
+             stats::Table::fmt_pct(area.llc_mm2 / total)});
+  a.add_row({"9 accelerators (8 PEs each)",
+             stats::Table::fmt(area.accelerators_mm2(), 1),
+             stats::Table::fmt_pct(area.accelerators_mm2() / total)});
+  a.add_row({"queues + dispatchers + A-DMA + accel net",
+             stats::Table::fmt(area.orchestration_mm2(), 1),
+             stats::Table::fmt_pct(area.accelflow_overhead_fraction())});
+  a.add_row({"total SoC", stats::Table::fmt(total, 1), "100%"});
+  a.print(std::cout);
+
+  // Extra SRAM: 2 queues x 64 entries x 2.1KB x 9 accelerators.
+  const double queue_mb = 2.0 * 64 * 2.1 * 9 / 1024.0;
+  std::cout << "Queue SRAM added: " << stats::Table::fmt(queue_mb, 2)
+            << " MB (paper: 2.4MB)\n\n";
+
+  // --- Power / energy (Section VII-B.5) ----------------------------------
+  const energy::PowerModel power;
+  std::cout << "Max accelerator power: "
+            << stats::Table::fmt(power.accel_max_total_w, 1) << " W ("
+            << stats::Table::fmt_pct(power.accel_max_total_w /
+                                     power.server_max_w())
+            << " of server max), orchestration "
+            << stats::Table::fmt(power.orchestration_max_w, 1) << " W ("
+            << stats::Table::fmt_pct(power.orchestration_max_w /
+                                     power.server_max_w())
+            << ")\n\n";
+
+  const auto nonacc = workload::run_experiment(
+      bench::social_network_config(accelflow::core::OrchKind::kNonAcc));
+  const auto relief = workload::run_experiment(
+      bench::social_network_config(accelflow::core::OrchKind::kRelief));
+  const auto af = workload::run_experiment(
+      bench::social_network_config(accelflow::core::OrchKind::kAccelFlow));
+
+  const auto e_nonacc = energy_of(nonacc);
+  const auto e_relief = energy_of(relief);
+  const auto e_af = energy_of(af);
+
+  stats::Table e("Energy at production rates (paper: AccelFlow -74% "
+                 "energy/request vs Non-acc; perf/W 7.2x vs Non-acc, 2.1x "
+                 "vs RELIEF)");
+  e.set_header({"System", "avg power (W)", "J per 1K requests",
+                "requests/J"});
+  auto row = [&](const char* n, const workload::ExperimentResult& r,
+                 const energy::EnergyReport& er) {
+    e.add_row({n, stats::Table::fmt(er.avg_power_w, 1),
+               stats::Table::fmt(er.total_j /
+                                     std::max<double>(1.0,
+                                                      static_cast<double>(
+                                                          r.total_completed())) *
+                                     1000.0,
+                                 1),
+               stats::Table::fmt(er.requests_per_joule, 1)});
+  };
+  row("Non-acc", nonacc, e_nonacc);
+  row("RELIEF", relief, e_relief);
+  row("AccelFlow", af, e_af);
+  e.print(std::cout);
+
+  const double af_jpr = e_af.total_j / static_cast<double>(af.total_completed());
+  const double na_jpr =
+      e_nonacc.total_j / static_cast<double>(nonacc.total_completed());
+  const double rl_jpr =
+      e_relief.total_j / static_cast<double>(relief.total_completed());
+  std::cout << "Energy/request vs Non-acc: "
+            << stats::Table::fmt_pct(1.0 - af_jpr / na_jpr)
+            << " lower (paper: 74%)\n";
+  std::cout << "Perf/W vs Non-acc: " << stats::Table::fmt(na_jpr / af_jpr, 2)
+            << "x; vs RELIEF: " << stats::Table::fmt(rl_jpr / af_jpr, 2)
+            << "x (paper: 7.2x / 2.1x)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Section VII-B.4: accelerator utilization at high load (paper, at peak
+ * throughput: TCP 92%, (De)Encr 82%, RPC 68%, (De)Ser 73%, (De)Cmp 38%,
+ * LdB 71%), plus the resource-occupancy diagnostics (cores, manager, DMA)
+ * for every architecture at the production operating point.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  // Diagnostic table at the production rates.
+  {
+    stats::Table t("Resource utilization at Alibaba-like rates");
+    t.set_header({"Arch", "cores", "manager(busy-ctx)", "DMA", "TCP", "Encr",
+                  "Decr", "RPC", "Ser", "Dser", "Cmp", "Dcmp", "LdB",
+                  "completed"});
+    for (const core::OrchKind kind : bench::paper_architectures()) {
+      const auto res =
+          workload::run_experiment(bench::social_network_config(kind));
+      std::vector<std::string> row = {std::string(name_of(kind))};
+      row.push_back(stats::Table::fmt_pct(res.core_utilization));
+      row.push_back(stats::Table::fmt(
+          sim::to_seconds(res.manager_busy) /
+          sim::to_seconds(sim::milliseconds(140 * bench::time_scale())),
+          2));
+      row.push_back(stats::Table::fmt_pct(res.dma_utilization));
+      for (const double u : res.accel_utilization) {
+        row.push_back(stats::Table::fmt_pct(u));
+      }
+      row.push_back(std::to_string(res.total_completed()));
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  // The paper's utilization-at-peak numbers: AccelFlow at its maximum
+  // SLO-compliant load.
+  {
+    auto base = bench::social_network_config(core::OrchKind::kAccelFlow);
+    const auto unloaded =
+        workload::unloaded_latency(base, core::OrchKind::kNonAcc);
+    std::vector<sim::TimePs> slos;
+    for (const auto u : unloaded) slos.push_back(5 * u);
+    workload::ExperimentResult at_peak;
+    const double factor = workload::find_max_load(
+        base, slos, bench::fast_mode() ? 4 : 6, 0.05, 12.0, &at_peak);
+
+    stats::Table t(
+        "Accelerator utilization at peak SLO-compliant load (paper: TCP "
+        "92%, (De)Encr 82%, RPC 68%, (De)Ser 73%, (De)Cmp 38%, LdB 71%)");
+    t.set_header({"Accelerator", "Utilization"});
+    const auto& u = at_peak.accel_utilization;
+    auto pct = [&](accel::AccelType a) {
+      return stats::Table::fmt_pct(u[accel::index_of(a)]);
+    };
+    t.add_row({"TCP", pct(accel::AccelType::kTcp)});
+    t.add_row({"(De)Encr",
+               stats::Table::fmt_pct(
+                   (u[accel::index_of(accel::AccelType::kEncr)] +
+                    u[accel::index_of(accel::AccelType::kDecr)]) /
+                   2)});
+    t.add_row({"RPC", pct(accel::AccelType::kRpc)});
+    t.add_row({"(De)Ser",
+               stats::Table::fmt_pct(
+                   (u[accel::index_of(accel::AccelType::kSer)] +
+                    u[accel::index_of(accel::AccelType::kDser)]) /
+                   2)});
+    t.add_row({"(De)Cmp",
+               stats::Table::fmt_pct(
+                   (u[accel::index_of(accel::AccelType::kCmp)] +
+                    u[accel::index_of(accel::AccelType::kDcmp)]) /
+                   2)});
+    t.add_row({"LdB", pct(accel::AccelType::kLdb)});
+    t.add_row({"(load factor)", stats::Table::fmt(factor, 2)});
+    t.print(std::cout);
+  }
+  return 0;
+}

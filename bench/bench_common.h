@@ -1,0 +1,60 @@
+#ifndef ACCELFLOW_BENCH_BENCH_COMMON_H_
+#define ACCELFLOW_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+
+/**
+ * @file
+ * Shared helpers for the experiment binaries: the default SocialNetwork
+ * configuration driven by production-like rates, the architecture roster,
+ * and a fast-mode switch (AF_BENCH_FAST=1 shortens the simulated window
+ * for smoke runs).
+ */
+
+namespace accelflow::bench {
+
+/** True when AF_BENCH_FAST=1: shorter simulated windows. */
+inline bool fast_mode() {
+  const char* v = std::getenv("AF_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/** Measurement window scaling. */
+inline double time_scale() { return fast_mode() ? 0.25 : 1.0; }
+
+/** The five evaluated architectures of Figures 11/12/14. */
+inline std::vector<core::OrchKind> paper_architectures() {
+  return {core::OrchKind::kNonAcc, core::OrchKind::kCpuCentric,
+          core::OrchKind::kRelief, core::OrchKind::kCohort,
+          core::OrchKind::kAccelFlow};
+}
+
+/**
+ * Baseline experiment: 8 SocialNetwork services colocated on the modeled
+ * 36-core server, driven at Alibaba-like production rates (13.4K RPS per
+ * service on average).
+ */
+inline workload::ExperimentConfig social_network_config(
+    core::OrchKind kind = core::OrchKind::kAccelFlow,
+    std::uint64_t seed = 1) {
+  workload::ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.specs = workload::social_network_specs();
+  cfg.load_model = workload::LoadGenerator::Model::kTrace;
+  cfg.per_service_rps =
+      workload::alibaba_like_rates(cfg.specs.size(), 13400.0);
+  cfg.warmup = sim::milliseconds(15 * time_scale());
+  cfg.measure = sim::milliseconds(100 * time_scale());
+  cfg.drain = sim::milliseconds(25 * time_scale());
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace accelflow::bench
+
+#endif  // ACCELFLOW_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1: execution-time breakdown of SocialNetwork service invocations
+ * on the (unaccelerated) server. Paper averages: AppLogic 20.7%, TCP
+ * 25.6%, (De)Encr 14.6%, RPC 3.2%, (De)Ser 22.4%, (De)Cmp 9.5%, LdB 3.9%,
+ * with absolute per-invocation execution times on top of the bars.
+ */
+
+#include "bench_common.h"
+#include "core/trace_templates.h"
+#include "stats/table.h"
+#include "workload/suites.h"
+
+int main() {
+  using namespace accelflow;
+
+  core::TraceLibrary lib;
+  core::register_templates(lib);
+  const auto specs = workload::social_network_specs();
+  const auto services = workload::build_services(specs, lib);
+
+  // Measured absolute times: unloaded end-to-end latency on Non-acc.
+  auto cfg = bench::social_network_config(core::OrchKind::kNonAcc);
+  const auto unloaded =
+      workload::unloaded_latency(cfg, core::OrchKind::kNonAcc);
+
+  stats::Table t(
+      "Figure 1: execution-time breakdown per invocation (Non-acc)");
+  t.set_header({"Service", "AppLogic", "TCP", "(De)Encr", "RPC", "(De)Ser",
+                "(De)Cmp", "LdB", "CPU us", "e2e us (unloaded)"});
+  std::array<double, workload::kNumTaxCategories> avg{};
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const auto& spec = services[s]->spec();
+    std::vector<std::string> row = {spec.name};
+    for (std::size_t c = 0; c < workload::kNumTaxCategories; ++c) {
+      row.push_back(stats::Table::fmt_pct(spec.fractions[c]));
+      avg[c] += spec.fractions[c];
+    }
+    row.push_back(stats::Table::fmt_us(
+        sim::to_microseconds(spec.total_cpu_time)));
+    row.push_back(
+        stats::Table::fmt_us(sim::to_microseconds(unloaded[s])));
+    t.add_row(row);
+  }
+  std::vector<std::string> row = {"average (paper: 20.7/25.6/14.6/3.2/"
+                                  "22.4/9.5/3.9)"};
+  for (std::size_t c = 0; c < workload::kNumTaxCategories; ++c) {
+    row.push_back(
+        stats::Table::fmt_pct(avg[c] / static_cast<double>(services.size())));
+  }
+  t.add_row(row);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 3: orchestration overhead as a fraction of total execution time
+ * for CPU-Centric, HW-Manager (RELIEF) and Direct, as load varies from 2.5
+ * to 15 kRPS per service. Paper: Direct < HW-Manager < CPU-Centric, with
+ * the latter two rising steeply with load (25% and 15% at 15 kRPS).
+ *
+ * Overhead fraction = coordination time (interrupt delivery + handlers,
+ * manager occupancy, polls) / total execution work (cores + accelerators +
+ * coordination).
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace accelflow;
+
+double overhead_fraction(const workload::ExperimentResult& res) {
+  double orch = sim::to_seconds(res.orchestration_time);
+  if (res.engine.chains_completed > 0) {
+    // AccelFlow-family: dispatcher + manager-fallback occupancy.
+    orch = sim::to_seconds(res.dispatcher_busy + res.manager_busy);
+  }
+  const double work =
+      sim::to_seconds(res.core_busy) + sim::to_seconds(res.accel_busy);
+  return orch / (orch + work);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> loads_krps = {2.5, 5.0, 7.5, 10.0, 12.5, 15.0};
+  const std::vector<core::OrchKind> kinds = {
+      core::OrchKind::kCpuCentric, core::OrchKind::kRelief,
+      core::OrchKind::kAccelFlowDirect};
+  const std::vector<std::string> names = {"CPU-Centric", "HW-Manager",
+                                          "Direct"};
+
+  stats::Table t(
+      "Figure 3: orchestration overhead vs load (paper at 15 kRPS: "
+      "CPU-Centric 25%, HW-Manager 15%, Direct smallest)");
+  t.set_header({"kRPS/service", names[0], names[1], names[2]});
+  for (const double krps : loads_krps) {
+    std::vector<std::string> row = {stats::Table::fmt(krps, 1)};
+    for (const core::OrchKind kind : kinds) {
+      auto cfg = bench::social_network_config(kind);
+      cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+      cfg.per_service_rps.assign(cfg.specs.size(), krps * 1000.0);
+      const auto res = workload::run_experiment(cfg);
+      row.push_back(stats::Table::fmt_pct(overhead_fraction(res)));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 5: sizes of the input and output data of each accelerator
+ * (min / median / max), measured from an AccelFlow run at production
+ * rates. The paper observes median sizes of a few KB with a long tail of
+ * a few tens of KB; LdB processes no data.
+ */
+
+#include "bench_common.h"
+#include "core/trace_templates.h"
+#include "stats/table.h"
+#include "workload/request_engine.h"
+#include "workload/suites.h"
+
+int main() {
+  using namespace accelflow;
+
+  // Run the suite and read the per-accelerator payload histograms.
+  core::Machine machine(core::MachineConfig{});
+  core::TraceLibrary lib;
+  core::register_templates(lib);
+  auto services =
+      workload::build_services(workload::social_network_specs(), lib);
+  std::vector<workload::Service*> ptrs;
+  for (auto& s : services) ptrs.push_back(s.get());
+  auto orch =
+      core::make_orchestrator(core::OrchKind::kAccelFlow, machine, lib);
+  workload::RequestEngine engine(machine, *orch, ptrs, 7);
+  const auto rates = workload::alibaba_like_rates(ptrs.size());
+  std::vector<std::unique_ptr<workload::LoadGenerator>> gens;
+  const sim::TimePs until =
+      sim::milliseconds(40 * bench::time_scale() * 4);
+  for (std::size_t s = 0; s < ptrs.size(); ++s) {
+    gens.push_back(std::make_unique<workload::LoadGenerator>(
+        machine.sim(), engine, s, workload::LoadGenerator::Model::kPoisson,
+        rates[s], until, 101 + s));
+  }
+  machine.sim().run_until(until + sim::milliseconds(10));
+
+  stats::Table t(
+      "Figure 5: input/output payload sizes per accelerator (bytes)");
+  t.set_header({"Accelerator", "in min", "in median", "in max", "out min",
+                "out median", "out max"});
+  for (const accel::AccelType a : accel::kAllAccelTypes) {
+    const auto& st = machine.accel(a).stats();
+    if (a == accel::AccelType::kLdb) {
+      // LdB does not process data: it picks a core (no Fig. 5 bar).
+      t.add_row({std::string(name_of(a)), "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    t.add_row({std::string(name_of(a)),
+               std::to_string(st.input_bytes.min()),
+               std::to_string(st.input_bytes.quantile(0.5)),
+               std::to_string(st.input_bytes.max()),
+               std::to_string(st.output_bytes.min()),
+               std::to_string(st.output_bytes.quantile(0.5)),
+               std::to_string(st.output_bytes.max())});
+  }
+  t.print(std::cout);
+  std::cout << "Paper shape: medians of a few KB; maxima in the tens of "
+               "KB; Cmp shrinks, Dcmp expands.\n";
+  return 0;
+}

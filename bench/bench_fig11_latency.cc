@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 11: P99 tail latency (and average latency) of the SocialNetwork
+ * services under production-like invocation rates, across the five
+ * architectures. The paper reports: AccelFlow reduces P99 over Non-acc /
+ * CPU-Centric / RELIEF / Cohort by 90.7% / 81.2% / 68.8% / 70.1% and
+ * average latency by 77.2% / 53.9% / 40.7% / 37.9%.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  std::vector<workload::ExperimentResult> results;
+  const auto archs = bench::paper_architectures();
+  for (const core::OrchKind kind : archs) {
+    results.push_back(
+        workload::run_experiment(bench::social_network_config(kind)));
+  }
+
+  {
+    stats::Table t(
+        "Figure 11: P99 tail latency (us) per service x architecture");
+    std::vector<std::string> header = {"Service"};
+    for (const auto k : archs) header.emplace_back(name_of(k));
+    t.set_header(header);
+    for (std::size_t s = 0; s < results[0].services.size(); ++s) {
+      std::vector<std::string> row = {results[0].services[s].name};
+      for (const auto& res : results) {
+        row.push_back(stats::Table::fmt_us(res.services[s].p99_us));
+      }
+      t.add_row(row);
+    }
+    std::vector<std::string> avg = {"average"};
+    for (const auto& res : results) {
+      avg.push_back(stats::Table::fmt_us(res.avg_p99_us));
+    }
+    t.add_row(avg);
+    t.print(std::cout);
+  }
+  {
+    stats::Table t("Figure 11 (stars): average latency (us)");
+    std::vector<std::string> header = {"Service"};
+    for (const auto k : archs) header.emplace_back(name_of(k));
+    t.set_header(header);
+    for (std::size_t s = 0; s < results[0].services.size(); ++s) {
+      std::vector<std::string> row = {results[0].services[s].name};
+      for (const auto& res : results) {
+        row.push_back(stats::Table::fmt_us(res.services[s].mean_us));
+      }
+      t.add_row(row);
+    }
+    std::vector<std::string> avg = {"average"};
+    for (const auto& res : results) {
+      avg.push_back(stats::Table::fmt_us(res.avg_mean_us));
+    }
+    t.add_row(avg);
+    t.print(std::cout);
+  }
+  {
+    stats::Table t("AccelFlow reduction vs baselines (paper: P99 90.7/81.2/"
+                   "68.8/70.1%, mean 77.2/53.9/40.7/37.9%)");
+    t.set_header({"Baseline", "P99 reduction", "Mean reduction"});
+    const auto& af = results.back();
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+      t.add_row({std::string(name_of(archs[i])),
+                 stats::Table::fmt_pct(1.0 - af.avg_p99_us /
+                                                 results[i].avg_p99_us),
+                 stats::Table::fmt_pct(1.0 - af.avg_mean_us /
+                                                 results[i].avg_mean_us)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

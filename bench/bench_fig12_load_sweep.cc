@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 12: P99 tail latency under Low (5K), Medium (10K) and High (15K)
+ * RPS per service, across the five architectures, for the SocialNetwork,
+ * HotelReservation and MediaServices suites (Poisson arrivals). Paper:
+ * AccelFlow's advantage grows with load (P99 reduction over RELIEF: 55.1%,
+ * 60.9%, 68.3% at 5/10/15 kRPS).
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  const std::vector<std::pair<std::string,
+                              std::vector<workload::ServiceSpec>>> suites = {
+      {"SocialNetwork", workload::social_network_specs()},
+      {"HotelReservation", workload::hotel_reservation_specs()},
+      {"MediaServices", workload::media_services_specs()},
+  };
+  const std::vector<double> loads = {5000.0, 10000.0, 15000.0};
+  const auto archs = bench::paper_architectures();
+
+  // avg P99 per (load, arch) across suites.
+  std::vector<std::vector<double>> p99(loads.size(),
+                                       std::vector<double>(archs.size(), 0));
+  for (const auto& [suite_name, specs] : suites) {
+    stats::Table t("Figure 12 [" + suite_name + "]: avg P99 (us) vs load");
+    std::vector<std::string> header = {"RPS/service"};
+    for (const auto k : archs) header.emplace_back(name_of(k));
+    t.set_header(header);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      std::vector<std::string> row = {
+          stats::Table::fmt(loads[li] / 1000.0, 0) + "K"};
+      for (std::size_t a = 0; a < archs.size(); ++a) {
+        auto cfg = bench::social_network_config(archs[a]);
+        cfg.specs = specs;
+        cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+        cfg.per_service_rps.assign(specs.size(), loads[li]);
+        const auto res = workload::run_experiment(cfg);
+        row.push_back(stats::Table::fmt_us(res.avg_p99_us));
+        p99[li][a] += res.avg_p99_us / static_cast<double>(suites.size());
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  stats::Table t(
+      "AccelFlow P99 reduction over RELIEF by load (paper: 55.1 / 60.9 / "
+      "68.3%)");
+  t.set_header({"Load", "Reduction"});
+  const std::size_t relief = 2, af = 4;  // Indices in paper_architectures.
+  const char* labels[] = {"Low (5K)", "Medium (10K)", "High (15K)"};
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    t.add_row({labels[li],
+               stats::Table::fmt_pct(1.0 - p99[li][af] / p99[li][relief])});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 13: P99 tail latency with the successive addition of AccelFlow's
+ * techniques, from RELIEF (single centralized queue) through PerAccTypeQ
+ * (a queue per accelerator type), Direct (traces + direct accelerator-to-
+ * accelerator transfer), CntrFlow (branch resolution in the dispatchers),
+ * to full AccelFlow (transforms + large payloads in the dispatchers).
+ * Paper cumulative average reductions: 6.8%, 32.7%, 55.1%, 68.7%.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  const std::vector<core::OrchKind> ladder = {
+      core::OrchKind::kRelief, core::OrchKind::kReliefPerTypeQ,
+      core::OrchKind::kAccelFlowDirect, core::OrchKind::kAccelFlowCntrFlow,
+      core::OrchKind::kAccelFlow};
+  const std::vector<std::string> names = {"RELIEF", "+PerAccTypeQ",
+                                          "+Direct", "+CntrFlow",
+                                          "AccelFlow"};
+
+  std::vector<workload::ExperimentResult> results;
+  for (const auto kind : ladder) {
+    results.push_back(
+        workload::run_experiment(bench::social_network_config(kind)));
+  }
+
+  stats::Table t("Figure 13: P99 (us) with successive AccelFlow techniques");
+  std::vector<std::string> header = {"Service"};
+  for (const auto& n : names) header.push_back(n);
+  t.set_header(header);
+  for (std::size_t s = 0; s < results[0].services.size(); ++s) {
+    std::vector<std::string> row = {results[0].services[s].name};
+    for (const auto& res : results) {
+      row.push_back(stats::Table::fmt_us(res.services[s].p99_us));
+    }
+    t.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& res : results) {
+    avg.push_back(stats::Table::fmt_us(res.avg_p99_us));
+  }
+  t.add_row(avg);
+  t.print(std::cout);
+
+  stats::Table c("Cumulative average P99 reduction vs RELIEF (paper: 6.8 / "
+                 "32.7 / 55.1 / 68.7%)");
+  c.set_header({"Step", "Reduction"});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    c.add_row({names[i],
+               stats::Table::fmt_pct(
+                   1.0 - results[i].avg_p99_us / results[0].avg_p99_us)});
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 18 + Section VII-C.2: P99 tail latency of AccelFlow with the
+ * processor organized into 1, 2 (base), 3, 4 or 6 chiplets, and the
+ * inter-chiplet latency sensitivity. Paper: going from 2 to 6 chiplets
+ * raises P99 by ~14% on average; raising the inter-chiplet latency from 60
+ * to 100 cycles on the 6-chiplet design adds ~45%.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  const std::vector<int> organizations = {1, 2, 3, 4, 6};
+
+  stats::Table t("Figure 18: P99 (us) by chiplet organization (paper: "
+                 "2 -> 6 chiplets adds ~14%)");
+  std::vector<std::string> header = {"Service"};
+  for (const int n : organizations) {
+    header.push_back(std::to_string(n) + "-chiplet");
+  }
+  t.set_header(header);
+
+  std::vector<workload::ExperimentResult> results;
+  for (const int n : organizations) {
+    auto cfg = bench::social_network_config(core::OrchKind::kAccelFlow);
+    cfg.machine.num_chiplets = n;
+    results.push_back(workload::run_experiment(cfg));
+  }
+  for (std::size_t s = 0; s < results[0].services.size(); ++s) {
+    std::vector<std::string> row = {results[0].services[s].name};
+    for (const auto& res : results) {
+      row.push_back(stats::Table::fmt_us(res.services[s].p99_us));
+    }
+    t.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& res : results) {
+    avg.push_back(stats::Table::fmt_us(res.avg_p99_us));
+  }
+  t.add_row(avg);
+  t.print(std::cout);
+
+  std::cout << "2 -> 6 chiplets average P99 change: "
+            << stats::Table::fmt_pct(results[4].avg_p99_us /
+                                         results[1].avg_p99_us -
+                                     1.0)
+            << " (paper: +14%)\n\n";
+
+  // Section VII-C.2: inter-chiplet latency sweep.
+  stats::Table t2("Inter-chiplet latency sensitivity: avg P99 (us)");
+  t2.set_header({"Latency (cycles)", "2-chiplet", "6-chiplet"});
+  std::array<double, 2> base_at_60{};
+  std::array<double, 2> at_100{};
+  for (const double cycles : {20.0, 60.0, 100.0}) {
+    std::vector<std::string> row = {stats::Table::fmt(cycles, 0)};
+    int i = 0;
+    for (const int n : {2, 6}) {
+      auto cfg = bench::social_network_config(core::OrchKind::kAccelFlow);
+      cfg.machine.num_chiplets = n;
+      cfg.machine.inter_chiplet_cycles = cycles;
+      const auto res = workload::run_experiment(cfg);
+      row.push_back(stats::Table::fmt_us(res.avg_p99_us));
+      if (cycles == 60.0) base_at_60[i] = res.avg_p99_us;
+      if (cycles == 100.0) at_100[i] = res.avg_p99_us;
+      ++i;
+    }
+    t2.add_row(row);
+  }
+  t2.print(std::cout);
+  std::cout << "6-chiplet, 60 -> 100 cycles: "
+            << stats::Table::fmt_pct(at_100[1] / base_at_60[1] - 1.0)
+            << " (paper: +45%)\n";
+  return 0;
+}

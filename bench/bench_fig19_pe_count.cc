@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 19: P99 tail latency with 2, 4 or 8 PEs per accelerator. Paper:
+ * vs 8 PEs, 4 and 2 PEs raise P99 by 20.0% and 35.7% on average; 16% /
+ * 39% of Encr requests are denied accelerator access and fall back to the
+ * CPU with 4 / 2 PEs; throughput drops 11% / 25%.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+
+  const std::vector<int> pes = {8, 4, 2};
+  std::vector<workload::ExperimentResult> results;
+  for (const int n : pes) {
+    auto cfg = bench::social_network_config(core::OrchKind::kAccelFlow);
+    cfg.machine.pes_per_accel = n;
+    results.push_back(workload::run_experiment(cfg));
+  }
+
+  stats::Table t("Figure 19: P99 (us) by PEs per accelerator (paper: "
+                 "+20.0% with 4, +35.7% with 2)");
+  t.set_header({"Service", "8 PEs", "4 PEs", "2 PEs"});
+  for (std::size_t s = 0; s < results[0].services.size(); ++s) {
+    std::vector<std::string> row = {results[0].services[s].name};
+    for (const auto& res : results) {
+      row.push_back(stats::Table::fmt_us(res.services[s].p99_us));
+    }
+    t.add_row(row);
+  }
+  std::vector<std::string> avg = {"average"};
+  for (const auto& res : results) {
+    avg.push_back(stats::Table::fmt_us(res.avg_p99_us));
+  }
+  t.add_row(avg);
+  t.print(std::cout);
+  std::cout << "avg P99 vs 8 PEs: 4 PEs "
+            << stats::Table::fmt_pct(results[1].avg_p99_us /
+                                         results[0].avg_p99_us -
+                                     1.0)
+            << ", 2 PEs "
+            << stats::Table::fmt_pct(results[2].avg_p99_us /
+                                         results[0].avg_p99_us -
+                                     1.0)
+            << "\n\n";
+
+  stats::Table f("CPU fallback share by accelerator type (paper: Encr 16% "
+                 "with 4 PEs, 39% with 2 PEs)");
+  f.set_header({"PEs", "TCP", "Encr", "Decr", "Ser", "Dser", "Cmp", "Dcmp"});
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    const auto& eng = results[i].engine;
+    std::vector<std::string> row = {std::to_string(pes[i])};
+    for (const accel::AccelType a :
+         {accel::AccelType::kTcp, accel::AccelType::kEncr,
+          accel::AccelType::kDecr, accel::AccelType::kSer,
+          accel::AccelType::kDser, accel::AccelType::kCmp,
+          accel::AccelType::kDcmp}) {
+      const auto idx = accel::index_of(a);
+      const double att =
+          std::max<double>(1.0, static_cast<double>(eng.attempts_by_type[idx]));
+      row.push_back(stats::Table::fmt_pct(
+          static_cast<double>(eng.fallbacks_by_type[idx]) / att));
+    }
+    f.add_row(row);
+  }
+  f.print(std::cout);
+
+  stats::Table m("Requests with a failed/fallback chain");
+  m.set_header({"PEs", "fallback requests", "failed requests"});
+  for (std::size_t i = 0; i < pes.size(); ++i) {
+    std::uint64_t fb = 0, fl = 0, done = 0;
+    for (const auto& s : results[i].services) {
+      fb += s.fallbacks;
+      fl += s.failed;
+      done += s.completed;
+    }
+    m.add_row({std::to_string(pes[i]),
+               stats::Table::fmt_pct(static_cast<double>(fb) /
+                                     std::max<double>(1.0, done)),
+               stats::Table::fmt_pct(static_cast<double>(fl) /
+                                     std::max<double>(1.0, done))});
+  }
+  m.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Table I: source/destination accelerators for each accelerator, derived
+ * by walking the trace templates under every branch outcome; plus Section
+ * III Q2's statistic: the share of CPU-initiated accelerator chains with
+ * at least one conditional, per suite (paper: SocialNet 69.2%,
+ * HotelReservation 62.5%, MediaServices 82.5%, TrainTicket 53.8%).
+ */
+
+#include <sstream>
+
+#include "bench_common.h"
+#include "core/trace_analysis.h"
+#include "core/trace_templates.h"
+#include "stats/table.h"
+#include "workload/suites.h"
+
+namespace {
+
+using namespace accelflow;
+
+std::string join(const std::set<accel::AccelType>& set) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto t : set) {
+    if (!first) os << ", ";
+    os << name_of(t);
+    first = false;
+  }
+  return os.str();
+}
+
+double conditional_share(const std::vector<workload::ServiceSpec>& specs,
+                         const core::TraceLibrary& lib) {
+  const auto services = workload::build_services(specs, lib);
+  int cond = 0, total = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t s = 0; s < specs[i].stages.size(); ++s) {
+      if (specs[i].stages[s].kind != workload::StageSpec::Kind::kChains) {
+        continue;
+      }
+      for (std::size_t g = 0; g < specs[i].stages[s].groups.size(); ++g) {
+        const int n = specs[i].stages[s].groups[g].count;
+        total += n;
+        if (core::chain_has_conditional(lib,
+                                        services[i]->group_addr(s, g))) {
+          cond += n;
+        }
+      }
+    }
+  }
+  return total ? static_cast<double>(cond) / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  core::TraceLibrary lib;
+  const core::TraceTemplates t = core::register_templates(lib);
+  workload::register_relief_traces(lib);
+
+  // CPU-initiated chain entry points across the suites.
+  const std::vector<core::AtmAddr> starts = {
+      t.t1, t.t2, t.t3, t.t4,  t.t8,  t.t8c,
+      t.t9, t.t9c, t.t11, t.t11c};
+  const auto table = core::build_connectivity(lib, starts);
+
+  stats::Table out("Table I: src/dst accelerators per accelerator");
+  out.set_header({"Accelerator", "Src accelerators", "Dst accelerators"});
+  for (const accel::AccelType a : accel::kAllAccelTypes) {
+    auto srcs = table.sources[accel::index_of(a)];
+    auto dsts = table.destinations[accel::index_of(a)];
+    std::string src = join(srcs);
+    std::string dst = join(dsts);
+    if (table.cpu_fed.count(a)) src += srcs.empty() ? "CPU" : ", CPU";
+    if (table.cpu_bound.count(a)) dst += dsts.empty() ? "CPU" : ", CPU";
+    out.add_row({std::string(name_of(a)), src, dst});
+  }
+  out.print(std::cout);
+
+  stats::Table q2(
+      "Section III Q2: share of chains with >=1 conditional (paper: "
+      "69.2 / 62.5 / 82.5 / 53.8%)");
+  q2.set_header({"Suite", "Conditional chains"});
+  q2.add_row({"SocialNetwork",
+              stats::Table::fmt_pct(
+                  conditional_share(workload::social_network_specs(), lib))});
+  q2.add_row({"HotelReservation",
+              stats::Table::fmt_pct(conditional_share(
+                  workload::hotel_reservation_specs(), lib))});
+  q2.add_row({"MediaServices",
+              stats::Table::fmt_pct(
+                  conditional_share(workload::media_services_specs(), lib))});
+  q2.add_row({"TrainTicket",
+              stats::Table::fmt_pct(
+                  conditional_share(workload::train_ticket_specs(), lib))});
+  q2.print(std::cout);
+  return 0;
+}

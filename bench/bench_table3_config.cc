@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table III: the architectural parameters of the modeled server, printed
+ * from the live MachineConfig defaults so the configuration in code and
+ * the paper's table can be diffed directly.
+ */
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace accelflow;
+  const core::MachineConfig cfg;
+
+  stats::Table t("Table III: architectural parameters (defaults)");
+  t.set_header({"Parameter", "Value", "Paper"});
+  t.add_row({"Cores", std::to_string(cfg.cpu.num_cores) + " @ " +
+                           stats::Table::fmt(cfg.cpu.clock_ghz, 1) + " GHz",
+             "36 6-issue cores, 2.4GHz"});
+  t.add_row({"Accel queues",
+             std::to_string(cfg.accel_queue_entries) + " in / " +
+                 std::to_string(cfg.accel_queue_entries) + " out",
+             "64 entries in and out"});
+  t.add_row({"A-DMA engines", std::to_string(cfg.dma.num_engines), "10"});
+  t.add_row({"A-DMA latency/bandwidth",
+             stats::Table::fmt(cfg.dma.latency_ns, 0) + " ns, " +
+                 stats::Table::fmt(cfg.dma.bandwidth_gbps, 0) + " GB/s",
+             "10ns, 100GB/s for 1KB msgs"});
+  t.add_row({"PEs per accelerator", std::to_string(cfg.pes_per_accel),
+             "8"});
+  t.add_row({"Scratchpad / PE", "64 KB", "64 KB"});
+  t.add_row({"Notification",
+             stats::Table::fmt(cfg.cpu.notification_cycles, 0) + " cycles",
+             "~80 cycles"});
+  t.add_row({"Intra-chiplet net", "2D mesh, 3 cyc/hop, 16B links",
+             "2D mesh, 3 cycles/hop, 16B links"});
+  t.add_row({"Inter-chiplet net",
+             "fully connected, " +
+                 stats::Table::fmt(cfg.inter_chiplet_cycles, 0) +
+                 " cycles, " +
+                 stats::Table::fmt(cfg.inter_chiplet_gbps, 0) + " GB/s",
+             "fully connected, 60 cycles (bandwidth: see DESIGN.md)"});
+  t.add_row({"Chiplets", std::to_string(cfg.num_chiplets),
+             "2 (cores+LdB | accelerators)"});
+  t.add_row({"Memory",
+             std::to_string(cfg.mem.dram_bytes >> 30) + " GB, " +
+                 std::to_string(cfg.mem.num_controllers) +
+                 " controllers @ " +
+                 stats::Table::fmt(cfg.mem.controller_bandwidth_gbps, 1) +
+                 " GB/s",
+             "128GB DDR, 4 controllers, 102.4GB/s each"});
+  t.add_row({"LLC slice round trip",
+             stats::Table::fmt(cfg.mem.llc_round_trip_cycles, 0) + " cycles",
+             "36 cycles"});
+  t.add_row({"RELIEF manager",
+             std::to_string(cfg.manager_contexts) + " contexts x " +
+                 stats::Table::fmt(cfg.manager_event_us, 1) + " us/event",
+             "~1.5us per completion event (Section VII-A)"});
+  t.print(std::cout);
+
+  stats::Table s("Accelerator speedups over a core (Section VI)");
+  s.set_header({"Accelerator", "Speedup", "Source"});
+  const char* sources[] = {"F4T",      "QTLS", "QTLS", "Cerebros",
+                           "ProtoAcc", "ProtoAcc", "CDPU", "CDPU", "DLB"};
+  for (const auto a : accel::kAllAccelTypes) {
+    s.add_row({std::string(name_of(a)),
+               stats::Table::fmt(accel::default_speedup(a), 1),
+               sources[accel::index_of(a)]});
+  }
+  s.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Defines a brand-new service against the public API — a "Feed" service
+ * that authenticates a session (DB-cache read with hit/miss divergence),
+ * fans out two nested RPCs, and returns a compressed response — then
+ * compares it across all nine architecture variants.
+ *
+ * Demonstrates: TraceBuilder (seq/branch/branch_else_goto/trans/tail),
+ * ServiceSpec construction, and the orchestrator roster.
+ *
+ *   $ ./examples/custom_service
+ */
+
+#include <iostream>
+
+#include "core/trace_builder.h"
+#include "core/trace_templates.h"
+#include "stats/table.h"
+#include "workload/experiment.h"
+
+using namespace accelflow;
+
+int main() {
+  // The experiment harness registers the standard templates; our service
+  // composes them with a custom ingest trace. Custom traces registered in
+  // a local library here are only for illustration/printing — the spec
+  // below references standard template names that the harness resolves.
+  {
+    core::TraceLibrary lib;
+    core::register_templates(lib);
+    core::TraceBuilder b(lib);
+    b.seq({accel::AccelType::kTcp, accel::AccelType::kDecr,
+           accel::AccelType::kRpc, accel::AccelType::kDser});
+    b.branch_else_goto(core::BranchCond::kHit, "T5miss");
+    b.branch(core::BranchCond::kCompressed, [](core::TraceBuilder& then) {
+      then.trans(accel::DataFormat::kBson, accel::DataFormat::kString);
+      then.seq({accel::AccelType::kDcmp});
+    });
+    b.seq({accel::AccelType::kLdb});
+    const auto addr = b.end_notify("feed_ingest");
+    std::cout << "Custom trace 'feed_ingest' ("
+              << static_cast<int>(lib.get(addr).len) << " nibbles): "
+              << core::to_string(lib.get(addr)) << "\n\n";
+  }
+
+  // The Feed service: ingest, session check, double fan-out, compressed
+  // response.
+  workload::ServiceSpec feed;
+  feed.name = "Feed";
+  feed.total_cpu_time = sim::microseconds(220);
+  feed.fractions = {0.18, 0.27, 0.15, 0.03, 0.22, 0.12, 0.03};
+  workload::FlagProbs session;
+  session.hit = 0.7;
+  session.compressed = 0.6;
+  workload::ChainGroup t1{"T1", 1, {}};
+  workload::ChainGroup t4{"T4", 1, session};
+  workload::ChainGroup rpc{"T9c", 2, {}};
+  rpc.flags.compressed = 0.9;
+  workload::ChainGroup t3{"T3", 1, {}};
+  workload::StageSpec s1;
+  s1.kind = workload::StageSpec::Kind::kChains;
+  s1.groups = {t1};
+  workload::StageSpec s2;
+  s2.kind = workload::StageSpec::Kind::kCpu;
+  s2.cpu_weight = 0.5;
+  workload::StageSpec s3;
+  s3.kind = workload::StageSpec::Kind::kChains;
+  s3.groups = {t4};
+  workload::StageSpec s4;
+  s4.kind = workload::StageSpec::Kind::kChains;
+  s4.groups = {rpc};
+  workload::StageSpec s5;
+  s5.kind = workload::StageSpec::Kind::kCpu;
+  s5.cpu_weight = 0.5;
+  workload::StageSpec s6;
+  s6.kind = workload::StageSpec::Kind::kChains;
+  s6.groups = {t3};
+  feed.stages = {s1, s2, s3, s4, s5, s6};
+
+  stats::Table t("Custom 'Feed' service across every orchestrator");
+  t.set_header({"Architecture", "p50 (us)", "p99 (us)", "mean (us)"});
+  for (const auto kind :
+       {core::OrchKind::kNonAcc, core::OrchKind::kCpuCentric,
+        core::OrchKind::kRelief, core::OrchKind::kReliefPerTypeQ,
+        core::OrchKind::kCohort, core::OrchKind::kAccelFlowDirect,
+        core::OrchKind::kAccelFlowCntrFlow, core::OrchKind::kAccelFlow,
+        core::OrchKind::kIdeal}) {
+    workload::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.specs = {feed};
+    cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+    cfg.per_service_rps = {20000.0};
+    cfg.warmup = sim::milliseconds(10);
+    cfg.measure = sim::milliseconds(60);
+    cfg.drain = sim::milliseconds(20);
+    const auto res = workload::run_experiment(cfg);
+    t.add_row({std::string(name_of(kind)),
+               stats::Table::fmt_us(res.services[0].p50_us),
+               stats::Table::fmt_us(res.services[0].p99_us),
+               stats::Table::fmt_us(res.services[0].mean_us)});
+  }
+  t.print(std::cout);
+  return 0;
+}

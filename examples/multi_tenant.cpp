@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fine-grained accelerator virtualization (Section IV-D): two tenants
+ * share the ensemble; one is greedy. With the per-tenant trace cap, the
+ * greedy tenant cannot hoard accelerators: its excess chain starts are
+ * throttled, and the victim tenant's latency is protected. PEs and
+ * scratchpads are wiped between entries of different tenants.
+ *
+ *   $ ./examples/multi_tenant
+ */
+
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/machine.h"
+#include "core/trace_templates.h"
+#include "stats/latency_recorder.h"
+#include "stats/table.h"
+
+using namespace accelflow;
+
+namespace {
+
+class DemoEnv : public core::ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(core::ChainContext&, accel::AccelType,
+                          std::uint64_t) override {
+    return sim::microseconds(4);
+  }
+  std::uint64_t transformed_size(accel::AccelType,
+                                 std::uint64_t bytes) override {
+    return bytes;
+  }
+  sim::TimePs remote_latency(core::ChainContext&,
+                             core::RemoteKind) override {
+    return sim::microseconds(10);
+  }
+  std::uint64_t response_size(core::ChainContext&,
+                              core::RemoteKind) override {
+    return 1024;
+  }
+};
+
+struct Tenant {
+  accel::TenantId id;
+  stats::LatencyRecorder latency;
+  std::vector<std::unique_ptr<core::ChainContext>> chains;
+  int launched = 0;
+};
+
+}  // namespace
+
+int main() {
+  for (const std::uint32_t cap : {1u << 30, 16u}) {
+    core::Machine machine{core::MachineConfig{}};
+    core::TraceLibrary lib;
+    const auto tt = core::register_templates(lib);
+    core::EngineConfig ec;
+    ec.tenant_max_active = cap;
+    core::AccelFlowEngine engine(machine, lib, ec);
+    DemoEnv env;
+
+    Tenant greedy{1, {}, {}, 0};
+    Tenant victim{2, {}, {}, 0};
+
+    auto launch = [&](Tenant& t, sim::TimePs at) {
+      machine.sim().schedule_at(at, [&, at] {
+        auto ctx = std::make_unique<core::ChainContext>();
+        ctx->request = static_cast<accel::RequestId>(++t.launched);
+        ctx->tenant = t.id;
+        ctx->core = t.launched % 36;
+        ctx->initial_bytes = 1024;
+        ctx->env = &env;
+        ctx->rng.reseed(t.id * 1000 + static_cast<std::uint64_t>(t.launched));
+        core::ChainContext* raw = ctx.get();
+        ctx->on_done = [&t, at, &machine](const core::ChainResult&) {
+          t.latency.record(machine.sim().now() - at);
+        };
+        t.chains.push_back(std::move(ctx));
+        engine.start_chain(raw, tt.t2);
+      });
+    };
+
+    // The greedy tenant floods 4000 chains in ~130us; the victim issues a
+    // steady trickle.
+    for (int i = 0; i < 4000; ++i) {
+      launch(greedy, sim::microseconds(i / 30));
+    }
+    for (int i = 0; i < 100; ++i) {
+      launch(victim, sim::microseconds(20 * i));
+    }
+    machine.sim().run();
+
+    std::cout << (cap > 1000 ? "== No tenant cap ==\n"
+                             : "== Tenant cap N=16 (Section IV-D) ==\n");
+    stats::Table t("");
+    t.set_header({"Tenant", "p50 (us)", "p99 (us)", "throttled starts"});
+    t.add_row({"greedy (4000 chains)",
+               stats::Table::fmt_us(sim::to_microseconds(greedy.latency.p50())),
+               stats::Table::fmt_us(sim::to_microseconds(greedy.latency.p99())),
+               std::to_string(engine.stats().tenant_throttled)});
+    t.add_row({"victim (100 chains)",
+               stats::Table::fmt_us(sim::to_microseconds(victim.latency.p50())),
+               stats::Table::fmt_us(sim::to_microseconds(victim.latency.p99())),
+               "-"});
+    t.print(std::cout);
+    std::cout << "Tenant wipes performed: ";
+    std::uint64_t wipes = 0;
+    for (const auto a : accel::kAllAccelTypes) {
+      wipes += machine.accel(a).stats().tenant_wipes;
+    }
+    std::cout << wipes << "\n\n";
+  }
+  std::cout << "With the cap, the greedy tenant's excess chains queue at "
+               "the engine instead of hoarding accelerator slots, and the "
+               "victim's tail latency improves.\n";
+  return 0;
+}

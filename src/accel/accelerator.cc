@@ -1,0 +1,243 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace accelflow::accel {
+
+Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
+                         mem::MemorySystem& mem, mem::Iommu& iommu,
+                         noc::Location location)
+    : sim_(sim),
+      params_(params),
+      mem_(mem),
+      iommu_(iommu),
+      location_(location),
+      clock_(params.clock_ghz),
+      tlb_(params.tlb_entries, params.tlb_ways),
+      input_(params.input_queue_entries),
+      output_(params.output_queue_entries),
+      pes_(static_cast<std::size_t>(params.num_pes)) {}
+
+SlotId Accelerator::try_enqueue(QueueEntry e) {
+  e.enqueued_at = sim_.now();
+  return input_.allocate(std::move(e));
+}
+
+void Accelerator::deliver_data(SlotId slot) {
+  QueueEntry& e = input_.at(slot);
+  assert(e.pending_inputs > 0);
+  if (--e.pending_inputs == 0) {
+    e.ready = true;
+    try_dispatch();
+  }
+}
+
+void Accelerator::release_input(SlotId slot) {
+  input_.release(slot);
+  drain_overflow();
+}
+
+bool Accelerator::overflow_enqueue(QueueEntry e) {
+  ++stats_.overflow_enqueues;
+  if (overflow_.size() >= params_.overflow_capacity) {
+    ++stats_.overflow_rejections;
+    return false;
+  }
+  // Writing the entry to the overflow area costs a coherent memory write;
+  // the data is cold when later refilled.
+  e.enqueued_at = sim_.now();
+  mem_.write(kInlineDataBytes, /*llc_hit_prob=*/0.5);
+  overflow_.push_back(std::move(e));
+  return true;
+}
+
+void Accelerator::drain_overflow() {
+  while (!overflow_.empty() && !input_.full()) {
+    QueueEntry e = std::move(overflow_.front());
+    overflow_.pop_front();
+    // Refill: read the entry back from memory; it becomes ready once the
+    // read completes.
+    const sim::TimePs done =
+        mem_.read(kInlineDataBytes, /*llc_hit_prob=*/0.4).complete_at;
+    e.ready = false;
+    e.pending_inputs = 1;
+    const SlotId slot = input_.allocate(std::move(e));
+    assert(slot != kInvalidSlot);
+    sim_.schedule_at(done, [this, slot] { deliver_data(slot); });
+  }
+}
+
+sim::TimePs Accelerator::translate(TenantId tenant, mem::VirtAddr va,
+                                   std::uint64_t bytes) {
+  sim::TimePs extra = 0;
+  const std::uint64_t pages = mem::pages_spanned(va, bytes);
+  const mem::PageNum first = mem::page_of(va);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    if (!tlb_.lookup(tenant, first + p)) {
+      const auto res = iommu_.translate(tenant, first + p);
+      if (res.faulted) {
+        // Accelerator stops; CPU is interrupted; OS services the fault.
+        ++stats_.faults;
+        extra += sim::microseconds(params_.fault_service_us);
+      }
+      extra += res.complete_at > sim_.now() ? res.complete_at - sim_.now() : 0;
+      tlb_.fill(tenant, first + p);
+    }
+  }
+  return extra;
+}
+
+SlotId Accelerator::pick_ready_entry() {
+  SlotId best = kInvalidSlot;
+  input_.for_each_occupied([&](SlotId s, QueueEntry& e) {
+    if (!e.ready) return;
+    if (best == kInvalidSlot) {
+      best = s;
+      return;
+    }
+    const QueueEntry& b = input_.at(best);
+    switch (params_.policy) {
+      case SchedPolicy::kFifo:
+        if (e.seq < b.seq) best = s;
+        break;
+      case SchedPolicy::kPriority:
+        if (e.priority > b.priority ||
+            (e.priority == b.priority && e.seq < b.seq)) {
+          best = s;
+        }
+        break;
+      case SchedPolicy::kEdf:
+        if (e.deadline < b.deadline ||
+            (e.deadline == b.deadline && e.seq < b.seq)) {
+          best = s;
+        }
+        break;
+    }
+  });
+  return best;
+}
+
+void Accelerator::try_dispatch() {
+  for (;;) {
+    // Find a free PE.
+    int pe = -1;
+    for (std::size_t i = 0; i < pes_.size(); ++i) {
+      if (!pes_[i].busy) {
+        pe = static_cast<int>(i);
+        break;
+      }
+    }
+    if (pe < 0) return;
+
+    const SlotId slot = pick_ready_entry();
+    if (slot == kInvalidSlot) return;
+
+    QueueEntry entry = input_.at(slot);
+    if (entry.seq < last_dispatched_seq_) ++stats_.reorders;
+    last_dispatched_seq_ = std::max(last_dispatched_seq_, entry.seq);
+    stats_.input_queue_delay.record(sim_.now() - entry.enqueued_at);
+    stats_.input_bytes.add(entry.payload.size_bytes);
+    if (entry.deadline != sim::kTimeNever && sim_.now() > entry.deadline) {
+      ++stats_.deadline_misses;
+    }
+
+    // The entry moves out of the queue into the PE and the slot clears
+    // immediately (Section V.1), making room for overflow refills.
+    input_.release(slot);
+    drain_overflow();
+
+    Pe& p = pes_[static_cast<std::size_t>(pe)];
+    p.busy = true;
+    sim::TimePs t = sim_.now();
+
+    // Tenant isolation: clear PE + scratchpad between tenants (IV-D).
+    if (p.has_tenant && p.last_tenant != entry.tenant) {
+      t += sim::nanoseconds(params_.tenant_wipe_ns);
+      ++stats_.tenant_wipes;
+    }
+    p.has_tenant = true;
+    p.last_tenant = entry.tenant;
+
+    // Queue -> scratchpad transfer (Table III), pipelined per PE port.
+    const std::uint64_t inline_bytes =
+        std::min<std::uint64_t>(entry.payload.size_bytes, kInlineDataBytes);
+    t += sim::nanoseconds(params_.queue_to_spad_latency_ns);
+    t += static_cast<sim::TimePs>(static_cast<double>(inline_bytes) /
+                                  (params_.queue_to_spad_gbps * 1e9 / 1e12));
+
+    // Large payloads: fetch the remainder through the Memory Pointer,
+    // translating through the accelerator TLB.
+    if (entry.payload.size_bytes > kInlineDataBytes) {
+      ++stats_.large_payload_jobs;
+      const std::uint64_t rest = entry.payload.size_bytes - kInlineDataBytes;
+      t += translate(entry.tenant, entry.payload.va, rest);
+      const auto acc = mem_.read(rest, /*llc_hit_prob=*/0.8);
+      t = std::max(t, acc.complete_at);
+    }
+
+    // The computation itself: CPU-equivalent cost divided by the speedup.
+    const auto compute = static_cast<sim::TimePs>(
+        static_cast<double>(entry.cpu_cost) / params_.speedup + 0.5);
+    t += compute;
+
+    ++stats_.jobs;
+    stats_.pe_busy_time += t - sim_.now();
+    p.free_at = t;
+    sim_.schedule_at(t, [this, pe, entry = std::move(entry)]() mutable {
+      on_pe_done(pe, std::move(entry));
+    });
+  }
+}
+
+void Accelerator::on_pe_done(int pe, QueueEntry entry) {
+  if (output_.full()) {
+    // PE is non-preemptible and has nowhere to put its result: it blocks
+    // until the output dispatcher frees a slot.
+    blocked_.push_back(BlockedDeposit{pe, std::move(entry), sim_.now()});
+    return;
+  }
+  deposit_output(std::move(entry));
+  Pe& p = pes_[static_cast<std::size_t>(pe)];
+  p.busy = false;
+  try_dispatch();
+}
+
+void Accelerator::deposit_output(QueueEntry entry) {
+  stats_.output_bytes.add(entry.payload.size_bytes);
+  entry.ready = true;
+  entry.enqueued_at = sim_.now();
+  const SlotId slot = output_.allocate(std::move(entry));
+  assert(slot != kInvalidSlot);
+  assert(handler_ != nullptr && "no output handler installed");
+  handler_->handle_output(*this, slot);
+}
+
+sim::TimePs Accelerator::occupy_dispatcher(sim::TimePs duration) {
+  const sim::TimePs start = std::max(sim_.now(), dispatcher_busy_until_);
+  dispatcher_busy_until_ = start + duration;
+  dispatcher_busy_accum_ += duration;
+  return dispatcher_busy_until_;
+}
+
+void Accelerator::release_output(SlotId slot) {
+  output_.release(slot);
+  if (!blocked_.empty()) {
+    BlockedDeposit b = std::move(blocked_.front());
+    blocked_.pop_front();
+    stats_.pe_blocked_time += sim_.now() - b.blocked_since;
+    deposit_output(std::move(b.entry));
+    Pe& p = pes_[static_cast<std::size_t>(b.pe)];
+    p.busy = false;
+    try_dispatch();
+  }
+}
+
+double Accelerator::pe_utilization() const {
+  const sim::TimePs elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(stats_.pe_busy_time) /
+         (static_cast<double>(elapsed) * static_cast<double>(pes_.size()));
+}
+
+}  // namespace accelflow::accel

@@ -1,0 +1,226 @@
+#ifndef ACCELFLOW_ACCEL_ACCELERATOR_H_
+#define ACCELFLOW_ACCEL_ACCELERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "accel/queue_entry.h"
+#include "accel/sram_queue.h"
+#include "accel/types.h"
+#include "mem/iommu.h"
+#include "mem/memory_system.h"
+#include "mem/tlb.h"
+#include "noc/interconnect.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+
+/**
+ * @file
+ * The accelerator hardware model (Section IV-A, Figures 6, 9, 10):
+ * SRAM input/output queues, processing elements with scratchpads, the input
+ * dispatcher, the (serialized) output-dispatcher FSM slot, the per-
+ * accelerator translation cache, and the in-memory overflow area.
+ *
+ * The output dispatcher's *semantics* (trace stepping, branch resolution,
+ * data transformation, forwarding) belong to the orchestration layer and
+ * are supplied through the OutputHandler interface: AccelFlow installs its
+ * Figure-8 FSM, the baselines install interrupt-raising handlers.
+ */
+
+namespace accelflow::accel {
+
+class Accelerator;
+
+/** Input-queue scheduling policy (Sections IV-C, V.1). */
+enum class SchedPolicy : std::uint8_t {
+  kFifo = 0,      ///< Arrival order.
+  kPriority = 1,  ///< Highest priority first, FIFO within a level.
+  kEdf = 2,       ///< Earliest deadline first (soft-SLO mode).
+};
+
+/** Per-accelerator configuration. */
+struct AccelParams {
+  AccelType type = AccelType::kTcp;
+  int num_pes = 8;
+  std::size_t input_queue_entries = 64;
+  std::size_t output_queue_entries = 64;
+  double speedup = 1.0;  ///< Computation speedup over a CPU core.
+  double clock_ghz = 2.4;
+  double queue_to_spad_latency_ns = 10.0;  ///< Table III.
+  double queue_to_spad_gbps = 100.0;
+  std::uint64_t scratchpad_bytes = 64 * 1024;
+  double tenant_wipe_ns = 200.0;  ///< PE+scratchpad clear between tenants.
+  std::size_t overflow_capacity = 64;  ///< Entries in the overflow area.
+  SchedPolicy policy = SchedPolicy::kFifo;
+  std::size_t tlb_entries = 512;
+  std::size_t tlb_ways = 8;
+  double fault_service_us = 5.0;  ///< OS page-fault handling round trip.
+};
+
+/** Observable accelerator counters. */
+struct AccelStats {
+  std::uint64_t jobs = 0;
+  sim::TimePs pe_busy_time = 0;
+  sim::TimePs pe_blocked_time = 0;  ///< PEs stalled on a full output queue.
+  std::uint64_t tenant_wipes = 0;
+  std::uint64_t large_payload_jobs = 0;  ///< Needed the Memory Pointer.
+  std::uint64_t overflow_enqueues = 0;
+  std::uint64_t overflow_rejections = 0;  ///< Overflow area was full.
+  std::uint64_t deadline_misses = 0;      ///< Dispatched past the deadline.
+  std::uint64_t reorders = 0;             ///< Non-FIFO dispatch decisions.
+  std::uint64_t faults = 0;
+  stats::LatencyRecorder input_queue_delay;
+  /** Payload sizes consumed / produced (Figure 5). */
+  stats::Histogram input_bytes;
+  stats::Histogram output_bytes;
+};
+
+/**
+ * Handles output-queue entries on behalf of the orchestrator.
+ *
+ * When a PE deposits an entry in the output queue, the accelerator invokes
+ * handle_output(). The handler occupies the dispatcher FSM via
+ * Accelerator::occupy_dispatcher() for its instruction time and must
+ * eventually call Accelerator::release_output(slot) so the slot frees and
+ * any blocked PE resumes.
+ */
+class OutputHandler {
+ public:
+  virtual ~OutputHandler() = default;
+  virtual void handle_output(Accelerator& acc, SlotId slot) = 0;
+};
+
+/**
+ * One accelerator instance.
+ *
+ * Event flow:
+ *   try_enqueue() -> [caller DMAs payload] -> deliver_data() ->
+ *   input dispatcher moves entry into a free PE (load + compute) ->
+ *   deposit into output queue -> OutputHandler.
+ */
+class Accelerator {
+ public:
+  Accelerator(sim::Simulator& sim, const AccelParams& params,
+              mem::MemorySystem& mem, mem::Iommu& iommu,
+              noc::Location location);
+
+  /** Installs the orchestration-layer output handler. */
+  void set_output_handler(OutputHandler* handler) { handler_ = handler; }
+
+  AccelType type() const { return params_.type; }
+  const AccelParams& params() const { return params_; }
+  noc::Location location() const { return location_; }
+
+  // --- Input side -----------------------------------------------------
+
+  /**
+   * Allocates an input-queue slot for `e` (the Enqueue instruction /
+   * an output dispatcher's forward). Returns kInvalidSlot when full;
+   * the caller then retries, uses the overflow area, or falls back.
+   */
+  SlotId try_enqueue(QueueEntry e);
+
+  /**
+   * Records arrival of one producer's data for the slot; when all producers
+   * have delivered, the entry becomes ready and may dispatch.
+   */
+  void deliver_data(SlotId slot);
+
+  /** Releases a non-ready input entry (e.g. a timed-out TCP wait slot). */
+  void release_input(SlotId slot);
+
+  /**
+   * Places an entry in the in-memory overflow area (output dispatchers
+   * cannot retry; Section IV-A). Returns false if the area is full —
+   * the caller must fall back to the CPU.
+   */
+  bool overflow_enqueue(QueueEntry e);
+
+  bool input_full() const { return input_.full(); }
+  std::size_t input_occupancy() const { return input_.occupancy(); }
+  std::size_t overflow_occupancy() const { return overflow_.size(); }
+
+  /** Direct access to a queued entry (e.g. to attach a response payload). */
+  QueueEntry& input_entry(SlotId slot) { return input_.at(slot); }
+
+  // --- Output side (used by OutputHandler implementations) -------------
+
+  /**
+   * Serializes `duration` of work on the output-dispatcher FSM.
+   * @return the time the FSM finishes this work.
+   */
+  sim::TimePs occupy_dispatcher(sim::TimePs duration);
+
+  /** Frees an output slot; resumes a PE blocked on output-queue space. */
+  void release_output(SlotId slot);
+
+  QueueEntry& output_entry(SlotId slot) { return output_.at(slot); }
+
+  // --- Introspection ----------------------------------------------------
+
+  const AccelStats& stats() const { return stats_; }
+  const QueueStats& input_stats() const { return input_.stats(); }
+  const mem::TlbStats& tlb_stats() const { return tlb_.stats(); }
+  double pe_utilization() const;
+  sim::TimePs dispatcher_busy_time() const { return dispatcher_busy_accum_; }
+
+  /**
+   * Models an address translation through the accelerator TLB for a
+   * payload access; returns added latency (0 on full TLB hit).
+   */
+  sim::TimePs translate(TenantId tenant, mem::VirtAddr va,
+                        std::uint64_t bytes);
+
+ private:
+  struct Pe {
+    sim::TimePs free_at = 0;
+    bool busy = false;
+    bool has_tenant = false;
+    TenantId last_tenant = 0;
+  };
+  struct BlockedDeposit {
+    int pe = 0;
+    QueueEntry entry;
+    sim::TimePs blocked_since = 0;
+  };
+
+  /** Dispatches ready entries to free PEs until one side runs out. */
+  void try_dispatch();
+
+  /** Chooses the next ready input slot per the scheduling policy. */
+  SlotId pick_ready_entry();
+
+  /** PE finished computing: deposit into the output queue (or block). */
+  void on_pe_done(int pe, QueueEntry entry);
+
+  /** Deposits into the output queue and invokes the handler. */
+  void deposit_output(QueueEntry entry);
+
+  /** Moves overflow entries into freed input slots. */
+  void drain_overflow();
+
+  sim::Simulator& sim_;
+  AccelParams params_;
+  mem::MemorySystem& mem_;
+  mem::Iommu& iommu_;
+  noc::Location location_;
+  sim::Clock clock_;
+  mem::Tlb tlb_;
+  OutputHandler* handler_ = nullptr;
+
+  SramQueue input_;
+  SramQueue output_;
+  std::vector<Pe> pes_;
+  std::deque<BlockedDeposit> blocked_;
+  std::deque<QueueEntry> overflow_;
+  sim::TimePs dispatcher_busy_until_ = 0;
+  sim::TimePs dispatcher_busy_accum_ = 0;
+  std::uint64_t last_dispatched_seq_ = 0;
+  AccelStats stats_;
+};
+
+}  // namespace accelflow::accel
+
+#endif  // ACCELFLOW_ACCEL_ACCELERATOR_H_

@@ -1,0 +1,46 @@
+#include "accel/dma.h"
+
+#include <algorithm>
+
+namespace accelflow::accel {
+
+DmaPool::DmaPool(sim::Simulator& sim, noc::Interconnect& net,
+                 const DmaParams& p)
+    : sim_(sim),
+      net_(net),
+      params_(p),
+      latency_(sim::nanoseconds(p.latency_ns)),
+      bytes_per_ps_(p.bandwidth_gbps * 1e9 / 1e12),
+      engine_free_at_(static_cast<std::size_t>(p.num_engines), 0) {}
+
+sim::TimePs DmaPool::transfer(noc::Location src, noc::Location dst,
+                              std::uint64_t bytes, sim::TimePs ready_at) {
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+
+  auto it = std::min_element(engine_free_at_.begin(), engine_free_at_.end());
+  const sim::TimePs ready = std::max(sim_.now(), ready_at);
+  const sim::TimePs start = std::max(ready, *it);
+  stats_.engine_wait += start - ready;
+
+  const auto ser = static_cast<sim::TimePs>(
+      static_cast<double>(bytes) / bytes_per_ps_ + 0.5);
+  const sim::TimePs engine_done = start + latency_ + ser;
+  *it = engine_done;
+  stats_.busy_time += latency_ + ser;
+
+  // The engine streams the data through the package network; the network
+  // transfer starts as soon as the engine starts pushing.
+  const sim::TimePs net_done = net_.transfer(src, dst, bytes, start);
+  return std::max(engine_done, net_done);
+}
+
+double DmaPool::utilization() const {
+  const sim::TimePs elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(stats_.busy_time) /
+         (static_cast<double>(elapsed) *
+          static_cast<double>(engine_free_at_.size()));
+}
+
+}  // namespace accelflow::accel

@@ -1,0 +1,73 @@
+#ifndef ACCELFLOW_ACCEL_DMA_H_
+#define ACCELFLOW_ACCEL_DMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/interconnect.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * The A-DMA engines (Figure 6): a shared pool of on-package DMA engines
+ * that move queue entries and payloads between accelerators, cores and
+ * memory. Table III: 10 engines, 10ns latency, 100 GB/s for 1KB messages.
+ */
+
+namespace accelflow::accel {
+
+/** A-DMA pool parameters. */
+struct DmaParams {
+  int num_engines = 10;
+  double latency_ns = 10.0;
+  double bandwidth_gbps = 100.0;
+};
+
+/** A-DMA statistics. */
+struct DmaStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  sim::TimePs engine_wait = 0;  ///< Time spent waiting for a free engine.
+  sim::TimePs busy_time = 0;
+};
+
+/**
+ * Pool of identical A-DMA engines.
+ *
+ * A transfer occupies the earliest-free engine for its programming latency
+ * plus serialization time, and moves the data across the package
+ * interconnect (which adds its own latency and link contention).
+ */
+class DmaPool {
+ public:
+  DmaPool(sim::Simulator& sim, noc::Interconnect& net, const DmaParams& p);
+
+  /**
+   * Moves `bytes` from `src` to `dst`.
+   *
+   * @param ready_at earliest time the source data is available.
+   * @return completion time at the destination.
+   */
+  sim::TimePs transfer(noc::Location src, noc::Location dst,
+                       std::uint64_t bytes, sim::TimePs ready_at = 0);
+
+  /** Engine-pool utilization over [0, now]. */
+  double utilization() const;
+
+  const DmaStats& stats() const { return stats_; }
+  int num_engines() const { return static_cast<int>(engine_free_at_.size()); }
+
+ private:
+  sim::Simulator& sim_;
+  noc::Interconnect& net_;
+  DmaParams params_;
+  sim::TimePs latency_;
+  double bytes_per_ps_;
+  std::vector<sim::TimePs> engine_free_at_;
+  DmaStats stats_;
+};
+
+}  // namespace accelflow::accel
+
+#endif  // ACCELFLOW_ACCEL_DMA_H_

@@ -1,0 +1,52 @@
+#include "accel/sram_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace accelflow::accel {
+
+SramQueue::SramQueue(std::size_t capacity) : slots_(capacity) {
+  assert(capacity > 0);
+  free_list_.reserve(capacity);
+  // Push in reverse so slot 0 is handed out first (cosmetic determinism).
+  for (SlotId s = static_cast<SlotId>(capacity); s-- > 0;) {
+    free_list_.push_back(s);
+  }
+}
+
+SlotId SramQueue::allocate(QueueEntry e) {
+  ++stats_.allocations;
+  if (free_list_.empty()) {
+    ++stats_.alloc_failures;
+    --stats_.allocations;  // Count only successful allocations.
+    return kInvalidSlot;
+  }
+  const SlotId slot = free_list_.back();
+  free_list_.pop_back();
+  e.seq = next_seq_++;
+  slots_[slot] = std::move(e);
+  ++occupancy_;
+  stats_.max_occupancy = std::max<std::uint64_t>(stats_.max_occupancy,
+                                                 occupancy_);
+  return slot;
+}
+
+void SramQueue::release(SlotId slot) {
+  assert(slot < slots_.size() && slots_[slot].has_value());
+  slots_[slot].reset();
+  free_list_.push_back(slot);
+  --occupancy_;
+  ++stats_.releases;
+}
+
+QueueEntry& SramQueue::at(SlotId slot) {
+  assert(slot < slots_.size() && slots_[slot].has_value());
+  return *slots_[slot];
+}
+
+const QueueEntry& SramQueue::at(SlotId slot) const {
+  assert(slot < slots_.size() && slots_[slot].has_value());
+  return *slots_[slot];
+}
+
+}  // namespace accelflow::accel

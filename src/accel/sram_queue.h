@@ -1,0 +1,82 @@
+#ifndef ACCELFLOW_ACCEL_SRAM_QUEUE_H_
+#define ACCELFLOW_ACCEL_SRAM_QUEUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "accel/queue_entry.h"
+
+/**
+ * @file
+ * Fixed-capacity SRAM queue with slot allocation, used for both the input
+ * and output queues of an accelerator (Table III: 64 entries each).
+ */
+
+namespace accelflow::accel {
+
+/** Slot handle within an SramQueue. */
+using SlotId = std::uint32_t;
+inline constexpr SlotId kInvalidSlot = ~SlotId{0};
+
+/** Occupancy statistics. */
+struct QueueStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t alloc_failures = 0;  ///< Enqueue attempts on a full queue.
+  std::uint64_t releases = 0;
+  std::uint64_t max_occupancy = 0;
+};
+
+/**
+ * A bank of `capacity` entry slots.
+ *
+ * Allocation is two-phase, matching the hardware: Enqueue allocates a slot
+ * and stores the trace; the payload arrives later by DMA, after which the
+ * entry is marked ready (QueueEntry::ready). Consumers walk occupied slots
+ * through for_each_occupied / pick().
+ */
+class SramQueue {
+ public:
+  explicit SramQueue(std::size_t capacity);
+
+  /** Allocates a slot and moves `e` into it; kInvalidSlot if full. */
+  SlotId allocate(QueueEntry e);
+
+  /** Frees a slot. */
+  void release(SlotId slot);
+
+  bool full() const { return occupancy_ == slots_.size(); }
+  bool empty() const { return occupancy_ == 0; }
+  std::size_t occupancy() const { return occupancy_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  QueueEntry& at(SlotId slot);
+  const QueueEntry& at(SlotId slot) const;
+  bool occupied(SlotId slot) const {
+    return slots_[slot].has_value();
+  }
+
+  /**
+   * Invokes fn(slot, entry) for each occupied slot, in slot order.
+   * fn must not allocate or release.
+   */
+  template <typename Fn>
+  void for_each_occupied(Fn&& fn) {
+    for (SlotId s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    }
+  }
+
+  const QueueStats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::optional<QueueEntry>> slots_;
+  std::vector<SlotId> free_list_;
+  std::size_t occupancy_ = 0;
+  std::uint64_t next_seq_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace accelflow::accel
+
+#endif  // ACCELFLOW_ACCEL_SRAM_QUEUE_H_

@@ -1,0 +1,37 @@
+#ifndef ACCELFLOW_ACCELFLOW_H_
+#define ACCELFLOW_ACCELFLOW_H_
+
+/**
+ * @file
+ * Umbrella header: the public API of the AccelFlow library.
+ *
+ * Layers (see DESIGN.md):
+ *  - accelflow::sim      — discrete-event kernel, RNG, time.
+ *  - accelflow::stats    — histograms, latency recorders, table printing.
+ *  - accelflow::mem      — TLB / IOMMU / LLC / DRAM timing models.
+ *  - accelflow::noc      — mesh + chiplet interconnect.
+ *  - accelflow::accel    — the accelerator hardware model.
+ *  - accelflow::cpu      — the core-cluster model.
+ *  - accelflow::core     — traces, the engine, orchestrators, the runtime.
+ *  - accelflow::workload — services, suites, load generators, experiments.
+ *  - accelflow::energy   — area / power / energy accounting.
+ */
+
+#include "accel/accelerator.h"
+#include "accel/types.h"
+#include "core/engine.h"
+#include "core/machine.h"
+#include "core/orchestrator.h"
+#include "core/runtime.h"
+#include "core/tenant_mba.h"
+#include "core/trace_analysis.h"
+#include "core/trace_builder.h"
+#include "core/trace_compiler.h"
+#include "core/trace_templates.h"
+#include "energy/model.h"
+#include "sim/simulator.h"
+#include "stats/table.h"
+#include "workload/experiment.h"
+#include "workload/suites.h"
+
+#endif  // ACCELFLOW_ACCELFLOW_H_

@@ -1,0 +1,71 @@
+#ifndef ACCELFLOW_CORE_ATM_H_
+#define ACCELFLOW_CORE_ATM_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "core/trace_encoding.h"
+#include "noc/interconnect.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * The Accelerator Trace Memory (ATM, Figure 6): a small on-chip SRAM on the
+ * accelerator chiplet holding traces. Cores store subtraces there before
+ * launching an ensemble execution; output dispatchers read continuation
+ * traces from it when a trace ends with a TAIL address (Section IV-A).
+ */
+
+namespace accelflow::core {
+
+/** ATM counters. */
+struct AtmStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+/**
+ * The trace memory: 256 eight-byte slots addressed by AtmAddr.
+ *
+ * Timing: a dispatcher-side read costs read_latency (SRAM access) plus the
+ * mesh transfer of the 8-byte trace, which callers model through the
+ * interconnect using location().
+ */
+class Atm {
+ public:
+  /**
+   * @param read_latency_cycles SRAM access time in core-clock cycles.
+   */
+  Atm(double clock_ghz, double read_latency_cycles, noc::Location location)
+      : read_latency_(sim::Clock(clock_ghz).cycles_to_ps(read_latency_cycles)),
+        location_(location) {}
+
+  /** Installs a trace; overwrites any previous contents. */
+  void store(AtmAddr addr, const Trace& t) {
+    slots_[addr] = t;
+    ++stats_.writes;
+  }
+
+  /** Reads a trace; the slot must have been stored. */
+  const Trace& load(AtmAddr addr) {
+    ++stats_.reads;
+    return slots_[addr].value();
+  }
+
+  bool contains(AtmAddr addr) const { return slots_[addr].has_value(); }
+
+  sim::TimePs read_latency() const { return read_latency_; }
+  noc::Location location() const { return location_; }
+  const AtmStats& stats() const { return stats_; }
+
+ private:
+  std::array<std::optional<Trace>, 256> slots_;
+  sim::TimePs read_latency_;
+  noc::Location location_;
+  AtmStats stats_;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_ATM_H_

@@ -1,0 +1,122 @@
+#ifndef ACCELFLOW_CORE_CHAIN_H_
+#define ACCELFLOW_CORE_CHAIN_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "accel/types.h"
+#include "core/trace_library.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * The orchestration-level context of one accelerator chain: everything the
+ * ensemble executes from one CPU hand-off until control returns to the CPU
+ * (one or more ATM-linked traces, possibly spanning network waits).
+ *
+ * The workload layer creates one ChainContext per chain, samples its branch
+ * flags once (so every orchestrator sees identical outcomes and
+ * architectures can be compared pairwise), and supplies the cost/size
+ * environment through ChainEnv.
+ */
+
+namespace accelflow::core {
+
+struct ChainContext;
+
+/**
+ * Workload-provided environment for chain execution: operation costs, data
+ * size evolution, and remote response behaviour. One instance per service.
+ */
+class ChainEnv {
+ public:
+  virtual ~ChainEnv() = default;
+
+  /**
+   * CPU-equivalent cost of the next invocation of `type` in this chain
+   * (a fresh draw from the service's calibrated distribution, scaled by the
+   * current payload size). The accelerator runs it `speedup` times faster;
+   * the Non-acc baseline runs it at full cost on a core.
+   */
+  virtual sim::TimePs op_cpu_cost(ChainContext& ctx, accel::AccelType type,
+                                  std::uint64_t payload_bytes) = 0;
+
+  /** Output size of `type` for an input of `bytes` (deterministic). */
+  virtual std::uint64_t transformed_size(accel::AccelType type,
+                                         std::uint64_t bytes) = 0;
+
+  /** Latency until the network response for `kind` arrives. Fresh draw. */
+  virtual sim::TimePs remote_latency(ChainContext& ctx, RemoteKind kind) = 0;
+
+  /** Size of the response payload for `kind`. Fresh draw. */
+  virtual std::uint64_t response_size(ChainContext& ctx, RemoteKind kind) = 0;
+
+  /**
+   * Hook for network waits whose responder is *this same machine*: nested
+   * RPCs between colocated services. If the environment handles the call,
+   * it must invoke `deliver(response_bytes)` when the (recursively
+   * executed) callee finishes, and return true; returning false makes the
+   * caller fall back to the sampled remote_latency()/response_size() model
+   * (an off-machine responder).
+   */
+  virtual bool nested_call(ChainContext& ctx, RemoteKind kind,
+                           std::function<void(std::uint64_t)> deliver) {
+    (void)ctx;
+    (void)kind;
+    (void)deliver;
+    return false;
+  }
+};
+
+/** Outcome of a chain execution, delivered to ChainContext::on_done. */
+struct ChainResult {
+  bool ok = true;
+  bool cpu_fallback = false;  ///< Part or all ran on the CPU.
+  bool timeout = false;       ///< A TCP wait slot timed out.
+  sim::TimePs completed_at = 0;
+};
+
+/** Mutable per-chain execution state. */
+struct ChainContext {
+  accel::RequestId request = 0;
+  std::uint32_t chain = 0;  ///< Index among the request's parallel chains.
+  accel::TenantId tenant = 0;
+  int core = 0;  ///< Initiating core: notified at the end of the chain.
+
+  /** Branch outcomes, sampled once per chain. */
+  accel::PayloadFlags flags;
+  /** Size/format of the payload handed to the first accelerator. */
+  std::uint64_t initial_bytes = 1024;
+  accel::DataFormat initial_format = accel::DataFormat::kProtoWire;
+  mem::VirtAddr buffer_va = 0;  ///< Backing buffer for large payloads.
+
+  /** Soft-SLO deadline budget per accelerator step (kTimeNever = no SLO). */
+  sim::TimePs step_deadline_budget = sim::kTimeNever;
+  std::uint8_t priority = 0;
+
+  ChainEnv* env = nullptr;
+  sim::Rng rng;  ///< Seeded per (request, chain): draws align across archs.
+
+  /** Fired exactly once when control finally returns to the CPU. */
+  std::function<void(const ChainResult&)> on_done;
+
+  // --- Counters the orchestrators fill in (reported by benches) ---------
+  std::uint32_t accel_invocations = 0;
+  std::uint32_t branches = 0;
+  std::uint32_t transforms = 0;
+  std::uint32_t mid_notifies = 0;
+  std::uint32_t remote_calls = 0;
+  bool done = false;
+
+  /** Convenience: finishes the chain exactly once. */
+  void finish(const ChainResult& r) {
+    if (done) return;
+    done = true;
+    if (on_done) on_done(r);
+  }
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_CHAIN_H_

@@ -1,0 +1,129 @@
+#include "core/cpu_executor.h"
+
+#include <cassert>
+
+namespace accelflow::core {
+
+struct CpuChainExecutor::Run {
+  ChainContext* ctx = nullptr;
+  std::vector<LogicalOp> ops;
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  std::function<void(bool)> done;
+};
+
+CpuChainExecutor::CpuChainExecutor(Machine& machine,
+                                   sim::TimePs response_timeout)
+    : machine_(machine), timeout_(response_timeout) {}
+
+sim::TimePs CpuChainExecutor::cpu_transform_time(std::uint64_t bytes) const {
+  // Software format conversion streams the payload at ~2 GB/s on a core.
+  return static_cast<sim::TimePs>(static_cast<double>(bytes) / 2e9 * 1e12);
+}
+
+void CpuChainExecutor::run(ChainContext* ctx, std::vector<LogicalOp> ops,
+                           std::uint64_t payload_bytes,
+                           std::function<void(bool)> done) {
+  ++stats_.chains;
+  auto r = std::make_shared<Run>();
+  r->ctx = ctx;
+  r->ops = std::move(ops);
+  r->bytes = payload_bytes;
+  r->done = std::move(done);
+  step(std::move(r));
+}
+
+void CpuChainExecutor::step(std::shared_ptr<Run> r) {
+  // Coalesce compute ops into one core segment until a network wait or the
+  // end of the op list.
+  ChainContext* ctx = r->ctx;
+  const double tax_speed = machine_.cores().params().tax_speed;
+  sim::TimePs segment = 0;
+  while (r->i < r->ops.size()) {
+    const LogicalOp& op = r->ops[r->i];
+    bool stop = false;
+    switch (op.kind) {
+      case LogicalOp::Kind::kInvoke:
+        segment += static_cast<sim::TimePs>(
+            static_cast<double>(
+                ctx->env->op_cpu_cost(*ctx, op.accel, r->bytes)) /
+            tax_speed);
+        r->bytes = ctx->env->transformed_size(op.accel, r->bytes);
+        ++ctx->accel_invocations;
+        ++stats_.ops;
+        break;
+      case LogicalOp::Kind::kBranchResolve:
+        // A couple of compares: negligible but non-zero.
+        segment += machine_.cores().cycles(20);
+        ++ctx->branches;
+        break;
+      case LogicalOp::Kind::kTransform:
+        segment += static_cast<sim::TimePs>(
+            static_cast<double>(cpu_transform_time(r->bytes)) / tax_speed);
+        ++ctx->transforms;
+        break;
+      case LogicalOp::Kind::kNotifyCont:
+        ++ctx->mid_notifies;
+        break;
+      case LogicalOp::Kind::kRemoteWait:
+        stop = true;
+        break;
+    }
+    if (stop) break;
+    ++r->i;
+  }
+
+  stats_.cpu_time += segment;
+  const bool at_wait = r->i < r->ops.size();
+
+  auto after_segment = [this, r]() mutable {
+    ChainContext* ctx = r->ctx;
+    if (r->i >= r->ops.size()) {
+      const auto done = std::move(r->done);
+      if (done) done(false);
+      return;
+    }
+    // Network wait: the core is released; resume on response arrival.
+    const LogicalOp& op = r->ops[r->i];
+    ++ctx->remote_calls;
+    const RemoteKind nested_kind = op.remote;
+    auto nested_deliver = [this, r](std::uint64_t bytes) mutable {
+      r->bytes = bytes;
+      step(std::move(r));
+    };
+    // Nested RPCs to colocated services: the callee runs on this machine.
+    std::size_t next_i = r->i + 1;
+    if (ctx->env->nested_call(*ctx, nested_kind,
+                              [r, next_i, nested_deliver](
+                                  std::uint64_t bytes) mutable {
+                                r->i = next_i;
+                                nested_deliver(bytes);
+                              })) {
+      return;
+    }
+    const sim::TimePs latency = ctx->env->remote_latency(*ctx, op.remote);
+    if (latency > timeout_) {
+      ++stats_.timeouts;
+      const auto done = std::move(r->done);
+      machine_.sim().schedule_after(timeout_, [done] {
+        if (done) done(true);
+      });
+      return;
+    }
+    const RemoteKind kind = op.remote;
+    ++r->i;
+    machine_.sim().schedule_after(latency, [this, r, kind]() mutable {
+      r->bytes = r->ctx->env->response_size(*r->ctx, kind);
+      step(std::move(r));
+    });
+  };
+
+  if (segment == 0) {
+    after_segment();
+  } else {
+    machine_.cores().run_on(ctx->core, segment, after_segment);
+  }
+  (void)at_wait;
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,642 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+
+namespace accelflow::core {
+
+using accel::AccelType;
+using accel::kInlineDataBytes;
+using accel::QueueEntry;
+using accel::SlotId;
+
+namespace {
+/** Header bytes moved with every queue-entry DMA (trace + metadata). */
+constexpr std::uint64_t kEntryHeaderBytes = 64;
+
+std::uint64_t entry_dma_bytes(const QueueEntry& e) {
+  return std::min<std::uint64_t>(e.payload.size_bytes, kInlineDataBytes) +
+         kEntryHeaderBytes;
+}
+}  // namespace
+
+AccelFlowEngine::AccelFlowEngine(Machine& machine, const TraceLibrary& lib,
+                                 const EngineConfig& config)
+    : machine_(machine),
+      lib_(lib),
+      config_(config),
+      mba_(machine.sim(), config.mba) {
+  machine_.load_traces(lib_);
+  machine_.install_output_handler(this);
+}
+
+AccelFlowEngine::~AccelFlowEngine() = default;
+
+sim::TimePs AccelFlowEngine::instr_time(double instrs) const {
+  // Dispatcher FSMs execute ~1 RISC instruction per cycle at the package
+  // clock (Section VII-B.2).
+  return sim::Clock(machine_.config().cpu.clock_ghz).cycles_to_ps(instrs);
+}
+
+std::uint32_t AccelFlowEngine::tenant_active(accel::TenantId tenant) const {
+  const auto it = tenant_active_.find(tenant);
+  return it == tenant_active_.end() ? 0 : it->second;
+}
+
+void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
+  // Per-tenant trace throttling (Section IV-D): over-threshold starts wait
+  // until one of the tenant's traces retires.
+  auto& active = tenant_active_[ctx->tenant];
+  if (active >= config_.tenant_max_active) {
+    ++stats_.tenant_throttled;
+    throttled_.push_back(PendingStart{ctx, first});
+    return;
+  }
+  ++active;
+  ++stats_.chains_started;
+
+  const Trace& tr = lib_.get(first);
+  const TraceOp op0 = decode_op(tr.word, 0);
+  assert(op0.kind == TraceOp::Kind::kInvoke &&
+         "a chain must start by invoking an accelerator");
+
+  QueueEntry e;
+  e.trace_word = tr.word;
+  e.position_mark = op0.next_pm;
+  e.tenant = ctx->tenant;
+  e.request = ctx->request;
+  e.chain = ctx->chain;
+  e.payload.size_bytes = ctx->initial_bytes;
+  e.payload.format = ctx->initial_format;
+  e.payload.flags = ctx->flags;
+  e.payload.va = ctx->buffer_va;
+  e.cpu_cost = ctx->env->op_cpu_cost(*ctx, op0.accel, e.payload.size_bytes);
+  e.priority = ctx->priority;
+  if (config_.stamp_deadlines &&
+      ctx->step_deadline_budget != sim::kTimeNever) {
+    e.deadline = machine_.sim().now() + ctx->step_deadline_budget;
+  }
+  e.initiating_core = ctx->core;
+  e.ctx = ctx;
+  e.ready = false;
+  e.pending_inputs = 1;
+
+  // The user-mode Enqueue instruction plus A-DMA programming.
+  machine_.cores().charge_enqueue(ctx->core);
+  enqueue_with_retry(ctx, std::move(e), op0.accel, 0);
+}
+
+void AccelFlowEngine::enqueue_with_retry(ChainContext* ctx, QueueEntry entry,
+                                         AccelType target, int attempt) {
+  accel::Accelerator& dst = machine_.accel(target);
+  if (attempt == 0) ++stats_.attempts_by_type[accel::index_of(target)];
+  const SlotId slot = dst.try_enqueue(entry);
+  if (slot == accel::kInvalidSlot) {
+    if (attempt + 1 >= config_.enqueue_retries) {
+      // Starvation freedom: after several failed attempts the trace
+      // executes on the core instead.
+      ++stats_.enqueue_fallbacks;
+      ++stats_.fallbacks_by_type[accel::index_of(target)];
+      continue_chain_on_cpu(ctx, entry.trace_word, entry.position_mark,
+                            entry.payload.size_bytes, target);
+      return;
+    }
+    machine_.sim().schedule_after(
+        sim::nanoseconds(config_.enqueue_retry_delay_ns),
+        [this, ctx, entry = std::move(entry), target, attempt]() mutable {
+          machine_.cores().charge_enqueue(ctx->core);
+          enqueue_with_retry(ctx, std::move(entry), target, attempt + 1);
+        });
+    return;
+  }
+
+  // A-DMA collects the payload coherently and deposits it in the entry.
+  sim::TimePs arrive = machine_.sim().now();
+  if (!config_.zero_overhead) {
+    const std::uint64_t bytes = entry_dma_bytes(dst.input_entry(slot));
+    arrive = machine_.dma().transfer(machine_.core_location(ctx->core),
+                                     dst.location(), bytes,
+                                     mba_.acquire(ctx->tenant, bytes));
+  }
+  machine_.sim().schedule_at(arrive,
+                             [&dst, slot] { dst.deliver_data(slot); });
+}
+
+void AccelFlowEngine::handle_output(accel::Accelerator& acc, SlotId slot) {
+  run_dispatcher_fsm(acc, slot);
+}
+
+void AccelFlowEngine::run_dispatcher_fsm(accel::Accelerator& acc,
+                                         SlotId slot) {
+  QueueEntry e = acc.output_entry(slot);  // The A-DMA moves a copy onward.
+  ChainContext* ctx = e.ctx;
+  assert(ctx != nullptr);
+  ++ctx->accel_invocations;
+
+  // The PE's result replaces the payload.
+  e.payload.size_bytes =
+      ctx->env->transformed_size(acc.type(), e.payload.size_bytes);
+
+  const bool zero = config_.zero_overhead;
+  double instrs = zero ? 0.0 : config_.base_instrs;
+  sim::TimePs fsm_extra = 0;  // DTE occupancy.
+  sim::TimePs ready = machine_.sim().now();
+  std::uint64_t word = e.trace_word;
+  std::uint8_t pm = e.position_mark;
+  bool saw_branch = false, saw_transform = false, saw_eot = false;
+
+  auto record_glue = [&] {
+    if (zero) return;
+    stats_.glue_instrs.add(instrs);
+    stats_.glue_branch_ops += saw_branch;
+    stats_.glue_transform_ops += saw_transform;
+    stats_.glue_eot_ops += saw_eot;
+  };
+  auto release_at = [this, &acc, slot](sim::TimePs when) {
+    machine_.sim().schedule_at(when,
+                               [&acc, slot] { acc.release_output(slot); });
+  };
+  auto atm_fetch = [&](AtmAddr addr) {
+    ++stats_.atm_loads;
+    word = machine_.atm().load(addr).word;
+    pm = 0;
+    if (!zero) {
+      ready += machine_.atm().read_latency() +
+               machine_.net().zero_load_latency(machine_.atm().location(),
+                                                acc.location(), 8);
+    }
+  };
+
+  for (;;) {
+    const TraceOp op = decode_op(word, pm);
+    switch (op.kind) {
+      case TraceOp::Kind::kInvoke: {
+        e.trace_word = word;
+        e.position_mark = op.next_pm;
+        e.cpu_cost =
+            ctx->env->op_cpu_cost(*ctx, op.accel, e.payload.size_bytes);
+        record_glue();
+        const sim::TimePs fsm_done =
+            zero ? ready : acc.occupy_dispatcher(instr_time(instrs) + fsm_extra);
+        const sim::TimePs launch = std::max(ready, fsm_done);
+        release_at(launch);
+        forward(acc, std::move(e), op.accel, launch, /*armed_wait=*/false,
+                RemoteKind::kNone);
+        return;
+      }
+      case TraceOp::Kind::kBranchSkip: {
+        ++ctx->branches;
+        saw_branch = true;
+        if (config_.dispatcher_branches || zero) {
+          if (!zero) instrs += config_.branch_instrs;
+        } else {
+          ready = manager_round_trip(acc, ready);
+        }
+        pm = op.next_pm;
+        if (!eval_condition(op.cond, e.payload.flags)) pm += op.skip;
+        break;
+      }
+      case TraceOp::Kind::kBranchAtm: {
+        ++ctx->branches;
+        saw_branch = true;
+        if (config_.dispatcher_branches || zero) {
+          if (!zero) instrs += config_.branch_instrs;
+        } else {
+          ready = manager_round_trip(acc, ready);
+        }
+        if (eval_condition(op.cond, e.payload.flags)) {
+          pm = op.next_pm;
+        } else {
+          atm_fetch(op.atm);
+        }
+        break;
+      }
+      case TraceOp::Kind::kTransform: {
+        ++ctx->transforms;
+        saw_transform = true;
+        if (config_.dispatcher_transforms || zero) {
+          if (!zero) {
+            // Bulk loads/stores per 2KB block, bounded: the DTE streams
+            // large payloads (Section VII-B.2's worst case is ~50).
+            instrs += config_.transform_instrs *
+                      std::clamp(static_cast<double>(e.payload.size_bytes) /
+                                     static_cast<double>(kInlineDataBytes),
+                                 1.0, 2.5);
+            fsm_extra += static_cast<sim::TimePs>(
+                static_cast<double>(e.payload.size_bytes) /
+                (config_.dte_gbps * 1e9) * 1e12);
+          }
+        } else {
+          // CntrFlow ablation: the manager performs the transformation,
+          // which also round-trips the payload.
+          ready = manager_round_trip(acc, ready);
+          ready = machine_.net().transfer(acc.location(),
+                                          machine_.manager_location(),
+                                          e.payload.size_bytes, ready);
+          ready = machine_.net().transfer(machine_.manager_location(),
+                                          acc.location(),
+                                          e.payload.size_bytes, ready);
+        }
+        e.payload.format = op.to;
+        pm = op.next_pm;
+        break;
+      }
+      case TraceOp::Kind::kNotifyCont: {
+        ++ctx->mid_notifies;
+        ++stats_.notifications;
+        const int core = ctx->core;
+        machine_.sim().schedule_at(
+            ready, [this, core] { machine_.cores().notify(core); });
+        pm = op.next_pm;
+        break;
+      }
+      case TraceOp::Kind::kTail: {
+        saw_eot = true;
+        if (!zero) instrs += config_.eot_atm_instrs;
+        const RemoteKind kind = lib_.remote_of(op.atm);
+        atm_fetch(op.atm);
+        if (kind == RemoteKind::kNone) break;  // Chain immediately.
+
+        // The loaded trace waits for a network response: deposit it in the
+        // input queue of its first accelerator (the same TCP in all of
+        // Table II's traces) as a non-ready entry.
+        const TraceOp first = decode_op(word, 0);
+        assert(first.kind == TraceOp::Kind::kInvoke);
+        e.trace_word = word;
+        e.position_mark = first.next_pm;
+        record_glue();
+        const sim::TimePs fsm_done =
+            zero ? ready : acc.occupy_dispatcher(instr_time(instrs) + fsm_extra);
+        const sim::TimePs launch = std::max(ready, fsm_done);
+        release_at(launch);
+        forward(acc, std::move(e), first.accel, launch, /*armed_wait=*/true,
+                kind);
+        return;
+      }
+      case TraceOp::Kind::kEndNotify: {
+        saw_eot = true;
+        if (!zero) instrs += config_.eot_notify_instrs;
+        record_glue();
+        const sim::TimePs fsm_done =
+            zero ? ready : acc.occupy_dispatcher(instr_time(instrs) + fsm_extra);
+        const sim::TimePs launch = std::max(ready, fsm_done);
+        release_at(launch);
+        finish_to_cpu(acc, std::move(e), launch);
+        return;
+      }
+    }
+  }
+}
+
+void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
+                              AccelType target, sim::TimePs ready,
+                              bool armed_wait, RemoteKind wait_kind) {
+  accel::Accelerator& dst = machine_.accel(target);
+  ChainContext* ctx = e.ctx;
+
+  if (config_.stamp_deadlines &&
+      ctx->step_deadline_budget != sim::kTimeNever) {
+    // The deadline is relative to now; early finishers pass slack on.
+    e.deadline = machine_.sim().now() + ctx->step_deadline_budget;
+  }
+
+  sim::TimePs arrive = ready;
+  if (!config_.zero_overhead) {
+    // MBA-style throttling: a capped tenant's transfers wait for bucket
+    // credit before touching the A-DMA engines (Section IV-D).
+    const sim::TimePs admitted = std::max(
+        ready, mba_.acquire(e.tenant, entry_dma_bytes(e)));
+    arrive = machine_.dma().transfer(from.location(), dst.location(),
+                                     entry_dma_bytes(e), admitted);
+    if (e.payload.size_bytes > kInlineDataBytes) {
+      // The remainder lives in the memory buffer: the producer writes it
+      // back coherently; the consumer fetches it through its Memory
+      // Pointer at dispatch time.
+      const auto w = machine_.memory().write(
+          e.payload.size_bytes - kInlineDataBytes, /*llc_hit_prob=*/0.9);
+      arrive = std::max(arrive, w.complete_at);
+    }
+  }
+
+  e.ready = false;
+  e.pending_inputs = 1;
+  machine_.sim().schedule_at(
+      arrive, [this, &dst, e = std::move(e), armed_wait,
+               wait_kind]() mutable {
+        ChainContext* ctx = e.ctx;
+        const AccelType target = dst.type();
+        ++stats_.attempts_by_type[accel::index_of(target)];
+        const SlotId slot = dst.try_enqueue(e);
+        if (slot == accel::kInvalidSlot) {
+          if (armed_wait) {
+            // No room to pre-arm the receive trace: defer the arming and
+            // re-enqueue when the response actually arrives (the entry
+            // carries no data yet, so the overflow area cannot hold it).
+            ++stats_.deferred_arms;
+            ++ctx->remote_calls;
+            auto deliver_deferred = [this, e, &dst](std::uint64_t bytes) {
+              accel::QueueEntry le = e;
+              ChainContext* lctx = le.ctx;
+              le.payload.size_bytes = bytes;
+              le.payload.flags = lctx->flags;
+              le.cpu_cost =
+                  lctx->env->op_cpu_cost(*lctx, dst.type(), bytes);
+              le.ready = false;
+              le.pending_inputs = 1;
+              forward_into_queue(dst, std::move(le));
+            };
+            if (!ctx->env->nested_call(*ctx, wait_kind, deliver_deferred)) {
+              const sim::TimePs latency =
+                  ctx->env->remote_latency(*ctx, wait_kind);
+              const sim::TimePs timeout =
+                  sim::milliseconds(config_.response_timeout_ms);
+              if (latency > timeout) {
+                ++stats_.timeouts;
+                machine_.sim().schedule_after(timeout, [this, ctx] {
+                  ChainResult r;
+                  r.ok = false;
+                  r.timeout = true;
+                  r.completed_at = machine_.sim().now();
+                  machine_.cores().notify(ctx->core);
+                  complete_chain(ctx, r);
+                });
+                return;
+              }
+              const std::uint64_t resp =
+                  ctx->env->response_size(*ctx, wait_kind);
+              machine_.sim().schedule_after(
+                  latency,
+                  [deliver_deferred, resp] { deliver_deferred(resp); });
+            }
+            return;
+          }
+          // Output dispatchers cannot retry: the entry goes to the overflow
+          // area; a full overflow area falls back to the CPU (Section IV-A).
+          if (!dst.overflow_enqueue(e)) {
+            ++stats_.overflow_fallbacks;
+            ++stats_.fallbacks_by_type[accel::index_of(target)];
+            // Include the about-to-run op: backing the PM up is impossible
+            // (nibbles vary), so re-walk from the invoke by prepending it.
+            cpu_fallback_from_entry(e, target);
+            return;
+          }
+          return;  // Drained into the queue later by the accelerator.
+        }
+        if (!armed_wait) {
+          dst.deliver_data(slot);
+          return;
+        }
+        // Armed network wait: the response (or a timeout) makes it ready.
+        ++ctx->remote_calls;
+        auto deliver = [this, &dst, slot, ctx](std::uint64_t bytes) {
+          accel::QueueEntry& qe = dst.input_entry(slot);
+          qe.payload.size_bytes = bytes;
+          qe.payload.flags = ctx->flags;
+          qe.cpu_cost = ctx->env->op_cpu_cost(*ctx, dst.type(), bytes);
+          dst.deliver_data(slot);
+        };
+        if (ctx->env->nested_call(*ctx, wait_kind, deliver)) return;
+        const sim::TimePs latency = ctx->env->remote_latency(*ctx, wait_kind);
+        const sim::TimePs timeout =
+            sim::milliseconds(config_.response_timeout_ms);
+        if (latency > timeout) {
+          ++stats_.timeouts;
+          machine_.sim().schedule_after(timeout, [this, &dst, slot, ctx] {
+            dst.release_input(slot);
+            ChainResult r;
+            r.ok = false;
+            r.timeout = true;
+            r.completed_at = machine_.sim().now();
+            machine_.cores().notify(ctx->core);
+            complete_chain(ctx, r);
+          });
+          return;
+        }
+        machine_.sim().schedule_after(
+            latency, [this, &dst, slot, ctx, wait_kind] {
+              QueueEntry& qe = dst.input_entry(slot);
+              qe.payload.size_bytes =
+                  ctx->env->response_size(*ctx, wait_kind);
+              qe.payload.flags = ctx->flags;
+              qe.cpu_cost = ctx->env->op_cpu_cost(*ctx, dst.type(),
+                                                  qe.payload.size_bytes);
+              dst.deliver_data(slot);
+            });
+      });
+}
+
+void AccelFlowEngine::forward_into_queue(accel::Accelerator& dst,
+                                         QueueEntry e) {
+  ++stats_.attempts_by_type[accel::index_of(dst.type())];
+  const SlotId slot = dst.try_enqueue(e);
+  if (slot != accel::kInvalidSlot) {
+    dst.deliver_data(slot);
+    return;
+  }
+  if (!dst.overflow_enqueue(e)) {
+    ++stats_.overflow_fallbacks;
+    ++stats_.fallbacks_by_type[accel::index_of(dst.type())];
+    cpu_fallback_from_entry(e, dst.type());
+  }
+}
+
+void AccelFlowEngine::cpu_fallback_from_entry(const QueueEntry& e,
+                                              AccelType pending) {
+  continue_chain_on_cpu(e.ctx, e.trace_word, e.position_mark,
+                        e.payload.size_bytes, pending);
+}
+
+void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
+                                            std::uint64_t word,
+                                            std::uint8_t pm,
+                                            std::uint64_t payload_bytes,
+                                            AccelType pending) {
+  // The denied operation executes unaccelerated on the initiating core.
+  auto& cores = machine_.cores();
+  const double tax_speed = cores.params().tax_speed;
+  sim::TimePs segment = static_cast<sim::TimePs>(
+      static_cast<double>(
+          ctx->env->op_cpu_cost(*ctx, pending, payload_bytes)) /
+      tax_speed);
+  ++ctx->accel_invocations;
+  std::uint64_t bytes = ctx->env->transformed_size(pending, payload_bytes);
+
+  // Interpret control ops on the core until the next accelerator invoke,
+  // a network wait, or the end of the chain.
+  for (;;) {
+    const TraceOp op = decode_op(word, pm);
+    switch (op.kind) {
+      case TraceOp::Kind::kInvoke: {
+        // Re-enter the ensemble.
+        QueueEntry e;
+        e.trace_word = word;
+        e.position_mark = op.next_pm;
+        e.tenant = ctx->tenant;
+        e.request = ctx->request;
+        e.chain = ctx->chain;
+        e.payload.size_bytes = bytes;
+        e.payload.flags = ctx->flags;
+        e.payload.va = ctx->buffer_va;
+        e.cpu_cost = ctx->env->op_cpu_cost(*ctx, op.accel, bytes);
+        e.priority = ctx->priority;
+        e.initiating_core = ctx->core;
+        e.ctx = ctx;
+        e.ready = false;
+        e.pending_inputs = 1;
+        accel::Accelerator& dst = machine_.accel(op.accel);
+        cores.run_on(ctx->core, segment,
+                     [this, &dst, e = std::move(e)]() mutable {
+                       forward_into_queue(dst, std::move(e));
+                     });
+        return;
+      }
+      case TraceOp::Kind::kBranchSkip:
+        ++ctx->branches;
+        segment += cores.cycles(20);
+        pm = op.next_pm;
+        if (!eval_condition(op.cond, ctx->flags)) pm += op.skip;
+        break;
+      case TraceOp::Kind::kBranchAtm:
+        ++ctx->branches;
+        segment += cores.cycles(20);
+        if (eval_condition(op.cond, ctx->flags)) {
+          pm = op.next_pm;
+        } else {
+          word = lib_.get(op.atm).word;
+          pm = 0;
+        }
+        break;
+      case TraceOp::Kind::kTransform:
+        ++ctx->transforms;
+        segment += static_cast<sim::TimePs>(
+            static_cast<double>(bytes) / 2e9 * 1e12 / tax_speed);
+        pm = op.next_pm;
+        break;
+      case TraceOp::Kind::kNotifyCont:
+        ++ctx->mid_notifies;
+        pm = op.next_pm;
+        break;
+      case TraceOp::Kind::kTail: {
+        const RemoteKind kind = lib_.remote_of(op.atm);
+        word = lib_.get(op.atm).word;
+        pm = 0;
+        if (kind == RemoteKind::kNone) break;
+        // The core sends the message and waits for the response; the
+        // receive trace then re-enters the ensemble.
+        const TraceOp first = decode_op(word, 0);
+        assert(first.kind == TraceOp::Kind::kInvoke);
+        const std::uint64_t next_word = word;
+        const std::uint8_t next_pm = first.next_pm;
+        const AccelType recv = first.accel;
+        ++ctx->remote_calls;
+        auto deliver = [this, ctx, next_word, next_pm,
+                        recv](std::uint64_t resp) {
+          QueueEntry e;
+          e.trace_word = next_word;
+          e.position_mark = next_pm;
+          e.tenant = ctx->tenant;
+          e.request = ctx->request;
+          e.chain = ctx->chain;
+          e.payload.size_bytes = resp;
+          e.payload.flags = ctx->flags;
+          e.payload.va = ctx->buffer_va;
+          e.cpu_cost = ctx->env->op_cpu_cost(*ctx, recv, resp);
+          e.priority = ctx->priority;
+          e.initiating_core = ctx->core;
+          e.ctx = ctx;
+          e.ready = false;
+          e.pending_inputs = 1;
+          forward_into_queue(machine_.accel(recv), std::move(e));
+        };
+        cores.run_on(ctx->core, segment, [this, ctx, kind, deliver] {
+          if (ctx->env->nested_call(*ctx, kind, deliver)) return;
+          const sim::TimePs latency = ctx->env->remote_latency(*ctx, kind);
+          const sim::TimePs timeout =
+              sim::milliseconds(config_.response_timeout_ms);
+          if (latency > timeout) {
+            ++stats_.timeouts;
+            machine_.sim().schedule_after(timeout, [this, ctx] {
+              ChainResult r;
+              r.ok = false;
+              r.timeout = true;
+              r.cpu_fallback = true;
+              r.completed_at = machine_.sim().now();
+              complete_chain(ctx, r);
+            });
+            return;
+          }
+          const std::uint64_t resp = ctx->env->response_size(*ctx, kind);
+          machine_.sim().schedule_after(
+              latency, [deliver, resp] { deliver(resp); });
+        });
+        return;
+      }
+      case TraceOp::Kind::kEndNotify: {
+        cores.run_on(ctx->core, segment, [this, ctx] {
+          ChainResult r;
+          r.ok = true;
+          r.cpu_fallback = true;
+          r.completed_at = machine_.sim().now();
+          complete_chain(ctx, r);
+        });
+        return;
+      }
+    }
+  }
+}
+
+void AccelFlowEngine::finish_to_cpu(accel::Accelerator& from, QueueEntry e,
+                                    sim::TimePs ready) {
+  ChainContext* ctx = e.ctx;
+  sim::TimePs arrive = ready;
+  if (!config_.zero_overhead) {
+    // The A-DMA deposits the result in a memory buffer the core reads.
+    arrive = machine_.dma().transfer(from.location(),
+                                     machine_.core_location(ctx->core),
+                                     entry_dma_bytes(e), ready);
+    if (e.payload.size_bytes > kInlineDataBytes) {
+      const auto w = machine_.memory().write(
+          e.payload.size_bytes - kInlineDataBytes, /*llc_hit_prob=*/0.9);
+      arrive = std::max(arrive, w.complete_at);
+    }
+  }
+  ++stats_.notifications;
+  machine_.sim().schedule_at(arrive, [this, ctx] {
+    machine_.cores().notify(ctx->core, [this, ctx] {
+      ChainResult r;
+      r.ok = true;
+      r.completed_at = machine_.sim().now();
+      complete_chain(ctx, r);
+    });
+  });
+}
+
+sim::TimePs AccelFlowEngine::manager_round_trip(
+    const accel::Accelerator& at, sim::TimePs ready) {
+  ++stats_.manager_fallbacks;
+  const sim::TimePs go = machine_.net().transfer(
+      at.location(), machine_.manager_location(), 64, ready);
+  const sim::TimePs handled = machine_.manager().submit_at(
+      go, sim::microseconds(machine_.config().manager_event_us *
+                            config_.manager_fallback_events));
+  return machine_.net().transfer(machine_.manager_location(), at.location(),
+                                 64, handled);
+}
+
+void AccelFlowEngine::complete_chain(ChainContext* ctx,
+                                     const ChainResult& result) {
+  ++stats_.chains_completed;
+  auto it = tenant_active_.find(ctx->tenant);
+  if (it != tenant_active_.end() && it->second > 0) --it->second;
+  ctx->finish(result);
+  // Admit a throttled start of any tenant now below its cap.
+  while (!throttled_.empty()) {
+    const PendingStart next = throttled_.front();
+    if (tenant_active_[next.ctx->tenant] >= config_.tenant_max_active) break;
+    throttled_.pop_front();
+    start_chain(next.ctx, next.first);
+  }
+}
+
+}  // namespace accelflow::core

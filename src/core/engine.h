@@ -1,0 +1,181 @@
+#ifndef ACCELFLOW_CORE_ENGINE_H_
+#define ACCELFLOW_CORE_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "core/chain.h"
+#include "core/machine.h"
+#include "core/trace_analysis.h"
+#include "core/tenant_mba.h"
+#include "core/trace_library.h"
+#include "stats/summary.h"
+
+/**
+ * @file
+ * The AccelFlow execution engine: the output-dispatcher FSM of Figure 8,
+ * the user-mode Enqueue path with retry/fallback (starvation freedom), the
+ * overflow path (deadlock freedom), ATM continuation loading, network-wait
+ * arming with timeouts, per-tenant trace throttling (Section IV-D), and
+ * soft-SLO deadline propagation (Section IV-C).
+ *
+ * Ablation flags reproduce the Figure 13 ladder: with dispatcher_branches
+ * off, branch resolution round-trips to the centralized hardware manager
+ * ("Direct"); with dispatcher_transforms off, data transformations and
+ * large-payload handling do too ("CntrFlow"). zero_overhead gives the
+ * "Ideal" system of Figure 14.
+ */
+
+namespace accelflow::core {
+
+/** Engine configuration. Glue-instruction counts follow Section VII-B.2. */
+struct EngineConfig {
+  bool dispatcher_branches = true;    ///< Off = Fig. 13 "Direct".
+  bool dispatcher_transforms = true;  ///< Off = Fig. 13 "CntrFlow".
+  bool zero_overhead = false;         ///< Fig. 14 "Ideal".
+
+  int enqueue_retries = 3;
+  double enqueue_retry_delay_ns = 300.0;
+  double response_timeout_ms = 10.0;
+  /** Max concurrently-executing traces per tenant (Section IV-D). */
+  std::uint32_t tenant_max_active = 1u << 30;
+
+  double base_instrs = 15.0;       ///< FSM work with no branch/end/XF.
+  double branch_instrs = 7.0;      ///< Extra for resolving a branch.
+  double eot_atm_instrs = 12.0;    ///< End of trace with an ATM address.
+  double eot_notify_instrs = 20.0; ///< End of trace with DMA + notify.
+  double transform_instrs = 12.0;  ///< DTE control for a 2KB payload.
+  double dte_gbps = 50.0;          ///< Data Transform Engine throughput.
+  /** Manager events per ablation fallback (interrupt, fetch state,
+   *  decide, write back): multiplies manager_event_us. */
+  double manager_fallback_events = 4.0;
+
+  /** Enable deadline stamping for SLO scheduling (with SchedPolicy::kEdf). */
+  bool stamp_deadlines = false;
+
+  /** Per-tenant MBA-style bandwidth limits on the A-DMA path (IV-D). */
+  MbaConfig mba;
+};
+
+/** Engine-level counters (Sections VII-B.2, VII-B.6). */
+struct EngineStats {
+  std::uint64_t chains_started = 0;
+  std::uint64_t chains_completed = 0;
+  std::uint64_t enqueue_fallbacks = 0;   ///< Enqueue retries exhausted.
+  std::uint64_t overflow_fallbacks = 0;  ///< Overflow area full.
+  /** Fallbacks by the accelerator type that rejected the work (Fig. 19). */
+  std::array<std::uint64_t, accel::kNumAccelTypes> fallbacks_by_type{};
+  /** Invocation attempts per type (denominator for fallback shares). */
+  std::array<std::uint64_t, accel::kNumAccelTypes> attempts_by_type{};
+  std::uint64_t timeouts = 0;            ///< TCP wait-slot timeouts.
+  std::uint64_t deferred_arms = 0;       ///< Wait-arming deferred: queue full.
+  std::uint64_t manager_fallbacks = 0;   ///< Ablations only.
+  std::uint64_t atm_loads = 0;
+  std::uint64_t notifications = 0;
+  std::uint64_t tenant_throttled = 0;
+  // Glue-instruction accounting per output-dispatcher operation.
+  stats::Summary glue_instrs;
+  std::uint64_t glue_branch_ops = 0;
+  std::uint64_t glue_transform_ops = 0;
+  std::uint64_t glue_eot_ops = 0;
+};
+
+/**
+ * The AccelFlow orchestration engine. One instance drives one Machine.
+ *
+ * Implements accel::OutputHandler: every accelerator's output dispatcher
+ * delegates its Figure-8 semantics here.
+ */
+class AccelFlowEngine : public accel::OutputHandler {
+ public:
+  AccelFlowEngine(Machine& machine, const TraceLibrary& lib,
+                  const EngineConfig& config);
+  ~AccelFlowEngine() override;
+
+  /**
+   * run_trace(): begins executing the chain starting at `first` on behalf
+   * of ctx->core. Handles tenant throttling, the user-mode Enqueue with
+   * retries, and the initial payload DMA. ctx->on_done fires when control
+   * returns to the CPU.
+   */
+  void start_chain(ChainContext* ctx, AtmAddr first);
+
+  void handle_output(accel::Accelerator& acc, accel::SlotId slot) override;
+
+  const EngineStats& stats() const { return stats_; }
+  const EngineConfig& config() const { return config_; }
+
+  /** Active traces for `tenant` (Section IV-D counter). */
+  std::uint32_t tenant_active(accel::TenantId tenant) const;
+
+  /** The MBA-style per-tenant bandwidth limiter. */
+  TenantBandwidthLimiter& bandwidth_limiter() { return mba_; }
+
+ private:
+  /** Enqueue with retry; falls back to the CPU when the queue stays full. */
+  void enqueue_with_retry(ChainContext* ctx, accel::QueueEntry entry,
+                          accel::AccelType target, int attempt);
+
+  /**
+   * Continues interpretation of `e`'s trace at the output dispatcher of
+   * `acc` (Figure 8). `e` is a copy of the output-queue entry; `slot` is
+   * released once the entry has moved on.
+   */
+  void run_dispatcher_fsm(accel::Accelerator& acc, accel::SlotId slot);
+
+  /** Forwards `e` into `target`'s input queue via an A-DMA engine. */
+  void forward(accel::Accelerator& from, accel::QueueEntry e,
+               accel::AccelType target, sim::TimePs ready, bool armed_wait,
+               RemoteKind wait_kind);
+
+  /** End of trace, no address: DMA to memory + user-level notification. */
+  void finish_to_cpu(accel::Accelerator& from, accel::QueueEntry e,
+                     sim::TimePs ready);
+
+  /** Round trip to the centralized manager (ablation fallback path). */
+  sim::TimePs manager_round_trip(const accel::Accelerator& at,
+                                 sim::TimePs ready);
+
+  /**
+   * Graceful CPU fallback: the denied operation runs (unaccelerated) on
+   * the initiating core, control ops up to the next accelerator invoke are
+   * interpreted by the core, and the chain then re-enters the ensemble.
+   * The trace only stays on the CPU while accelerators keep rejecting it.
+   */
+  void continue_chain_on_cpu(ChainContext* ctx, std::uint64_t word,
+                             std::uint8_t pm, std::uint64_t payload_bytes,
+                             accel::AccelType pending);
+
+  /** Enqueues a data-ready entry, using the overflow area when full. */
+  void forward_into_queue(accel::Accelerator& dst, accel::QueueEntry e);
+
+  /** Fallback for a rejected forward: includes the pending op itself. */
+  void cpu_fallback_from_entry(const accel::QueueEntry& e,
+                               accel::AccelType pending);
+
+  /** Chain ended: bookkeeping + tenant counter + queued chain starts. */
+  void complete_chain(ChainContext* ctx, const ChainResult& result);
+
+  sim::TimePs instr_time(double instrs) const;
+
+  Machine& machine_;
+  const TraceLibrary& lib_;
+  EngineConfig config_;
+  EngineStats stats_;
+  std::unordered_map<accel::TenantId, std::uint32_t> tenant_active_;
+  struct PendingStart {
+    ChainContext* ctx;
+    AtmAddr first;
+  };
+  std::deque<PendingStart> throttled_;
+  TenantBandwidthLimiter mba_;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_ENGINE_H_

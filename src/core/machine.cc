@@ -1,0 +1,126 @@
+#include "core/machine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace accelflow::core {
+
+using accel::AccelType;
+
+std::array<int, accel::kNumAccelTypes> accel_chiplet_assignment(
+    int num_chiplets) {
+  // Index order: TCP, Encr, Decr, RPC, Ser, Dser, Cmp, Dcmp, LdB.
+  // LdB always lives with the cores (it is tightly coupled with them).
+  switch (num_chiplets) {
+    case 1:
+      return {0, 0, 0, 0, 0, 0, 0, 0, 0};
+    case 2:  // Base design (Figure 6).
+      return {1, 1, 1, 1, 1, 1, 1, 1, 0};
+    case 3:  // TCP+(De)Encr | RPC+(De)Ser+(De)Cmp.
+      return {1, 1, 1, 2, 2, 2, 2, 2, 0};
+    case 4:  // TCP+(De)Encr | RPC+(De)Ser | (De)Cmp.
+      return {1, 1, 1, 2, 2, 2, 3, 3, 0};
+    case 6:  // TCP | (De)Encr | RPC | (De)Ser | (De)Cmp.
+      return {1, 2, 2, 3, 4, 4, 5, 5, 0};
+    default:
+      throw std::invalid_argument(
+          "supported chiplet organizations: 1, 2, 3, 4, 6");
+  }
+}
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  mem_ = std::make_unique<mem::MemorySystem>(sim_, config_.mem,
+                                             config_.seed ^ 0x11);
+  iommu_ = std::make_unique<mem::Iommu>(sim_, *mem_, config_.walk,
+                                        /*concurrent_walkers=*/4,
+                                        config_.seed ^ 0x22);
+
+  // Chiplet 0 carries the 36 cores on a 7x6 mesh (the seventh column hosts
+  // LdB, the ATM access port, and the edge router); accelerator chiplets
+  // use a compact 3x3 mesh.
+  noc::InterconnectParams np;
+  np.clock_ghz = config_.cpu.clock_ghz;
+  np.inter_chiplet_cycles = config_.inter_chiplet_cycles;
+  np.inter_chiplet_gbps = config_.inter_chiplet_gbps;
+  {
+    noc::MeshParams core_mesh;
+    // The single-chiplet organization hosts all nine accelerators plus the
+    // ATM and manager next to the cores, needing two extra columns.
+    core_mesh.width = config_.num_chiplets == 1 ? 8 : 7;
+    core_mesh.height = 6;
+    core_mesh.clock_ghz = config_.cpu.clock_ghz;
+    np.chiplet_meshes.push_back(core_mesh);
+    noc::MeshParams accel_mesh;
+    accel_mesh.width = 3;
+    accel_mesh.height = 3;
+    accel_mesh.clock_ghz = config_.cpu.clock_ghz;
+    for (int c = 1; c < config_.num_chiplets; ++c) {
+      np.chiplet_meshes.push_back(accel_mesh);
+    }
+  }
+  net_ = std::make_unique<noc::Interconnect>(sim_, np);
+  dma_ = std::make_unique<accel::DmaPool>(sim_, *net_, config_.dma);
+  cores_ = std::make_unique<cpu::CoreCluster>(sim_, config_.cpu);
+
+  // Place the accelerators.
+  const auto chiplet_of = accel_chiplet_assignment(config_.num_chiplets);
+  std::array<int, 8> placed_on_chiplet{};  // Next mesh slot per chiplet.
+  for (const AccelType t : accel::kAllAccelTypes) {
+    const std::size_t i = accel::index_of(t);
+    const int chiplet = chiplet_of[i];
+    noc::Location loc;
+    loc.chiplet = chiplet;
+    if (chiplet == 0) {
+      // On the core chiplet accelerators fill the extra columns.
+      const int slot = placed_on_chiplet[0]++;
+      loc.coord = {6 + slot / 6, slot % 6};
+    } else {
+      const int slot = placed_on_chiplet[static_cast<std::size_t>(chiplet)]++;
+      loc.coord = {slot % 3, slot / 3};
+    }
+    accel::AccelParams ap;
+    ap.type = t;
+    ap.num_pes = config_.pes_per_accel;
+    ap.input_queue_entries = config_.accel_queue_entries;
+    ap.output_queue_entries = config_.accel_queue_entries;
+    ap.speedup = accel::default_speedup(t) * config_.speedup_scale;
+    ap.clock_ghz = config_.cpu.clock_ghz;
+    ap.overflow_capacity = config_.overflow_capacity;
+    ap.policy = config_.policy;
+    accels_[i] =
+        std::make_unique<accel::Accelerator>(sim_, ap, *mem_, *iommu_, loc);
+  }
+
+  // The ATM and the RELIEF manager live on the first accelerator chiplet
+  // (or the single chiplet): next to the accelerators they serve.
+  const int service_chiplet = config_.num_chiplets > 1 ? 1 : 0;
+  const noc::Coord service_coord =
+      service_chiplet == 0 ? noc::Coord{7, 4} : noc::Coord{2, 2};
+  atm_ = std::make_unique<Atm>(
+      config_.cpu.clock_ghz, config_.atm_read_cycles,
+      noc::Location{service_chiplet, service_coord});
+  manager_loc_ = noc::Location{
+      service_chiplet,
+      service_chiplet == 0 ? noc::Coord{7, 5} : noc::Coord{2, 1}};
+  manager_ = std::make_unique<sim::FifoServer>(
+      sim_, static_cast<std::size_t>(config_.manager_contexts));
+}
+
+noc::Location Machine::core_location(int core) const {
+  assert(core >= 0 && core < config_.cpu.num_cores);
+  return noc::Location{0, {core % 6, core / 6}};
+}
+
+void Machine::load_traces(const TraceLibrary& lib) {
+  for (const AtmAddr addr : lib.addresses()) {
+    if (lib.stored(addr)) atm_->store(addr, lib.get(addr));
+  }
+}
+
+void Machine::install_output_handler(accel::OutputHandler* handler) {
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accel(t).set_output_handler(handler);
+  }
+}
+
+}  // namespace accelflow::core

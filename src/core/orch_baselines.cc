@@ -1,0 +1,440 @@
+#include "core/orch_baselines.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace accelflow::core {
+
+using accel::AccelType;
+using accel::QueueEntry;
+using accel::SlotId;
+
+BaselineOrchestrator::BaselineOrchestrator(BaselineMode mode,
+                                           Machine& machine,
+                                           const TraceLibrary& lib,
+                                           bool relief_central_queue,
+                                           const BaselineCosts& costs)
+    : machine_(machine),
+      lib_(lib),
+      mode_(mode),
+      central_queue_(relief_central_queue && mode == BaselineMode::kRelief),
+      costs_(costs),
+      cohort_links_(default_cohort_links()) {
+  central_tokens_ =
+      static_cast<std::size_t>(machine.config().relief_inflight_cap);
+  cpu_exec_ = std::make_unique<CpuChainExecutor>(
+      machine_, sim::milliseconds(costs_.response_timeout_ms));
+  if (mode_ != BaselineMode::kNonAcc) {
+    machine_.install_output_handler(this);
+  }
+}
+
+BaselineOrchestrator::~BaselineOrchestrator() = default;
+
+std::string_view BaselineOrchestrator::name() const {
+  switch (mode_) {
+    case BaselineMode::kNonAcc:
+      return "Non-acc";
+    case BaselineMode::kCpuCentric:
+      return "CPU-Centric";
+    case BaselineMode::kRelief:
+      return central_queue_ ? "RELIEF" : "RELIEF-PerAccTypeQ";
+    case BaselineMode::kCohort:
+      return "Cohort";
+  }
+  return "?";
+}
+
+const std::set<std::pair<AccelType, AccelType>>&
+BaselineOrchestrator::default_cohort_links() {
+  // The producer/consumer pairs that co-occur most often in the Table II
+  // traces: receive front-ends and send back-ends.
+  static const std::set<std::pair<AccelType, AccelType>> kLinks = {
+      {AccelType::kTcp, AccelType::kDecr},
+      {AccelType::kRpc, AccelType::kDser},
+      {AccelType::kSer, AccelType::kRpc},
+      {AccelType::kEncr, AccelType::kTcp},
+  };
+  return kLinks;
+}
+
+void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
+  ++stats_.chains;
+  if (mode_ == BaselineMode::kNonAcc) {
+    const ChainWalk walk = walk_chain(lib_, first, ctx->flags);
+    cpu_exec_->run(ctx, walk.ops, ctx->initial_bytes,
+                   [this, ctx](bool timed_out) {
+                     ++stats_.completed;
+                     ChainResult r;
+                     r.ok = !timed_out;
+                     r.timeout = timed_out;
+                     r.completed_at = machine_.sim().now();
+                     ctx->finish(r);
+                   });
+    return;
+  }
+
+  auto chain = std::make_unique<Chain>();
+  Chain* c = chain.get();
+  c->ctx = ctx;
+  c->ops = walk_chain(lib_, first, ctx->flags).ops;
+  c->bytes = ctx->initial_bytes;
+  chains_[ctx] = std::move(chain);
+
+  sim::TimePs ready = machine_.sim().now();
+  machine_.cores().charge_enqueue(ctx->core);
+  if (mode_ == BaselineMode::kRelief) {
+    // The core submits the whole op list to the hardware manager.
+    ready = machine_.net().transfer(machine_.core_location(ctx->core),
+                                    machine_.manager_location(), 64, ready);
+  }
+  step(c, ready);
+}
+
+void BaselineOrchestrator::step(Chain* c, sim::TimePs ready) {
+  ChainContext* ctx = c->ctx;
+  auto& cores = machine_.cores();
+  while (c->i < c->ops.size()) {
+    const LogicalOp& op = c->ops[c->i];
+    switch (op.kind) {
+      case LogicalOp::Kind::kInvoke:
+        issue_invoke(c, ready, /*direct_hop=*/false);
+        return;
+      case LogicalOp::Kind::kBranchResolve: {
+        ++ctx->branches;
+        if (mode_ == BaselineMode::kRelief) {
+          // The manager resolves the condition: one more manager event.
+          ++stats_.manager_events;
+          const sim::TimePs t = machine_.manager().submit_at(
+              ready,
+              sim::microseconds(machine_.config().manager_event_us));
+          stats_.orchestration_time += t - ready;
+          ready = t;
+        } else {
+          // The core checks a couple of payload fields.
+          const sim::TimePs t = cores.cycles(20);
+          cores.run_on(ctx->core, t);
+          stats_.orchestration_time += t;
+          ready += t;
+        }
+        ++c->i;
+        break;
+      }
+      case LogicalOp::Kind::kTransform: {
+        ++ctx->transforms;
+        if (mode_ == BaselineMode::kRelief) {
+          // Manager-mediated transformation: control event plus moving the
+          // payload to the manager and back.
+          ++stats_.manager_events;
+          sim::TimePs t = machine_.manager().submit_at(
+              ready,
+              sim::microseconds(machine_.config().manager_event_us));
+          if (c->has_last_accel) {
+            const noc::Location at =
+                machine_.accel(c->last_accel).location();
+            t = machine_.net().transfer(at, machine_.manager_location(),
+                                        c->bytes, t);
+            t = machine_.net().transfer(machine_.manager_location(), at,
+                                        c->bytes, t);
+          }
+          stats_.orchestration_time += t - ready;
+          ready = t;
+        } else {
+          const sim::TimePs t = cpu_exec_->cpu_transform_time(c->bytes);
+          cores.run_on(ctx->core, t);
+          ready += t;
+        }
+        ++c->i;
+        break;
+      }
+      case LogicalOp::Kind::kNotifyCont:
+        ++ctx->mid_notifies;
+        cores.notify(ctx->core);
+        ++c->i;
+        break;
+      case LogicalOp::Kind::kRemoteWait: {
+        ++ctx->remote_calls;
+        {
+          // Colocated-callee nested RPC: the response arrives when the
+          // callee's own invocation on this machine completes.
+          const std::size_t next_i = c->i + 1;
+          if (ctx->env->nested_call(
+                  *ctx, op.remote, [this, c, next_i](std::uint64_t bytes) {
+                    c->i = next_i;
+                    c->bytes = bytes;
+                    step(c, machine_.sim().now());
+                  })) {
+            return;
+          }
+        }
+        const sim::TimePs latency =
+            ctx->env->remote_latency(*ctx, op.remote);
+        const sim::TimePs timeout =
+            sim::milliseconds(costs_.response_timeout_ms);
+        if (latency > timeout) {
+          machine_.sim().schedule_after(timeout, [this, c] {
+            finish(c, /*timed_out=*/true, /*fell_back=*/false);
+          });
+          return;
+        }
+        const RemoteKind kind = op.remote;
+        ++c->i;
+        machine_.sim().schedule_at(
+            ready + latency, [this, c, kind] {
+              c->bytes = c->ctx->env->response_size(*c->ctx, kind);
+              step(c, machine_.sim().now());
+            });
+        return;
+      }
+    }
+  }
+  // Chain complete: control returns to the core.
+  if (mode_ == BaselineMode::kRelief) {
+    ++stats_.interrupts;
+    machine_.cores().interrupt(ctx->core, 0, [this, c] {
+      finish(c, false, false);
+    });
+  } else {
+    finish(c, false, false);
+  }
+}
+
+void BaselineOrchestrator::issue_invoke(Chain* c, sim::TimePs ready,
+                                        bool direct_hop) {
+  ChainContext* ctx = c->ctx;
+  assert(c->i < c->ops.size() &&
+         c->ops[c->i].kind == LogicalOp::Kind::kInvoke);
+  const AccelType target = c->ops[c->i].accel;
+  accel::Accelerator& dst = machine_.accel(target);
+
+  // Who launches the op, and from where does the payload move?
+  noc::Location src = machine_.core_location(ctx->core);
+  switch (mode_) {
+    case BaselineMode::kCpuCentric:
+      machine_.cores().charge_enqueue(ctx->core);
+      break;
+    case BaselineMode::kRelief: {
+      ++stats_.manager_events;
+      const sim::TimePs t = machine_.manager().submit_at(
+          ready, sim::microseconds(machine_.config().manager_dispatch_us));
+      stats_.orchestration_time += t - ready;
+      ready = t;
+      if (c->has_last_accel) src = machine_.accel(c->last_accel).location();
+      break;
+    }
+    case BaselineMode::kCohort:
+      if (direct_hop) {
+        ++stats_.linked_hops;
+        ready += sim::nanoseconds(costs_.cohort_link_ns);
+        src = machine_.accel(c->last_accel).location();
+      } else {
+        // Submit through the shared-memory software queue.
+        machine_.cores().charge_enqueue(ctx->core);
+        if (c->has_last_accel) {
+          src = machine_.accel(c->last_accel).location();
+        }
+      }
+      break;
+    case BaselineMode::kNonAcc:
+      assert(false);
+      break;
+  }
+
+  QueueEntry e;
+  e.tenant = ctx->tenant;
+  e.request = ctx->request;
+  e.chain = ctx->chain;
+  e.payload.size_bytes = c->bytes;
+  e.payload.flags = ctx->flags;
+  e.payload.va = ctx->buffer_va;
+  e.cpu_cost = ctx->env->op_cpu_cost(*ctx, target, c->bytes);
+  e.priority = ctx->priority;
+  e.initiating_core = ctx->core;
+  e.ctx = ctx;
+  e.ready = false;
+  e.pending_inputs = 1;
+
+  auto issue = std::make_shared<Issue>();
+  issue->c = c;
+  issue->dst = &dst;
+  issue->entry = std::move(e);
+  issue->src = src;
+  issue->dma_bytes =
+      std::min<std::uint64_t>(c->bytes, accel::kInlineDataBytes) + 64;
+  if (central_queue_) {
+    // Base RELIEF: one FIFO in front of all accelerator types.
+    machine_.sim().schedule_at(ready, [this, issue] {
+      central_fifo_.push_back(issue);
+      pump_central_queue();
+    });
+    return;
+  }
+  machine_.sim().schedule_at(
+      ready, [this, issue, ready] { try_issue(issue, ready); });
+}
+
+void BaselineOrchestrator::pump_central_queue() {
+  if (central_pump_scheduled_) return;
+  while (!central_fifo_.empty()) {
+    const std::shared_ptr<Issue>& head = central_fifo_.front();
+    SlotId slot = accel::kInvalidSlot;
+    if (central_tokens_ > 0) slot = head->dst->try_enqueue(head->entry);
+    if (slot == accel::kInvalidSlot) {
+      // Head-of-line blocking: everything behind this op waits until its
+      // accelerator frees a slot.
+      ++stats_.central_queue_waits;
+      central_pump_scheduled_ = true;
+      machine_.sim().schedule_after(sim::nanoseconds(500), [this] {
+        central_pump_scheduled_ = false;
+        pump_central_queue();
+      });
+      return;
+    }
+    --central_tokens_;  // Returned when the op's result is handled.
+    accel::Accelerator& dst = *head->dst;
+    const sim::TimePs arrive = machine_.dma().transfer(
+        head->src, dst.location(), head->dma_bytes, machine_.sim().now());
+    machine_.sim().schedule_at(arrive,
+                               [&dst, slot] { dst.deliver_data(slot); });
+    central_fifo_.pop_front();
+  }
+}
+
+void BaselineOrchestrator::try_issue(std::shared_ptr<Issue> issue,
+                                     sim::TimePs when) {
+  // Enqueue with retries; persistent fullness falls back to the CPU.
+  Chain* c = issue->c;
+  accel::Accelerator& dst = *issue->dst;
+  const SlotId slot = dst.try_enqueue(issue->entry);
+  if (slot == accel::kInvalidSlot) {
+    if (++issue->attempts >= costs_.enqueue_retries) {
+      ++stats_.fallbacks;
+      std::vector<LogicalOp> rest(
+          c->ops.begin() + static_cast<std::ptrdiff_t>(c->i), c->ops.end());
+      cpu_exec_->run(c->ctx, std::move(rest), c->bytes,
+                     [this, c](bool timed_out) {
+                       finish(c, timed_out, /*fell_back=*/true);
+                     });
+      return;
+    }
+    machine_.sim().schedule_after(
+        sim::nanoseconds(costs_.enqueue_retry_delay_ns), [this, issue] {
+          try_issue(issue, machine_.sim().now());
+        });
+    return;
+  }
+  const sim::TimePs arrive = machine_.dma().transfer(
+      issue->src, dst.location(), issue->dma_bytes, when);
+  machine_.sim().schedule_at(arrive,
+                             [&dst, slot] { dst.deliver_data(slot); });
+}
+
+void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
+                                         SlotId slot) {
+  const QueueEntry& e = acc.output_entry(slot);
+  ChainContext* ctx = e.ctx;
+  const auto it = chains_.find(ctx);
+  assert(it != chains_.end());
+  Chain* c = it->second.get();
+
+  // Minimal output-dispatcher work: no trace logic in the baselines.
+  const sim::TimePs fsm_done = acc.occupy_dispatcher(
+      sim::Clock(machine_.config().cpu.clock_ghz)
+          .cycles_to_ps(costs_.plain_dispatcher_instrs));
+  machine_.sim().schedule_at(fsm_done,
+                             [&acc, slot] { acc.release_output(slot); });
+
+  ++ctx->accel_invocations;
+  c->bytes = ctx->env->transformed_size(acc.type(), c->bytes);
+  c->last_accel = acc.type();
+  c->has_last_accel = true;
+  if (central_queue_) {
+    ++central_tokens_;  // The shared queue entry is free again.
+    pump_central_queue();
+  }
+  ++c->i;  // Past the completed invoke.
+
+  switch (mode_) {
+    case BaselineMode::kCpuCentric: {
+      // The accelerator interrupts the initiating core, which then issues
+      // the next operation. A fraction of interrupts land behind other
+      // kernel work and cost several times more.
+      ++stats_.interrupts;
+      double handler_cycles = costs_.interrupt_handler_cycles;
+      if (rng_.bernoulli(costs_.interrupt_tail_prob)) {
+        handler_cycles *= costs_.interrupt_tail_factor;
+      }
+      const sim::TimePs handler = machine_.cores().cycles(handler_cycles);
+      const sim::TimePs done =
+          machine_.cores().interrupt(ctx->core, handler, [this, c] {
+            step(c, machine_.sim().now());
+          });
+      // Includes the wait for the busy core: orchestration contention
+      // grows with load (Figure 3).
+      stats_.orchestration_time += done - machine_.sim().now();
+      break;
+    }
+    case BaselineMode::kRelief: {
+      // The manager takes the completion interrupt (~1.5us, Section VII-A).
+      ++stats_.manager_events;
+      const sim::TimePs ev =
+          sim::microseconds(machine_.config().manager_event_us);
+      const sim::TimePs done =
+          machine_.manager().submit_at(fsm_done, ev, [this, c] {
+            step(c, machine_.sim().now());
+          });
+      stats_.orchestration_time += done - fsm_done;
+      break;
+    }
+    case BaselineMode::kCohort: {
+      // Linked pair: hand off directly. Otherwise the core polls the
+      // software queue and coordinates the next step.
+      if (c->i < c->ops.size() &&
+          c->ops[c->i].kind == LogicalOp::Kind::kInvoke &&
+          cohort_links_.count({acc.type(), c->ops[c->i].accel}) > 0) {
+        issue_invoke(c, fsm_done, /*direct_hop=*/true);
+      } else {
+        ++stats_.polls;
+        // The completion sits in the software queue until the core's next
+        // poll sweep; when the polling core is deep in application work,
+        // the sweep is much later (Cohort's tail weakness). Stall odds
+        // scale with how busy the cores are.
+        const double stall_p =
+            costs_.cohort_stall_prob *
+            std::min(1.0, machine_.cores().utilization() / 0.40);
+        const double wait_us =
+            rng_.bernoulli(stall_p)
+                ? rng_.uniform(costs_.cohort_stall_min_us,
+                               costs_.cohort_stall_max_us)
+                : rng_.uniform(0.0, costs_.cohort_poll_interval_us);
+        const auto sweep_wait = static_cast<sim::TimePs>(wait_us * 1e6);
+        const sim::TimePs poll =
+            machine_.cores().cycles(costs_.cohort_poll_cycles);
+        stats_.orchestration_time += sweep_wait + poll;
+        machine_.sim().schedule_after(sweep_wait, [this, c, poll] {
+          machine_.cores().run_on(c->ctx->core, poll, [this, c] {
+            step(c, machine_.sim().now());
+          });
+        });
+      }
+      break;
+    }
+    case BaselineMode::kNonAcc:
+      assert(false);
+      break;
+  }
+}
+
+void BaselineOrchestrator::finish(Chain* c, bool timed_out, bool fell_back) {
+  ++stats_.completed;
+  ChainContext* ctx = c->ctx;
+  ChainResult r;
+  r.ok = !timed_out;
+  r.timeout = timed_out;
+  r.cpu_fallback = fell_back;
+  r.completed_at = machine_.sim().now();
+  chains_.erase(ctx);
+  ctx->finish(r);
+}
+
+}  // namespace accelflow::core

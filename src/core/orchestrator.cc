@@ -1,0 +1,79 @@
+#include "core/orchestrator.h"
+
+#include <stdexcept>
+
+#include "core/orch_baselines.h"
+
+namespace accelflow::core {
+
+namespace {
+
+/** Wraps the AccelFlow engine (and its Ideal/ablation variants). */
+class AccelFlowOrchestrator : public Orchestrator {
+ public:
+  AccelFlowOrchestrator(std::string_view name, Machine& machine,
+                        const TraceLibrary& lib, const EngineConfig& config)
+      : name_(name), engine_(machine, lib, config) {}
+
+  void run_chain(ChainContext* ctx, AtmAddr first) override {
+    engine_.start_chain(ctx, first);
+  }
+  std::string_view name() const override { return name_; }
+  const AccelFlowEngine* engine() const override { return &engine_; }
+
+ private:
+  std::string_view name_;
+  AccelFlowEngine engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<Orchestrator> make_orchestrator(
+    OrchKind kind, Machine& machine, const TraceLibrary& lib,
+    const EngineConfig& engine_overrides) {
+  EngineConfig cfg = engine_overrides;
+  switch (kind) {
+    case OrchKind::kNonAcc:
+      return std::make_unique<BaselineOrchestrator>(
+          BaselineMode::kNonAcc, machine, lib, /*relief_central_queue=*/false);
+    case OrchKind::kCpuCentric:
+      return std::make_unique<BaselineOrchestrator>(
+          BaselineMode::kCpuCentric, machine, lib, false);
+    case OrchKind::kRelief:
+      return std::make_unique<BaselineOrchestrator>(
+          BaselineMode::kRelief, machine, lib, /*relief_central_queue=*/true);
+    case OrchKind::kReliefPerTypeQ:
+      return std::make_unique<BaselineOrchestrator>(
+          BaselineMode::kRelief, machine, lib, /*relief_central_queue=*/false);
+    case OrchKind::kCohort:
+      return std::make_unique<BaselineOrchestrator>(
+          BaselineMode::kCohort, machine, lib, false);
+    case OrchKind::kAccelFlowDirect:
+      cfg.dispatcher_branches = false;
+      cfg.dispatcher_transforms = false;
+      cfg.zero_overhead = false;
+      return std::make_unique<AccelFlowOrchestrator>("Direct", machine, lib,
+                                                     cfg);
+    case OrchKind::kAccelFlowCntrFlow:
+      cfg.dispatcher_branches = true;
+      cfg.dispatcher_transforms = false;
+      cfg.zero_overhead = false;
+      return std::make_unique<AccelFlowOrchestrator>("CntrFlow", machine,
+                                                     lib, cfg);
+    case OrchKind::kAccelFlow:
+      cfg.dispatcher_branches = true;
+      cfg.dispatcher_transforms = true;
+      cfg.zero_overhead = false;
+      return std::make_unique<AccelFlowOrchestrator>("AccelFlow", machine,
+                                                     lib, cfg);
+    case OrchKind::kIdeal:
+      cfg.dispatcher_branches = true;
+      cfg.dispatcher_transforms = true;
+      cfg.zero_overhead = true;
+      return std::make_unique<AccelFlowOrchestrator>("Ideal", machine, lib,
+                                                     cfg);
+  }
+  throw std::invalid_argument("unknown orchestrator kind");
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,152 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/trace_templates.h"
+
+namespace accelflow::core {
+
+/**
+ * Default cost environment: a generic microservice operation profile
+ * (a few microseconds of CPU-equivalent work per op, sublinear in payload
+ * size) and typical intra-datacenter remote latencies.
+ */
+class AccelFlowRuntime::DefaultEnv : public ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(ChainContext& ctx, accel::AccelType,
+                          std::uint64_t payload_bytes) override {
+    const double size_factor =
+        std::sqrt(static_cast<double>(payload_bytes + 256) / 2048.0);
+    return static_cast<sim::TimePs>(
+        ctx.rng.lognormal_mean_cv(3e6 * std::min(size_factor, 4.0), 0.3));
+  }
+  std::uint64_t transformed_size(accel::AccelType type,
+                                 std::uint64_t bytes) override {
+    return workload_transform(type, bytes);
+  }
+  sim::TimePs remote_latency(ChainContext& ctx, RemoteKind kind) override {
+    double mean_us = 30.0;
+    switch (kind) {
+      case RemoteKind::kDbCacheRead:
+        mean_us = 18.0;
+        break;
+      case RemoteKind::kDbRead:
+        mean_us = 80.0;
+        break;
+      case RemoteKind::kDbWrite:
+        mean_us = 35.0;
+        break;
+      case RemoteKind::kNestedRpc:
+        mean_us = 35.0;
+        break;
+      case RemoteKind::kHttp:
+        mean_us = 150.0;
+        break;
+      case RemoteKind::kNone:
+        return 0;
+    }
+    return sim::microseconds(ctx.rng.lognormal_mean_cv(mean_us, 0.7));
+  }
+  std::uint64_t response_size(ChainContext& ctx, RemoteKind) override {
+    return static_cast<std::uint64_t>(
+        std::clamp(ctx.rng.lognormal_mean_cv(2048.0, 1.0), 64.0, 262144.0));
+  }
+
+ private:
+  static std::uint64_t workload_transform(accel::AccelType type,
+                                          std::uint64_t bytes) {
+    // Mirrors workload::default_transformed_size without the layering
+    // inversion of depending on the workload library.
+    double out = static_cast<double>(bytes);
+    switch (type) {
+      case accel::AccelType::kCmp:
+        out *= 0.35;
+        break;
+      case accel::AccelType::kDcmp:
+        out *= 2.857;
+        break;
+      case accel::AccelType::kSer:
+        out *= 1.15;
+        break;
+      case accel::AccelType::kDser:
+        out *= 0.87;
+        break;
+      case accel::AccelType::kEncr:
+        out += 16;
+        break;
+      case accel::AccelType::kDecr:
+        out = std::max(out - 16, 64.0);
+        break;
+      default:
+        break;
+    }
+    return static_cast<std::uint64_t>(std::clamp(out, 64.0, 262144.0));
+  }
+};
+
+struct AccelFlowRuntime::Invocation {
+  ChainContext ctx;
+  Callback done;
+  sim::TimePs started = 0;
+};
+
+AccelFlowRuntime::AccelFlowRuntime(const MachineConfig& machine_config,
+                                   const EngineConfig& engine_config)
+    : machine_(machine_config),
+      default_env_(std::make_unique<DefaultEnv>()) {
+  engine_ = std::make_unique<AccelFlowEngine>(machine_, lib_, engine_config);
+}
+
+AccelFlowRuntime::~AccelFlowRuntime() = default;
+
+void AccelFlowRuntime::register_standard_templates() {
+  register_templates(lib_);
+  machine_.load_traces(lib_);
+}
+
+AtmAddr AccelFlowRuntime::register_trace(const std::string& name,
+                                         std::string_view annotation) {
+  const AtmAddr addr = compile_trace(lib_, name, annotation);
+  // Newly compiled traces (and any subtraces) must reach the hardware ATM.
+  machine_.load_traces(lib_);
+  return addr;
+}
+
+bool AccelFlowRuntime::has_trace(const std::string& name) const {
+  return lib_.contains(name);
+}
+
+void AccelFlowRuntime::run_trace(const std::string& name,
+                                 const Request& request, Callback done) {
+  const AtmAddr addr = lib_.addr_of(name);
+  auto inv = std::make_shared<Invocation>();
+  inv->done = std::move(done);
+  inv->started = machine_.sim().now();
+  ChainContext& ctx = inv->ctx;
+  ctx.request = next_request_++;
+  ctx.tenant = request.tenant;
+  ctx.core = request.core;
+  ctx.flags = request.flags;
+  ctx.initial_bytes = request.payload_bytes;
+  ctx.priority = request.priority;
+  ctx.step_deadline_budget = request.step_deadline_budget;
+  ctx.env = request.env ? request.env : default_env_.get();
+  ctx.rng.reseed(request.seed ? request.seed : 0x5EED ^ ctx.request);
+  ++inflight_;
+  // The shared_ptr keeps the context alive until completion.
+  ctx.on_done = [this, inv](const ChainResult& r) {
+    --inflight_;
+    if (inv->done) {
+      RunTraceResult out;
+      out.ok = r.ok;
+      out.cpu_fallback = r.cpu_fallback;
+      out.timeout = r.timeout;
+      out.latency = machine_.sim().now() - inv->started;
+      inv->done(out);
+    }
+  };
+  engine_->start_chain(&ctx, addr);
+}
+
+}  // namespace accelflow::core

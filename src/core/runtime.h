@@ -1,0 +1,108 @@
+#ifndef ACCELFLOW_CORE_RUNTIME_H_
+#define ACCELFLOW_CORE_RUNTIME_H_
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/machine.h"
+#include "core/trace_compiler.h"
+#include "core/trace_library.h"
+
+/**
+ * @file
+ * The developer-facing runtime of Section V.4 / Listing 2: register traces
+ * by name (through the builder API or the annotation compiler), then
+ * invoke them with run_trace(), providing a cpu_fallback-style completion
+ * callback. A thin convenience layer over Machine + TraceLibrary +
+ * AccelFlowEngine.
+ */
+
+namespace accelflow::core {
+
+/** Completion notification of a run_trace() call. */
+struct RunTraceResult {
+  bool ok = true;
+  bool cpu_fallback = false;
+  bool timeout = false;
+  sim::TimePs latency = 0;
+};
+
+/**
+ * The AccelFlow runtime: owns the machine, the trace library, and the
+ * engine, and tracks in-flight invocations.
+ *
+ * Usage (mirrors the paper's Listing 2):
+ *
+ *   AccelFlowRuntime rt(config);
+ *   rt.register_trace("func_req",
+ *       "TCP > Decr > RPC > Dser > compressed? [XF(json,str) > Dcmp] "
+ *       "> LdB !");
+ *   rt.run_trace("func_req", request, [&](const RunTraceResult& r) {
+ *     if (!r.ok) result = cpu_fallback(request);   // TraceError path.
+ *   });
+ *   rt.machine().sim().run();
+ */
+class AccelFlowRuntime {
+ public:
+  explicit AccelFlowRuntime(const MachineConfig& machine_config = {},
+                            const EngineConfig& engine_config = {});
+  ~AccelFlowRuntime();
+
+  /** Registers standard templates T1..T12 (Table II). */
+  void register_standard_templates();
+
+  /** Compiles an annotation program and registers it under `name`. */
+  AtmAddr register_trace(const std::string& name,
+                         std::string_view annotation);
+
+  /** Registers a trace that was pre-built into library(). */
+  bool has_trace(const std::string& name) const;
+
+  /** Parameters of one invocation. */
+  struct Request {
+    accel::TenantId tenant = 0;
+    int core = 0;
+    std::uint64_t payload_bytes = 1024;
+    accel::PayloadFlags flags;
+    std::uint8_t priority = 0;
+    sim::TimePs step_deadline_budget = sim::kTimeNever;
+    /** Cost/remote environment; null uses a built-in default (a generic
+     *  microservice-calibrated environment). */
+    ChainEnv* env = nullptr;
+    std::uint64_t seed = 0;
+  };
+
+  using Callback = std::function<void(const RunTraceResult&)>;
+
+  /**
+   * Invokes a registered trace. The callback fires when control returns
+   * to the CPU; with `ok == false` the caller runs its cpu_fallback path
+   * (the engine has already executed the chain's remainder on the core).
+   */
+  void run_trace(const std::string& name, const Request& request,
+                 Callback done);
+
+  /** Drives the simulation until all in-flight invocations finish. */
+  void run_to_completion() { machine_.sim().run(); }
+
+  Machine& machine() { return machine_; }
+  TraceLibrary& library() { return lib_; }
+  AccelFlowEngine& engine() { return *engine_; }
+  std::uint64_t inflight() const { return inflight_; }
+
+ private:
+  class DefaultEnv;
+
+  Machine machine_;
+  TraceLibrary lib_;
+  std::unique_ptr<AccelFlowEngine> engine_;
+  std::unique_ptr<DefaultEnv> default_env_;
+  struct Invocation;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t inflight_ = 0;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_RUNTIME_H_

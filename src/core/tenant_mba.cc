@@ -1,0 +1,38 @@
+#include "core/tenant_mba.h"
+
+#include <algorithm>
+
+namespace accelflow::core {
+
+sim::TimePs TenantBandwidthLimiter::acquire(accel::TenantId tenant,
+                                            std::uint64_t bytes) {
+  const auto limit_it = config_.limit_bytes_per_sec.find(tenant);
+  const sim::TimePs now = sim_.now();
+  if (limit_it == config_.limit_bytes_per_sec.end()) return now;
+
+  const double rate = limit_it->second;  // Bytes per second.
+  Bucket& b = tenants_[tenant];
+  if (!b.initialized) {
+    b.tokens = rate * config_.burst_seconds;
+    b.refilled = now;
+    b.initialized = true;
+  }
+  // Refill since the last acquire, capped at the burst allowance.
+  const double elapsed_s = sim::to_seconds(now - b.refilled);
+  b.tokens = std::min(b.tokens + elapsed_s * rate,
+                      rate * config_.burst_seconds);
+  b.refilled = now;
+
+  ++b.stats.transfers;
+  b.stats.bytes += bytes;
+
+  b.tokens -= static_cast<double>(bytes);
+  if (b.tokens >= 0) return now;
+  // Deficit: the transfer starts once the bucket would be whole again.
+  const double wait_s = -b.tokens / rate;
+  const auto wait = static_cast<sim::TimePs>(wait_s * 1e12);
+  b.stats.throttle_delay += wait;
+  return now + wait;
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,76 @@
+#ifndef ACCELFLOW_CORE_TENANT_MBA_H_
+#define ACCELFLOW_CORE_TENANT_MBA_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "accel/types.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * Per-tenant memory/interconnect bandwidth allocation, in the spirit of
+ * Intel Memory Bandwidth Allocation (MBA). Section IV-D: the per-tenant
+ * trace cap "can be combined with a technique that limits memory bandwidth
+ * use by a tenant in the memory controller, such as Intel's MBA".
+ *
+ * Each throttled tenant gets a token bucket refilled at its configured
+ * rate; A-DMA transfers on that tenant's behalf are delayed until the
+ * bucket covers their bytes. Unthrottled tenants pass through for free.
+ */
+
+namespace accelflow::core {
+
+/** Per-tenant bandwidth limits. */
+struct MbaConfig {
+  /** Limits in bytes/second; tenants not present are unthrottled. */
+  std::unordered_map<accel::TenantId, double> limit_bytes_per_sec;
+  /** Burst allowance as seconds of credit at the configured rate. */
+  double burst_seconds = 0.0005;  // 500us of line-rate burst.
+};
+
+/** Per-tenant accounting. */
+struct MbaTenantStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+  sim::TimePs throttle_delay = 0;
+};
+
+/** Token-bucket bandwidth allocator over the A-DMA / memory path. */
+class TenantBandwidthLimiter {
+ public:
+  TenantBandwidthLimiter(sim::Simulator& sim, MbaConfig config)
+      : sim_(sim), config_(std::move(config)) {}
+
+  /**
+   * Accounts a transfer of `bytes` for `tenant` and returns the earliest
+   * time the transfer may start (>= now). Unthrottled tenants start
+   * immediately.
+   */
+  sim::TimePs acquire(accel::TenantId tenant, std::uint64_t bytes);
+
+  bool throttles(accel::TenantId tenant) const {
+    return config_.limit_bytes_per_sec.count(tenant) > 0;
+  }
+
+  const MbaTenantStats& stats(accel::TenantId tenant) {
+    return tenants_[tenant].stats;
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0;          ///< Bytes of credit.
+    sim::TimePs refilled = 0;   ///< Last refill timestamp.
+    bool initialized = false;
+    MbaTenantStats stats;
+  };
+
+  sim::Simulator& sim_;
+  MbaConfig config_;
+  std::unordered_map<accel::TenantId, Bucket> tenants_;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TENANT_MBA_H_

@@ -1,0 +1,191 @@
+#include "core/trace_builder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace accelflow::core {
+
+TraceBuilder& TraceBuilder::seq(
+    std::initializer_list<accel::AccelType> accels) {
+  for (const auto a : accels) {
+    IrOp op;
+    op.kind = TraceOp::Kind::kInvoke;
+    op.accel = a;
+    ops_.push_back(std::move(op));
+  }
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::branch(
+    BranchCond cond, const std::function<void(TraceBuilder&)>& then) {
+  TraceBuilder body(lib_);
+  then(body);
+  IrOp op;
+  op.kind = TraceOp::Kind::kBranchSkip;
+  op.cond = cond;
+  op.body = std::move(body.ops_);
+  if (ir_nibbles(op) > kMaxNibbles) {
+    throw std::runtime_error(
+        "branch body too large for one trace; restructure with "
+        "branch_else_goto");
+  }
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::branch_else_goto(BranchCond cond,
+                                             const std::string& else_trace) {
+  IrOp op;
+  op.kind = TraceOp::Kind::kBranchAtm;
+  op.cond = cond;
+  op.target = else_trace;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::trans(accel::DataFormat from,
+                                  accel::DataFormat to) {
+  IrOp op;
+  op.kind = TraceOp::Kind::kTransform;
+  op.from = from;
+  op.to = to;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+TraceBuilder& TraceBuilder::notify_cont() {
+  IrOp op;
+  op.kind = TraceOp::Kind::kNotifyCont;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+AtmAddr TraceBuilder::end_notify(const std::string& name) {
+  IrOp term;
+  term.kind = TraceOp::Kind::kEndNotify;
+  return finalize(name, std::move(term));
+}
+
+AtmAddr TraceBuilder::tail(const std::string& name,
+                           const std::string& next_trace, RemoteKind remote) {
+  IrOp term;
+  term.kind = TraceOp::Kind::kTail;
+  term.target = next_trace;
+  term.remote = remote;
+  return finalize(name, std::move(term));
+}
+
+std::uint8_t TraceBuilder::ir_nibbles(const IrOp& op) {
+  std::uint8_t n = op_nibbles(op.kind);
+  for (const IrOp& b : op.body) n += ir_nibbles(b);
+  return n;
+}
+
+void TraceBuilder::encode_ir(Trace& t, const IrOp& op) {
+  bool ok = true;
+  switch (op.kind) {
+    case TraceOp::Kind::kInvoke:
+      ok = append_invoke(t, op.accel);
+      break;
+    case TraceOp::Kind::kBranchSkip: {
+      std::uint8_t body_nibbles = 0;
+      for (const IrOp& b : op.body) body_nibbles += ir_nibbles(b);
+      ok = append_branch_skip(t, op.cond, body_nibbles);
+      for (const IrOp& b : op.body) encode_ir(t, b);
+      break;
+    }
+    case TraceOp::Kind::kBranchAtm:
+      ok = append_branch_atm(t, op.cond, lib_.reserve(op.target));
+      break;
+    case TraceOp::Kind::kTransform:
+      ok = append_transform(t, op.from, op.to);
+      break;
+    case TraceOp::Kind::kNotifyCont:
+      ok = append_notify_cont(t);
+      break;
+    case TraceOp::Kind::kTail:
+      ok = append_tail(t, lib_.reserve(op.target));
+      break;
+    case TraceOp::Kind::kEndNotify:
+      ok = append_end_notify(t);
+      break;
+  }
+  assert(ok && "layout pass guaranteed the op fits");
+  (void)ok;
+}
+
+AtmAddr TraceBuilder::finalize(const std::string& name, IrOp terminator) {
+  // Layout pass: pack ops greedily into 16-nibble traces. When a word
+  // overflows, pop ops off its tail until a TAIL op (3 nibbles) fits, and
+  // carry the popped ops into the next subtrace — so a sequence that fits
+  // exactly in one word is never split needlessly.
+  struct Pending {
+    std::string name;
+    std::vector<const IrOp*> ops;
+    std::uint8_t used = 0;
+  };
+  constexpr std::uint8_t kTailNibbles = 3;
+
+  std::vector<Pending> words;
+  words.push_back({name, {}, 0});
+  int split = 0;
+  std::vector<const IrOp*> pending;
+  for (const IrOp& op : ops_) pending.push_back(&op);
+  pending.push_back(&terminator);
+
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const IrOp* op = pending[i];
+    const std::uint8_t need = ir_nibbles(*op);
+    if (need + kTailNibbles > kMaxNibbles) {
+      throw std::runtime_error("op too large for any trace in '" + name +
+                               "'");
+    }
+    Pending& word = words.back();
+    if (word.used + need <= kMaxNibbles) {
+      word.ops.push_back(op);
+      word.used += need;
+      continue;
+    }
+    // Overflow: make room for the TAIL in the current word, pushing its
+    // displaced ops (and this one) into a fresh subtrace.
+    std::vector<const IrOp*> carry;
+    while (!word.ops.empty() && word.used + kTailNibbles > kMaxNibbles) {
+      carry.insert(carry.begin(), word.ops.back());
+      word.used -= ir_nibbles(*word.ops.back());
+      word.ops.pop_back();
+    }
+    carry.push_back(op);
+    words.push_back({name + "#" + std::to_string(++split), {}, 0});
+    Pending& next = words.back();
+    for (const IrOp* c : carry) {
+      next.ops.push_back(c);
+      next.used += ir_nibbles(*c);
+      if (next.used > kMaxNibbles) {
+        throw std::runtime_error("subtrace overflow in '" + name + "'");
+      }
+    }
+  }
+
+  // Encode each word; non-final words end with TAIL to the next word.
+  AtmAddr first = 0;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    Trace t;
+    for (const IrOp* op : words[i].ops) encode_ir(t, *op);
+    if (i + 1 < words.size()) {
+      const bool ok = append_tail(t, lib_.reserve(words[i + 1].name));
+      assert(ok);
+      (void)ok;
+    }
+    const AtmAddr addr = lib_.add(words[i].name, t);
+    if (i == 0) first = addr;
+  }
+  // Remote-wait metadata attaches to the TAIL target.
+  if (terminator.kind == TraceOp::Kind::kTail &&
+      terminator.remote != RemoteKind::kNone) {
+    lib_.set_remote(lib_.reserve(terminator.target), terminator.remote);
+  }
+  ops_.clear();
+  return first;
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,103 @@
+#ifndef ACCELFLOW_CORE_TRACE_BUILDER_H_
+#define ACCELFLOW_CORE_TRACE_BUILDER_H_
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/trace_library.h"
+
+/**
+ * @file
+ * The AccelFlow programming API (Section V.4): programmers construct traces
+ * with seq / branch / trans, then register them by name. Mirrors the
+ * paper's Listing 1:
+ *
+ *   TraceBuilder b(lib);
+ *   b.seq({kTcp, kDecr, kRpc, kDser});
+ *   b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+ *     then.trans(kJson, kString);
+ *     then.seq({kDcmp});
+ *   });
+ *   b.seq({kLdb});
+ *   b.end_notify("func_req");
+ *
+ * If the accumulated ops exceed one 8-byte trace, the builder transparently
+ * splits the sequence into ATM-chained subtraces (Section IV-A's "If a
+ * sequence exceeds 8 bytes, AccelFlow would split it into multiple
+ * subtraces"); a branch body is atomic and never straddles a split.
+ */
+
+namespace accelflow::core {
+
+/** Builds one named trace (or subtrace chain) into a TraceLibrary. */
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(TraceLibrary& lib) : lib_(lib) {}
+
+  /** Appends a linear chain of accelerator invocations. */
+  TraceBuilder& seq(std::initializer_list<accel::AccelType> accels);
+  TraceBuilder& seq(accel::AccelType a) { return seq({a}); }
+
+  /**
+   * Appends a conditional region: the ops recorded by `then` execute only
+   * when `cond` evaluates true (a BR_SKIP over the region otherwise).
+   */
+  TraceBuilder& branch(BranchCond cond,
+                       const std::function<void(TraceBuilder&)>& then);
+
+  /**
+   * Appends a major-divergence branch: when `cond` is FALSE, execution
+   * continues at the named trace (loaded from the ATM); when TRUE it
+   * continues inline. The target may be registered later (forward ref).
+   */
+  TraceBuilder& branch_else_goto(BranchCond cond,
+                                 const std::string& else_trace);
+
+  /** Appends a data-format transformation executed by the dispatcher DTE. */
+  TraceBuilder& trans(accel::DataFormat from, accel::DataFormat to);
+
+  /** Notifies the initiating core and keeps executing (T6's fan-out). */
+  TraceBuilder& notify_cont();
+
+  /**
+   * Terminates with END_NOTIFY and registers the trace under `name`.
+   * @return the ATM address of the (first) trace.
+   */
+  AtmAddr end_notify(const std::string& name);
+
+  /**
+   * Terminates with TAIL -> `next_trace` and registers under `name`.
+   * @param remote what the arrival at `next_trace` waits for (kNone chains
+   *        immediately).
+   */
+  AtmAddr tail(const std::string& name, const std::string& next_trace,
+               RemoteKind remote = RemoteKind::kNone);
+
+ private:
+  /** Intermediate representation, laid out into words at registration. */
+  struct IrOp {
+    TraceOp::Kind kind;
+    accel::AccelType accel{};
+    BranchCond cond{};
+    accel::DataFormat from{}, to{};
+    std::string target;              ///< branch_else_goto / tail name.
+    std::vector<IrOp> body;          ///< branch(then) region.
+    RemoteKind remote = RemoteKind::kNone;
+  };
+
+  /** Nibble size of an op including a branch body. */
+  static std::uint8_t ir_nibbles(const IrOp& op);
+  /** Encodes `op` into `t`; the caller guarantees it fits. */
+  void encode_ir(Trace& t, const IrOp& op);
+
+  AtmAddr finalize(const std::string& name, IrOp terminator);
+
+  TraceLibrary& lib_;
+  std::vector<IrOp> ops_;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TRACE_BUILDER_H_

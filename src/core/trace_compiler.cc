@@ -1,0 +1,294 @@
+#include "core/trace_compiler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+
+#include "core/trace_builder.h"
+
+namespace accelflow::core {
+
+namespace {
+
+/** Token kinds of the annotation language. */
+enum class Tok : std::uint8_t {
+  kIdent,     // Accelerator, condition, format, or trace name.
+  kGt,        // >
+  kQuestion,  // ?
+  kColon,     // :
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kBang,      // !
+  kAt,        // @
+  kSlash,     // /
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+/** Hand-rolled scanner: the language is tiny. */
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (i_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[i_]))) {
+      ++i_;
+    }
+    current_.pos = i_;
+    if (i_ >= src_.size()) {
+      current_ = {Tok::kEnd, "", i_};
+      return;
+    }
+    const char c = src_[i_];
+    auto single = [&](Tok k) {
+      current_ = {k, std::string(1, c), i_};
+      ++i_;
+    };
+    switch (c) {
+      case '>':
+        return single(Tok::kGt);
+      case '?':
+        return single(Tok::kQuestion);
+      case ':':
+        return single(Tok::kColon);
+      case '[':
+        return single(Tok::kLBracket);
+      case ']':
+        return single(Tok::kRBracket);
+      case '(':
+        return single(Tok::kLParen);
+      case ')':
+        return single(Tok::kRParen);
+      case ',':
+        return single(Tok::kComma);
+      case '!':
+        return single(Tok::kBang);
+      case '@':
+        return single(Tok::kAt);
+      case '/':
+        return single(Tok::kSlash);
+      default:
+        break;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i_;
+      while (i_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[i_])) ||
+              src_[i_] == '_' || src_[i_] == '#')) {
+        ++i_;
+      }
+      current_ = {Tok::kIdent, std::string(src_.substr(start, i_ - start)),
+                  start};
+      return;
+    }
+    throw TraceCompileError(std::string("unexpected character '") + c + "'",
+                            i_);
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  Token current_;
+};
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::optional<accel::AccelType> parse_accel(const std::string& ident) {
+  static const std::map<std::string, accel::AccelType> kMap = {
+      {"tcp", accel::AccelType::kTcp},   {"encr", accel::AccelType::kEncr},
+      {"decr", accel::AccelType::kDecr}, {"rpc", accel::AccelType::kRpc},
+      {"ser", accel::AccelType::kSer},   {"dser", accel::AccelType::kDser},
+      {"cmp", accel::AccelType::kCmp},   {"dcmp", accel::AccelType::kDcmp},
+      {"ldb", accel::AccelType::kLdb}};
+  const auto it = kMap.find(lower(ident));
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<BranchCond> parse_cond(const std::string& ident) {
+  static const std::map<std::string, BranchCond> kMap = {
+      {"compressed", BranchCond::kCompressed},
+      {"hit", BranchCond::kHit},
+      {"found", BranchCond::kFound},
+      {"ok", BranchCond::kNoException},
+      {"ccompressed", BranchCond::kCCompressed}};
+  const auto it = kMap.find(lower(ident));
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+accel::DataFormat parse_format(const Token& t) {
+  static const std::map<std::string, accel::DataFormat> kMap = {
+      {"str", accel::DataFormat::kString},
+      {"string", accel::DataFormat::kString},
+      {"json", accel::DataFormat::kJson},
+      {"bson", accel::DataFormat::kBson},
+      {"proto", accel::DataFormat::kProtoWire}};
+  const auto it = kMap.find(lower(t.text));
+  if (it == kMap.end()) {
+    throw TraceCompileError("unknown data format '" + t.text + "'", t.pos);
+  }
+  return it->second;
+}
+
+RemoteKind parse_remote(const Token& t) {
+  static const std::map<std::string, RemoteKind> kMap = {
+      {"cache_read", RemoteKind::kDbCacheRead},
+      {"db_read", RemoteKind::kDbRead},
+      {"db_write", RemoteKind::kDbWrite},
+      {"rpc", RemoteKind::kNestedRpc},
+      {"http", RemoteKind::kHttp}};
+  const auto it = kMap.find(lower(t.text));
+  if (it == kMap.end()) {
+    throw TraceCompileError("unknown remote kind '" + t.text + "'", t.pos);
+  }
+  return it->second;
+}
+
+/** Recursive-descent parser emitting into a TraceBuilder. */
+class Parser {
+ public:
+  Parser(Lexer& lex, TraceLibrary& lib) : lex_(lex), lib_(lib) {}
+
+  /** Parses a full program; returns the ATM address. */
+  AtmAddr program(const std::string& name) {
+    TraceBuilder b(lib_);
+    fragment(b, /*in_branch_body=*/false);
+    // Terminator.
+    const Token t = lex_.take();
+    if (t.kind == Tok::kBang) {
+      expect_end();
+      return b.end_notify(name);
+    }
+    if (t.kind == Tok::kAt) {
+      const Token target = expect(Tok::kIdent, "trace name after '@'");
+      RemoteKind remote = RemoteKind::kNone;
+      if (lex_.peek().kind == Tok::kSlash) {
+        lex_.take();
+        remote = parse_remote(expect(Tok::kIdent, "remote kind after '/'"));
+      }
+      expect_end();
+      return b.tail(name, target.text, remote);
+    }
+    throw TraceCompileError("expected terminator '!' or '@trace'", t.pos);
+  }
+
+ private:
+  /** Parses steps separated by '>' until a terminator or ']'. */
+  void fragment(TraceBuilder& b, bool in_branch_body) {
+    for (;;) {
+      step(b);
+      const Tok next = lex_.peek().kind;
+      if (next == Tok::kGt) {
+        lex_.take();
+        continue;
+      }
+      if (in_branch_body) {
+        if (next == Tok::kRBracket) return;
+        throw TraceCompileError("expected '>' or ']' in branch body",
+                                lex_.peek().pos);
+      }
+      return;  // Caller parses the terminator.
+    }
+  }
+
+  void step(TraceBuilder& b) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::kIdent) {
+      throw TraceCompileError("expected a step", t.pos);
+    }
+    const std::string word = lower(t.text);
+
+    if (word == "xf") {
+      expect(Tok::kLParen, "'(' after XF");
+      const accel::DataFormat from =
+          parse_format(expect(Tok::kIdent, "source format"));
+      expect(Tok::kComma, "',' between formats");
+      const accel::DataFormat to =
+          parse_format(expect(Tok::kIdent, "destination format"));
+      expect(Tok::kRParen, "')' after formats");
+      b.trans(from, to);
+      return;
+    }
+    if (word == "notify") {
+      b.notify_cont();
+      return;
+    }
+    if (const auto cond = parse_cond(t.text)) {
+      expect(Tok::kQuestion, "'?' after condition");
+      const Token next = lex_.take();
+      if (next.kind == Tok::kLBracket) {
+        // Inline if-taken region. The body cannot be parsed inside
+        // TraceBuilder::branch's callback (the parser is stateful), so
+        // parse into a sub-builder-compatible lambda by deferring: collect
+        // the body through a nested Parser invocation on this lexer.
+        b.branch(*cond, [this](TraceBuilder& body) {
+          fragment(body, /*in_branch_body=*/true);
+        });
+        expect(Tok::kRBracket, "']' closing branch body");
+        return;
+      }
+      if (next.kind == Tok::kColon) {
+        const Token target = expect(Tok::kIdent, "trace name after ':'");
+        b.branch_else_goto(*cond, target.text);
+        return;
+      }
+      throw TraceCompileError("expected '[' or ':' after '?'", next.pos);
+    }
+    if (const auto accel_type = parse_accel(t.text)) {
+      b.seq(*accel_type);
+      return;
+    }
+    throw TraceCompileError("unknown step '" + t.text + "'", t.pos);
+  }
+
+  Token expect(Tok kind, const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != kind) {
+      throw TraceCompileError(std::string("expected ") + what, t.pos);
+    }
+    return t;
+  }
+
+  void expect_end() {
+    if (lex_.peek().kind != Tok::kEnd) {
+      throw TraceCompileError("trailing input after terminator",
+                              lex_.peek().pos);
+    }
+  }
+
+  Lexer& lex_;
+  TraceLibrary& lib_;
+};
+
+}  // namespace
+
+AtmAddr compile_trace(TraceLibrary& lib, const std::string& name,
+                      std::string_view program) {
+  Lexer lex(program);
+  Parser parser(lex, lib);
+  return parser.program(name);
+}
+
+}  // namespace accelflow::core

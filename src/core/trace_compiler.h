@@ -1,0 +1,68 @@
+#ifndef ACCELFLOW_CORE_TRACE_COMPILER_H_
+#define ACCELFLOW_CORE_TRACE_COMPILER_H_
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/trace_library.h"
+
+/**
+ * @file
+ * The trace compiler: the paper's Section IX future-work direction of
+ * "automating trace generation via compiler and runtime infrastructures",
+ * realized as a small annotation language that compiles to trace words
+ * through the TraceBuilder (so auto-splitting, validation and ATM
+ * registration all apply).
+ *
+ * Grammar (whitespace-insensitive):
+ *
+ *   program    := step (">" step)* terminator
+ *   step       := accel | branch | transform | "NOTIFY"
+ *   accel      := "TCP" | "Encr" | "Decr" | "RPC" | "Ser" | "Dser"
+ *               | "Cmp" | "Dcmp" | "LdB"
+ *   branch     := cond "?" "[" program-fragment "]"          // if-taken
+ *               | cond "?" ":" ident                          // else-goto
+ *   cond       := "compressed" | "hit" | "found" | "ok" | "ccompressed"
+ *   transform  := "XF(" fmt "," fmt ")"
+ *   fmt        := "str" | "json" | "bson" | "proto"
+ *   terminator := "!"                                         // END_NOTIFY
+ *               | "@" ident [ "/" remote ]                    // TAIL
+ *   remote     := "cache_read" | "db_read" | "db_write" | "rpc" | "http"
+ *
+ * Examples (the paper's Figure 4a and 2b):
+ *
+ *   TCP > Decr > RPC > Dser
+ *       > compressed? [ XF(json,str) > Dcmp ] > LdB !
+ *
+ *   Ser > Encr > TCP @T5/cache_read
+ */
+
+namespace accelflow::core {
+
+/** Error raised on malformed annotation programs. */
+class TraceCompileError : public std::runtime_error {
+ public:
+  TraceCompileError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/**
+ * Compiles an annotation program into `lib` under `name`.
+ *
+ * @return the ATM address of the (first) compiled trace.
+ * @throws TraceCompileError on syntax errors; std::runtime_error if the
+ *         resulting trace fails structural validation.
+ */
+AtmAddr compile_trace(TraceLibrary& lib, const std::string& name,
+                      std::string_view program);
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TRACE_COMPILER_H_

@@ -1,0 +1,162 @@
+#include "core/trace_dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace accelflow::core {
+
+namespace {
+
+/** Renders one trace's ops as nodes; returns the id of its first node. */
+class DotBuilder {
+ public:
+  DotBuilder(const TraceLibrary& lib, std::ostringstream& os, int max_traces)
+      : lib_(lib), os_(os), max_traces_(max_traces) {}
+
+  /** Emits the trace at `addr` (once) and returns its entry node id. */
+  std::string emit_trace(AtmAddr addr) {
+    const auto it = entry_node_.find(addr);
+    if (it != entry_node_.end()) return it->second;
+    if (static_cast<int>(entry_node_.size()) >= max_traces_) return "...";
+
+    const std::string cluster = "cluster_" + std::to_string(addr);
+    // Reserve the entry name up front so ATM cycles terminate.
+    const std::string entry = node_name();
+    entry_node_[addr] = entry;
+
+    std::ostringstream body;
+    std::string prev;
+    std::uint64_t word = lib_.get(addr).word;
+    std::uint8_t pm = 0;
+    bool first = true;
+    std::vector<std::pair<std::string, AtmAddr>> tails;
+
+    auto link = [&](const std::string& to, const char* label = nullptr,
+                    bool dashed = false) {
+      if (!prev.empty()) {
+        body << "    " << prev << " -> " << to;
+        if (label || dashed) {
+          body << " [";
+          if (label) body << "label=\"" << label << "\" ";
+          if (dashed) body << "style=dashed";
+          body << "]";
+        }
+        body << ";\n";
+      }
+      prev = to;
+    };
+
+    for (;;) {
+      const TraceOp op = decode_op(word, pm);
+      std::string n = first ? entry : node_name();
+      first = false;
+      switch (op.kind) {
+        case TraceOp::Kind::kInvoke:
+          body << "    " << n << " [shape=box,label=\""
+               << name_of(op.accel) << "\"];\n";
+          link(n);
+          pm = op.next_pm;
+          break;
+        case TraceOp::Kind::kBranchSkip: {
+          body << "    " << n << " [shape=diamond,label=\""
+               << name_of(op.cond) << "\"];\n";
+          link(n);
+          // The not-taken edge skips the body: emit a join placeholder by
+          // decoding the skipped region linearly with a "no" edge around.
+          const std::string branch_node = n;
+          const std::uint8_t join_pm =
+              static_cast<std::uint8_t>(op.next_pm + op.skip);
+          // Taken path continues inline; remember where the "no" edge
+          // must reattach.
+          pending_joins_.push_back({branch_node, join_pm});
+          pm = op.next_pm;
+          break;
+        }
+        case TraceOp::Kind::kBranchAtm: {
+          body << "    " << n << " [shape=diamond,label=\""
+               << name_of(op.cond) << "\"];\n";
+          link(n);
+          const std::string target = emit_trace(op.atm);
+          body << "    " << n << " -> " << target
+               << " [label=\"no\",style=dashed];\n";
+          pm = op.next_pm;
+          break;
+        }
+        case TraceOp::Kind::kTransform:
+          body << "    " << n << " [shape=parallelogram,label=\"XF "
+               << name_of(op.from) << "->" << name_of(op.to) << "\"];\n";
+          link(n);
+          pm = op.next_pm;
+          break;
+        case TraceOp::Kind::kNotifyCont:
+          body << "    " << n
+               << " [shape=cds,label=\"notify CPU\"];\n";
+          link(n);
+          pm = op.next_pm;
+          break;
+        case TraceOp::Kind::kTail: {
+          const std::string target = emit_trace(op.atm);
+          const RemoteKind remote = lib_.remote_of(op.atm);
+          body << "    " << prev << " -> " << target << " [style=dashed";
+          if (remote != RemoteKind::kNone) {
+            body << ",label=\"wait: " << name_of(remote) << "\"";
+          } else {
+            body << ",label=\"ATM\"";
+          }
+          body << "];\n";
+          flush(cluster, addr, body.str());
+          return entry;
+        }
+        case TraceOp::Kind::kEndNotify:
+          body << "    " << n
+               << " [shape=oval,label=\"notify CPU\"];\n";
+          link(n);
+          flush(cluster, addr, body.str());
+          return entry;
+      }
+      // Reattach any "no" edges whose join point we just reached.
+      for (auto join = pending_joins_.begin();
+           join != pending_joins_.end();) {
+        if (join->second == pm) {
+          body << "    " << join->first << " -> " << prev
+               << " [label=\"no\"];\n";
+          join = pending_joins_.erase(join);
+        } else {
+          ++join;
+        }
+      }
+    }
+  }
+
+ private:
+  std::string node_name() { return "n" + std::to_string(next_node_++); }
+
+  void flush(const std::string& cluster, AtmAddr addr,
+             const std::string& body) {
+    os_ << "  subgraph " << cluster << " {\n    label=\""
+        << lib_.name_of_addr(addr) << "\";\n"
+        << body << "  }\n";
+    pending_joins_.clear();
+  }
+
+  const TraceLibrary& lib_;
+  std::ostringstream& os_;
+  int max_traces_;
+  int next_node_ = 0;
+  std::map<AtmAddr, std::string> entry_node_;
+  std::vector<std::pair<std::string, std::uint8_t>> pending_joins_;
+};
+
+}  // namespace
+
+std::string chain_to_dot(const TraceLibrary& lib, AtmAddr start,
+                         int max_traces) {
+  std::ostringstream os;
+  os << "digraph chain {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  DotBuilder builder(lib, os, max_traces);
+  builder.emit_trace(start);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace accelflow::core

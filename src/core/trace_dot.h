@@ -1,0 +1,29 @@
+#ifndef ACCELFLOW_CORE_TRACE_DOT_H_
+#define ACCELFLOW_CORE_TRACE_DOT_H_
+
+#include <string>
+
+#include "core/trace_library.h"
+
+/**
+ * @file
+ * Graphviz export of trace chains: renders the accelerator call graph the
+ * way the paper draws Figures 2, 4 and 7 — boxes for accelerator
+ * invocations, diamonds for branch conditions, dashed edges for ATM
+ * continuations, and annotated network waits.
+ */
+
+namespace accelflow::core {
+
+/**
+ * Renders the chain starting at `start` (following TAIL and both branch
+ * directions) as a Graphviz digraph.
+ *
+ * @param max_traces cycle guard.
+ */
+std::string chain_to_dot(const TraceLibrary& lib, AtmAddr start,
+                         int max_traces = 64);
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TRACE_DOT_H_

@@ -1,0 +1,234 @@
+#include "core/trace_encoding.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace accelflow::core {
+
+namespace {
+
+/** Appends one raw nibble if it fits. */
+bool push_nibble(Trace& t, std::uint8_t v) {
+  if (t.len >= kMaxNibbles) return false;
+  t.word = with_nibble(t.word, t.len, v);
+  ++t.len;
+  return true;
+}
+
+bool push_nibbles(Trace& t, std::initializer_list<std::uint8_t> vs) {
+  if (t.len + vs.size() > kMaxNibbles) return false;
+  for (const std::uint8_t v : vs) push_nibble(t, v);
+  return true;
+}
+
+}  // namespace
+
+bool append_invoke(Trace& t, accel::AccelType a) {
+  return push_nibble(t, static_cast<std::uint8_t>(a));
+}
+
+bool append_branch_skip(Trace& t, BranchCond c, std::uint8_t skip) {
+  assert(skip <= 0xF);
+  return push_nibbles(
+      t, {static_cast<std::uint8_t>(TraceOpcode::kBranchSkip),
+          static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(skip)});
+}
+
+bool append_branch_atm(Trace& t, BranchCond c, AtmAddr addr) {
+  return push_nibbles(t, {static_cast<std::uint8_t>(TraceOpcode::kBranchAtm),
+                          static_cast<std::uint8_t>(c),
+                          static_cast<std::uint8_t>(addr & 0xF),
+                          static_cast<std::uint8_t>(addr >> 4)});
+}
+
+bool append_transform(Trace& t, accel::DataFormat from, accel::DataFormat to) {
+  const auto packed = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(from) << 2) | static_cast<std::uint8_t>(to));
+  return push_nibbles(
+      t, {static_cast<std::uint8_t>(TraceOpcode::kTransform), packed});
+}
+
+bool append_tail(Trace& t, AtmAddr addr) {
+  return push_nibbles(t, {static_cast<std::uint8_t>(TraceOpcode::kTail),
+                          static_cast<std::uint8_t>(addr & 0xF),
+                          static_cast<std::uint8_t>(addr >> 4)});
+}
+
+bool append_end_notify(Trace& t) {
+  return push_nibble(t, static_cast<std::uint8_t>(TraceOpcode::kEndNotify));
+}
+
+bool append_notify_cont(Trace& t) {
+  return push_nibble(t, static_cast<std::uint8_t>(TraceOpcode::kNotifyCont));
+}
+
+TraceOp decode_op(std::uint64_t word, std::uint8_t pm) {
+  TraceOp op;
+  if (pm >= kMaxNibbles) {
+    op.kind = TraceOp::Kind::kEndNotify;
+    op.next_pm = pm;
+    return op;
+  }
+  const std::uint8_t n = nibble_at(word, pm);
+  if (n <= 0x8) {
+    op.kind = TraceOp::Kind::kInvoke;
+    op.accel = static_cast<accel::AccelType>(n);
+    op.next_pm = pm + 1;
+    return op;
+  }
+  switch (static_cast<TraceOpcode>(n)) {
+    case TraceOpcode::kBranchSkip:
+      op.kind = TraceOp::Kind::kBranchSkip;
+      op.cond = static_cast<BranchCond>(nibble_at(word, pm + 1));
+      op.skip = nibble_at(word, pm + 2);
+      op.next_pm = pm + 3;
+      return op;
+    case TraceOpcode::kBranchAtm:
+      op.kind = TraceOp::Kind::kBranchAtm;
+      op.cond = static_cast<BranchCond>(nibble_at(word, pm + 1));
+      op.atm = static_cast<AtmAddr>(nibble_at(word, pm + 2) |
+                                    (nibble_at(word, pm + 3) << 4));
+      op.next_pm = pm + 4;
+      return op;
+    case TraceOpcode::kTransform: {
+      op.kind = TraceOp::Kind::kTransform;
+      const std::uint8_t packed = nibble_at(word, pm + 1);
+      op.from = static_cast<accel::DataFormat>((packed >> 2) & 0x3);
+      op.to = static_cast<accel::DataFormat>(packed & 0x3);
+      op.next_pm = pm + 2;
+      return op;
+    }
+    case TraceOpcode::kTail:
+      op.kind = TraceOp::Kind::kTail;
+      op.atm = static_cast<AtmAddr>(nibble_at(word, pm + 1) |
+                                    (nibble_at(word, pm + 2) << 4));
+      op.next_pm = pm + 3;
+      return op;
+    case TraceOpcode::kEndNotify:
+      op.kind = TraceOp::Kind::kEndNotify;
+      op.next_pm = pm + 1;
+      return op;
+    case TraceOpcode::kNotifyCont:
+      op.kind = TraceOp::Kind::kNotifyCont;
+      op.next_pm = pm + 1;
+      return op;
+    case TraceOpcode::kPad:
+      break;
+  }
+  // PAD (or malformed): treat as end-of-trace with notification.
+  op.kind = TraceOp::Kind::kEndNotify;
+  op.next_pm = pm + 1;
+  return op;
+}
+
+std::vector<TraceOp> decode_all(const Trace& t) {
+  std::vector<TraceOp> ops;
+  std::uint8_t pm = 0;
+  while (pm < t.len) {
+    TraceOp op = decode_op(t.word, pm);
+    ops.push_back(op);
+    if (op.kind == TraceOp::Kind::kTail ||
+        op.kind == TraceOp::Kind::kEndNotify) {
+      break;
+    }
+    pm = op.next_pm;
+  }
+  return ops;
+}
+
+bool validate(const Trace& t, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (t.len > kMaxNibbles) return fail("length exceeds 16 nibbles");
+  if (t.len == 0) return fail("empty trace");
+
+  std::uint8_t pm = 0;
+  bool terminated = false;
+  while (pm < t.len) {
+    const std::uint8_t raw = nibble_at(t.word, pm);
+    if (raw == static_cast<std::uint8_t>(TraceOpcode::kPad)) {
+      return fail("PAD nibble before the terminator");
+    }
+    const TraceOp op = decode_op(t.word, pm);
+    if (op.next_pm > t.len) return fail("op truncated by trace end");
+    switch (op.kind) {
+      case TraceOp::Kind::kBranchSkip:
+        if (static_cast<std::size_t>(op.cond) >= kNumBranchConds) {
+          return fail("invalid branch condition code");
+        }
+        if (op.next_pm + op.skip > t.len) {
+          return fail("BR_SKIP target out of range");
+        }
+        break;
+      case TraceOp::Kind::kBranchAtm:
+        if (static_cast<std::size_t>(op.cond) >= kNumBranchConds) {
+          return fail("invalid branch condition code");
+        }
+        break;
+      case TraceOp::Kind::kTail:
+      case TraceOp::Kind::kEndNotify:
+        if (op.next_pm != t.len) {
+          return fail("terminator is not the last op");
+        }
+        terminated = true;
+        break;
+      default:
+        break;
+    }
+    if (terminated) break;
+    pm = op.next_pm;
+  }
+  if (!terminated) return fail("trace lacks a TAIL or END_NOTIFY terminator");
+  // All nibbles beyond len must be PAD (0xF) in a canonically-encoded word.
+  for (std::uint8_t i = t.len; i < kMaxNibbles; ++i) {
+    if (nibble_at(t.word, i) != 0) {
+      // The builder zero-fills; accept zero padding only.
+      return fail("non-zero padding after the terminator");
+    }
+  }
+  return true;
+}
+
+std::string to_string(const Trace& t) {
+  std::string out;
+  char buf[64];
+  for (const TraceOp& op : decode_all(t)) {
+    if (!out.empty()) out += ' ';
+    switch (op.kind) {
+      case TraceOp::Kind::kInvoke:
+        out += name_of(op.accel);
+        break;
+      case TraceOp::Kind::kBranchSkip:
+        std::snprintf(buf, sizeof(buf), "BR(%s,+%u)",
+                      std::string(name_of(op.cond)).c_str(), op.skip);
+        out += buf;
+        break;
+      case TraceOp::Kind::kBranchAtm:
+        std::snprintf(buf, sizeof(buf), "BR(%s,@%u)",
+                      std::string(name_of(op.cond)).c_str(), op.atm);
+        out += buf;
+        break;
+      case TraceOp::Kind::kTransform:
+        std::snprintf(buf, sizeof(buf), "XF(%s->%s)",
+                      std::string(name_of(op.from)).c_str(),
+                      std::string(name_of(op.to)).c_str());
+        out += buf;
+        break;
+      case TraceOp::Kind::kTail:
+        std::snprintf(buf, sizeof(buf), "TAIL(@%u)", op.atm);
+        out += buf;
+        break;
+      case TraceOp::Kind::kEndNotify:
+        out += "END";
+        break;
+      case TraceOp::Kind::kNotifyCont:
+        out += "NOTIFY+";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,191 @@
+#ifndef ACCELFLOW_CORE_TRACE_ENCODING_H_
+#define ACCELFLOW_CORE_TRACE_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/types.h"
+
+/**
+ * @file
+ * The binary Trace encoding (Section IV-A).
+ *
+ * A trace is an 8-byte word interpreted as a stream of 16 four-bit nibbles,
+ * walked by a moving Position Mark (PM). Nibble values 0x0..0x8 invoke the
+ * corresponding accelerator (the paper's "4 bits per accelerator ... up to
+ * 16 accelerator invocations per trace"); the remaining values encode the
+ * control operations the output dispatchers execute:
+ *
+ *   0x0..0x8  INVOKE <accel>          forward to that accelerator
+ *   0x9       BR_SKIP <cond> <skip>   if cond is FALSE, PM += skip
+ *   0xA       XF <src:2|dst:2>        data-format transformation
+ *   0xB       TAIL <addr:8b>          end; load next trace from ATM[addr]
+ *   0xC       END_NOTIFY              end; DMA result to memory, notify core
+ *   0xD       NOTIFY_CONT             notify core, keep executing
+ *   0xE       BR_ATM <cond> <addr:8b> if cond is FALSE, continue at
+ *                                     ATM[addr] ("major divergence" split);
+ *                                     if TRUE, continue inline
+ *   0xF       PAD                     padding after the last op
+ *
+ * Sequences that need more than 16 nibbles must be split into subtraces
+ * chained through the ATM, exactly as the paper prescribes; the TraceBuilder
+ * enforces this.
+ */
+
+namespace accelflow::core {
+
+/** An encoded trace: the 8-byte word plus its used length in nibbles. */
+struct Trace {
+  std::uint64_t word = 0;
+  std::uint8_t len = 0;  ///< Nibbles used (encoder bookkeeping only).
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+inline constexpr std::uint8_t kMaxNibbles = 16;
+
+/** Opcode nibbles >= 0x9. */
+enum class TraceOpcode : std::uint8_t {
+  kBranchSkip = 0x9,
+  kTransform = 0xA,
+  kTail = 0xB,
+  kEndNotify = 0xC,
+  kNotifyCont = 0xD,
+  kBranchAtm = 0xE,
+  kPad = 0xF,
+};
+
+/**
+ * Branch condition codes (Section VII-B.2 lists exactly these): each tests
+ * one field of the payload with a simple compare.
+ */
+enum class BranchCond : std::uint8_t {
+  kCompressed = 0,   ///< Payload is compressed.
+  kHit = 1,          ///< DB-cache lookup hit.
+  kFound = 2,        ///< DB lookup found the key.
+  kNoException = 3,  ///< Remote completed without error.
+  kCCompressed = 4,  ///< The DB cache stores compressed values.
+};
+
+inline constexpr std::size_t kNumBranchConds = 5;
+
+constexpr std::string_view name_of(BranchCond c) {
+  constexpr std::string_view kNames[kNumBranchConds] = {
+      "Compressed?", "Hit?", "Found?", "NoException?", "C-Compressed?"};
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+/** Evaluates a branch condition against the payload's flag fields. */
+constexpr bool eval_condition(BranchCond c, const accel::PayloadFlags& f) {
+  switch (c) {
+    case BranchCond::kCompressed:
+      return f.compressed;
+    case BranchCond::kHit:
+      return f.hit;
+    case BranchCond::kFound:
+      return f.found;
+    case BranchCond::kNoException:
+      return !f.exception;
+    case BranchCond::kCCompressed:
+      return f.c_compressed;
+  }
+  return false;
+}
+
+/** ATM address embedded in TAIL / BR_ATM ops (8 bits: 256 trace slots). */
+using AtmAddr = std::uint8_t;
+
+/** A decoded trace operation. */
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    kInvoke,
+    kBranchSkip,
+    kBranchAtm,
+    kTransform,
+    kTail,
+    kEndNotify,
+    kNotifyCont,
+  };
+  Kind kind = Kind::kEndNotify;
+  accel::AccelType accel = accel::AccelType::kTcp;  ///< kInvoke.
+  BranchCond cond = BranchCond::kCompressed;        ///< Branches.
+  std::uint8_t skip = 0;                            ///< kBranchSkip.
+  AtmAddr atm = 0;                                  ///< kBranchAtm / kTail.
+  accel::DataFormat from = accel::DataFormat::kString;  ///< kTransform.
+  accel::DataFormat to = accel::DataFormat::kString;    ///< kTransform.
+  std::uint8_t next_pm = 0;  ///< PM after consuming this op's nibbles.
+};
+
+/** Reads the nibble at index `pm`. */
+constexpr std::uint8_t nibble_at(std::uint64_t word, std::uint8_t pm) {
+  return static_cast<std::uint8_t>((word >> (pm * 4)) & 0xF);
+}
+
+/** Writes nibble `v` at index `pm`. */
+constexpr std::uint64_t with_nibble(std::uint64_t word, std::uint8_t pm,
+                                    std::uint8_t v) {
+  const std::uint64_t mask = ~(std::uint64_t{0xF} << (pm * 4));
+  return (word & mask) | (static_cast<std::uint64_t>(v & 0xF) << (pm * 4));
+}
+
+// --- Encoding (used by the TraceBuilder) ---------------------------------
+// Each append_* returns false if the op does not fit in the trace word.
+
+bool append_invoke(Trace& t, accel::AccelType a);
+bool append_branch_skip(Trace& t, BranchCond c, std::uint8_t skip);
+bool append_branch_atm(Trace& t, BranchCond c, AtmAddr addr);
+bool append_transform(Trace& t, accel::DataFormat from, accel::DataFormat to);
+bool append_tail(Trace& t, AtmAddr addr);
+bool append_end_notify(Trace& t);
+bool append_notify_cont(Trace& t);
+
+/** Nibble cost of each op kind (for the builder's fit checks). */
+constexpr std::uint8_t op_nibbles(TraceOp::Kind k) {
+  switch (k) {
+    case TraceOp::Kind::kInvoke:
+    case TraceOp::Kind::kEndNotify:
+    case TraceOp::Kind::kNotifyCont:
+      return 1;
+    case TraceOp::Kind::kTransform:
+      return 2;
+    case TraceOp::Kind::kBranchSkip:
+    case TraceOp::Kind::kTail:
+      return 3;
+    case TraceOp::Kind::kBranchAtm:
+      return 4;
+  }
+  return 1;
+}
+
+// --- Decoding (used by the output dispatchers) ----------------------------
+
+/**
+ * Decodes the op at position `pm`.
+ *
+ * Running past the last explicit op (into PAD nibbles or off the end of the
+ * word) decodes as END_NOTIFY: a trace that does not say what comes next
+ * returns control to the CPU.
+ */
+TraceOp decode_op(std::uint64_t word, std::uint8_t pm);
+
+/** Decodes a whole trace into its op list (tools/tests; not the hot path). */
+std::vector<TraceOp> decode_all(const Trace& t);
+
+/**
+ * Validates structural well-formedness:
+ *  - every op fits within the word,
+ *  - skip targets stay in range,
+ *  - TAIL / END_NOTIFY is the last op,
+ *  - only PAD nibbles follow the terminator.
+ *
+ * @param error if non-null, receives a description of the first violation.
+ */
+bool validate(const Trace& t, std::string* error = nullptr);
+
+/** Human-readable disassembly, e.g. "TCP Decr BR(Compressed?,+2) Dcmp ...". */
+std::string to_string(const Trace& t);
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TRACE_ENCODING_H_

@@ -1,0 +1,199 @@
+#include "core/trace_templates.h"
+
+#include "core/trace_builder.h"
+
+namespace accelflow::core {
+
+using accel::AccelType;
+using accel::DataFormat;
+
+TraceTemplates register_templates(TraceLibrary& lib) {
+  TraceTemplates t{};
+
+  // T2 (Figure 2a): send a function response.
+  //   Ser -> RPC -> Encr -> TCP, then notify the core.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t2 = b.end_notify("T2");
+  }
+
+  // T3: T2 with compression, chosen by the CPU (no branch needed: "there is
+  // no branch because the CPU core knows that it needs to compress").
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kCmp, AccelType::kSer, AccelType::kRpc,
+           AccelType::kEncr, AccelType::kTcp});
+    t.t3 = b.end_notify("T3");
+  }
+
+  // T1 (Figure 4a): receive a function request. The payload may be
+  // compressed; that is only known after deserialization, when the Dser
+  // output dispatcher evaluates the branch. The Dcmp path also needs a
+  // JSON -> string format change (Listing 1).
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kRpc,
+           AccelType::kDser});
+    b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+      then.trans(DataFormat::kJson, DataFormat::kString);
+      then.seq({AccelType::kDcmp});
+    });
+    b.seq({AccelType::kLdb});
+    t.t1 = b.end_notify("T1");
+  }
+
+  // T7: receive the acknowledgement of a write to the DB cache or the DB.
+  // The response may carry an exception, in which case the ensemble itself
+  // reports the error to the user (the rarely-taken four-accelerator error
+  // subsequence lives in its own trace, per Section IV-A).
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t7err = b.end_notify("T7err");
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kDser});
+    b.branch_else_goto(BranchCond::kNoException, "T7err");
+    b.seq({AccelType::kLdb});
+    t.t7 = b.end_notify("T7");
+  }
+
+  // T8 / T8c: send a write request to the DB cache or DB, then wait for
+  // the acknowledgement (T7).
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kEncr, AccelType::kTcp});
+    t.t8 = b.tail("T8", "T7", RemoteKind::kDbWrite);
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kCmp, AccelType::kSer, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t8c = b.tail("T8c", "T7", RemoteKind::kDbWrite);
+  }
+
+  // T6 (Figure 7): receive the response of a read from the DB. If the key
+  // was not found, report the error (T6err). Otherwise decompress if
+  // needed, hand the value to the CPU (NOTIFY_CONT), and in parallel write
+  // it back into the DB cache (T6wb) — recompressing first if the cache
+  // stores compressed values (C-Compressed test).
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t6err = b.end_notify("T6err");
+  }
+  {
+    TraceBuilder b(lib);
+    b.branch(BranchCond::kCCompressed, [](TraceBuilder& then) {
+      then.seq({AccelType::kCmp});
+    });
+    b.seq({AccelType::kSer, AccelType::kEncr, AccelType::kTcp});
+    t.t6wb = b.tail("T6wb", "T7", RemoteKind::kDbWrite);
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kDser});
+    b.branch_else_goto(BranchCond::kFound, "T6err");
+    b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+      then.seq({AccelType::kDcmp});
+    });
+    b.notify_cont();
+    t.t6 = b.tail("T6", "T6wb");
+  }
+
+  // T5 (Figures 2b / 4b / 7): receive the response of a read from the DB
+  // cache. On a hit, the (possibly compressed) value goes to a core via
+  // LdB; on a miss a read must be sent to the actual DB (T5miss), whose
+  // response arrives as T6.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kEncr, AccelType::kTcp});
+    t.t5miss = b.tail("T5miss", "T6", RemoteKind::kDbRead);
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kDser});
+    b.branch_else_goto(BranchCond::kHit, "T5miss");
+    b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+      then.seq({AccelType::kDcmp});
+    });
+    b.seq({AccelType::kLdb});
+    t.t5 = b.end_notify("T5");
+  }
+
+  // T4 (Figure 2b): send a read request to the DB cache and arm T5 on the
+  // same TCP accelerator (the asterisk in the figure).
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kEncr, AccelType::kTcp});
+    t.t4 = b.tail("T4", "T5", RemoteKind::kDbCacheRead);
+  }
+
+  // T10: receive an RPC response; exceptions are handled as in T7, and the
+  // payload may need decompression.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t10err = b.end_notify("T10err");
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kRpc,
+           AccelType::kDser});
+    b.branch_else_goto(BranchCond::kNoException, "T10err");
+    b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+      then.seq({AccelType::kDcmp});
+    });
+    b.seq({AccelType::kLdb});
+    t.t10 = b.end_notify("T10");
+  }
+
+  // T9 / T9c: send an RPC request to another service.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t9 = b.tail("T9", "T10", RemoteKind::kNestedRpc);
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kCmp, AccelType::kSer, AccelType::kRpc,
+           AccelType::kEncr, AccelType::kTcp});
+    t.t9c = b.tail("T9c", "T10", RemoteKind::kNestedRpc);
+  }
+
+  // T12: receive an HTTP response; "errors are taken care of by the CPU",
+  // so there is no exception branch here.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kTcp, AccelType::kDecr, AccelType::kDser});
+    b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+      then.seq({AccelType::kDcmp});
+    });
+    b.seq({AccelType::kLdb});
+    t.t12 = b.end_notify("T12");
+  }
+
+  // T11 / T11c: send an HTTP request.
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kEncr, AccelType::kTcp});
+    t.t11 = b.tail("T11", "T12", RemoteKind::kHttp);
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kCmp, AccelType::kSer, AccelType::kEncr,
+           AccelType::kTcp});
+    t.t11c = b.tail("T11c", "T12", RemoteKind::kHttp);
+  }
+
+  return t;
+}
+
+}  // namespace accelflow::core

@@ -1,0 +1,56 @@
+#ifndef ACCELFLOW_CORE_TRACE_TEMPLATES_H_
+#define ACCELFLOW_CORE_TRACE_TEMPLATES_H_
+
+#include "core/trace_library.h"
+
+/**
+ * @file
+ * The predefined trace templates of Table II (T1..T12), reconstructed from
+ * Figures 2, 4 and 7. Services invoke these by name; the combination of
+ * templates and per-chain payload flags reproduces the paper's Table IV
+ * accelerator counts exactly (verified in tests/test_trace_templates.cc).
+ *
+ * Variants whose compression choice is made *by the CPU* before the chain
+ * starts (Table II's "with or without Cmp") are separate templates with a
+ * "c" suffix (T3 is the paper's own name for compressed T2); variants
+ * decided *in flight* use branch conditions inside one template.
+ */
+
+namespace accelflow::core {
+
+/** ATM addresses of all registered templates. */
+struct TraceTemplates {
+  // Function request / response.
+  AtmAddr t1;      ///< Receive function request (Dcmp decided by branch).
+  AtmAddr t2;      ///< Send function response, no Cmp.
+  AtmAddr t3;      ///< Send function response with Cmp.
+  // Database cache reads.
+  AtmAddr t4;      ///< Send read request to DB cache; arms T5.
+  AtmAddr t5;      ///< Receive DB-cache read response (hit/miss branch).
+  AtmAddr t5miss;  ///< Miss path: forward the read to the DB; arms T6.
+  // Database reads.
+  AtmAddr t6;      ///< Receive DB read response (found/error branch).
+  AtmAddr t6wb;    ///< Write the value back into the DB cache; arms T7.
+  AtmAddr t6err;   ///< Key not found: report the error to the user.
+  // Writes.
+  AtmAddr t7;      ///< Receive write acknowledgement (exception branch).
+  AtmAddr t7err;   ///< Exception path: report the error to the user.
+  AtmAddr t8;      ///< Send write request, no Cmp; arms T7.
+  AtmAddr t8c;     ///< Send write request with Cmp; arms T7.
+  // Nested RPC.
+  AtmAddr t9;      ///< Send RPC request, no Cmp; arms T10.
+  AtmAddr t9c;     ///< Send RPC request with Cmp; arms T10.
+  AtmAddr t10;     ///< Receive RPC response (exception + Dcmp branches).
+  AtmAddr t10err;  ///< RPC exception path.
+  // HTTP.
+  AtmAddr t11;     ///< Send HTTP request, no Cmp; arms T12.
+  AtmAddr t11c;    ///< Send HTTP request with Cmp; arms T12.
+  AtmAddr t12;     ///< Receive HTTP response (errors go to the CPU).
+};
+
+/** Registers every template into `lib` and returns their addresses. */
+TraceTemplates register_templates(TraceLibrary& lib);
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_TRACE_TEMPLATES_H_

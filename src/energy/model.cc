@@ -1,0 +1,53 @@
+#include "energy/model.h"
+
+namespace accelflow::energy {
+
+
+EnergyReport compute_energy(const Activity& activity,
+                            const PowerModel& power, const AreaModel& area) {
+  EnergyReport r;
+  if (activity.elapsed == 0) return r;
+
+  // Cores: active power when busy, idle power otherwise.
+  const double core_busy_s = sim::to_seconds(activity.core_busy);
+  const double core_total_s =
+      sim::to_seconds(activity.elapsed) * power.num_cores;
+  r.core_j = core_busy_s * power.core_active_w +
+             (core_total_s - core_busy_s) * power.core_idle_w;
+
+  r.uncore_j = sim::to_seconds(activity.elapsed) * power.uncore_w;
+
+  // Accelerators: busy time is summed across the 8 PEs; an accelerator's
+  // max power corresponds to all PEs active.
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    const double w = power.accel_w(t, area);
+    const double busy_s =
+        sim::to_seconds(activity.accel_busy[accel::index_of(t)]);
+    const double total_s = sim::to_seconds(activity.elapsed) * 8.0;
+    const double util = total_s > 0 ? busy_s / total_s : 0.0;
+    const double elapsed_s = sim::to_seconds(activity.elapsed);
+    r.accel_j += elapsed_s * w * (util + (1.0 - util) * power.idle_fraction);
+  }
+
+  // Orchestration structures: dispatchers + DMA engines + queues.
+  const sim::TimePs orch_busy = activity.dispatcher_busy + activity.dma_busy;
+  const double orch_units = 19.0;  // 9 dispatchers + 10 DMA engines.
+  const double orch_busy_s = sim::to_seconds(orch_busy);
+  const double orch_total_s =
+      sim::to_seconds(activity.elapsed) * orch_units;
+  const double orch_util =
+      orch_total_s > 0 ? orch_busy_s / orch_total_s : 0.0;
+  r.orchestration_j =
+      sim::to_seconds(activity.elapsed) * power.orchestration_max_w *
+      (orch_util + (1.0 - orch_util) * power.idle_fraction);
+
+  r.total_j = r.core_j + r.uncore_j + r.accel_j + r.orchestration_j;
+  r.avg_power_w = r.total_j / sim::to_seconds(activity.elapsed);
+  if (r.total_j > 0) {
+    r.requests_per_joule =
+        static_cast<double>(activity.requests) / r.total_j;
+  }
+  return r;
+}
+
+}  // namespace accelflow::energy

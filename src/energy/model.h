@@ -1,0 +1,109 @@
+#ifndef ACCELFLOW_ENERGY_MODEL_H_
+#define ACCELFLOW_ENERGY_MODEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "accel/types.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * Area / power / energy model (Section VI "Area Overhead" and Section
+ * VII-B.5), seeded with the paper's McPAT-derived values at 7nm:
+ *
+ *  - baseline processor 122.3mm^2 (cores+L1/L2 83.1, LLC 38.2, net 1.0),
+ *  - nine accelerators 44.9mm^2 with the published per-accelerator areas,
+ *  - queues+dispatchers 3.4mm^2, A-DMA 1.3mm^2, accel network 0.4mm^2,
+ *  - accelerators max 12.5W, orchestration structures max 5.0W.
+ *
+ * Energy is activity-based: busy time draws full power, idle time draws a
+ * leakage fraction.
+ */
+
+namespace accelflow::energy {
+
+/** Areas in mm^2 (paper Section VI). */
+struct AreaModel {
+  double cores_mm2 = 83.1;
+  double llc_mm2 = 38.2;
+  double core_net_mm2 = 1.0;
+  /** TCP, Encr, Decr, RPC, Ser, Dser, Cmp, Dcmp, LdB. */
+  std::array<double, accel::kNumAccelTypes> accel_mm2 = {
+      9.1, 9.1, 9.1, 0.9, 0.6, 0.9, 9.1, 5.2, 0.9};
+  double queues_dispatchers_mm2 = 3.4;
+  double adma_mm2 = 1.3;
+  double accel_net_mm2 = 0.4;
+
+  double baseline_processor_mm2() const {
+    return cores_mm2 + llc_mm2 + core_net_mm2;
+  }
+  double accelerators_mm2() const {
+    double a = 0;
+    for (const double x : accel_mm2) a += x;
+    return a;
+  }
+  double orchestration_mm2() const {
+    return queues_dispatchers_mm2 + adma_mm2 + accel_net_mm2;
+  }
+  double total_mm2() const {
+    return baseline_processor_mm2() + accelerators_mm2() +
+           orchestration_mm2();
+  }
+  /** AccelFlow-specific overhead as a share of the SoC (paper: <=2.9%). */
+  double accelflow_overhead_fraction() const {
+    return orchestration_mm2() / total_mm2();
+  }
+};
+
+/** Power in watts. */
+struct PowerModel {
+  double core_active_w = 11.0;
+  double core_idle_w = 1.0;
+  double uncore_w = 42.0;          ///< LLC + memory controllers, static.
+  double accel_max_total_w = 12.5; ///< Paper VII-B.5; split by area.
+  double orchestration_max_w = 5.0;
+  double idle_fraction = 0.12;     ///< Leakage share of max power.
+  int num_cores = 36;
+
+  /** Max power of one accelerator (area-proportional split). */
+  double accel_w(accel::AccelType t, const AreaModel& area = {}) const {
+    return accel_max_total_w * area.accel_mm2[accel::index_of(t)] /
+           area.accelerators_mm2();
+  }
+
+  double server_max_w() const {
+    return core_active_w * num_cores + uncore_w + accel_max_total_w +
+           orchestration_max_w;
+  }
+};
+
+/** Activity inputs (busy times over a run of `elapsed`). */
+struct Activity {
+  sim::TimePs elapsed = 0;
+  sim::TimePs core_busy = 0;
+  std::array<sim::TimePs, accel::kNumAccelTypes> accel_busy{};
+  sim::TimePs dispatcher_busy = 0;
+  sim::TimePs dma_busy = 0;
+  std::uint64_t requests = 0;
+};
+
+/** Energy accounting for one run. */
+struct EnergyReport {
+  double core_j = 0;
+  double uncore_j = 0;
+  double accel_j = 0;
+  double orchestration_j = 0;
+  double total_j = 0;
+  double avg_power_w = 0;
+  double requests_per_joule = 0;
+};
+
+/** Computes the report for the given activity. */
+EnergyReport compute_energy(const Activity& activity,
+                            const PowerModel& power = {},
+                            const AreaModel& area = {});
+
+}  // namespace accelflow::energy
+
+#endif  // ACCELFLOW_ENERGY_MODEL_H_

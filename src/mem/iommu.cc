@@ -1,0 +1,29 @@
+#include "mem/iommu.h"
+
+namespace accelflow::mem {
+
+Iommu::Iommu(sim::Simulator& sim, MemorySystem& mem, const WalkParams& params,
+             std::size_t concurrent_walkers, std::uint64_t seed)
+    : sim_(sim),
+      mem_(mem),
+      params_(params),
+      walkers_(sim, concurrent_walkers),
+      rng_(seed) {}
+
+Iommu::Result Iommu::translate(std::uint32_t /*process_id*/, PageNum /*vpn*/) {
+  ++stats_.translations;
+  ++stats_.walks;
+  // A radix walk is `levels` dependent accesses; sample them up front and
+  // occupy one walker for the whole duration.
+  sim::TimePs walk = 0;
+  for (int i = 0; i < params_.levels; ++i) {
+    walk += mem_.dependent_access_latency(params_.ptw_llc_hit_prob);
+  }
+  Result out;
+  out.faulted = rng_.bernoulli(params_.page_fault_prob);
+  if (out.faulted) ++stats_.faults;
+  out.complete_at = walkers_.submit(walk);
+  return out;
+}
+
+}  // namespace accelflow::mem

@@ -1,0 +1,75 @@
+#ifndef ACCELFLOW_MEM_IOMMU_H_
+#define ACCELFLOW_MEM_IOMMU_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/address.h"
+#include "mem/memory_system.h"
+#include "mem/tlb.h"
+#include "sim/server.h"
+#include "sim/simulator.h"
+
+/**
+ * @file
+ * IOMMU + radix page-table walker servicing PCIe ATS requests from the
+ * accelerators' translation caches (paper Sections IV-A and V.3).
+ */
+
+namespace accelflow::mem {
+
+/** Page-walk parameters. */
+struct WalkParams {
+  int levels = 4;                ///< Radix levels (x86-64 style).
+  double ptw_llc_hit_prob = 0.85;///< Page-table entries are warm in the LLC.
+  double page_fault_prob = 0.0;  ///< Injected minor-fault probability.
+};
+
+/** IOMMU statistics. */
+struct IommuStats {
+  std::uint64_t translations = 0;
+  std::uint64_t walks = 0;
+  std::uint64_t faults = 0;
+};
+
+/**
+ * The IOMMU shared by the accelerators of a chiplet.
+ *
+ * ATS requests serialize on the walker (a small number of concurrent walk
+ * state machines); each walk is `levels` dependent memory accesses. On a
+ * page fault the accelerator stops and the CPU is interrupted — the caller
+ * receives `faulted = true` and models the OS round trip.
+ */
+class Iommu {
+ public:
+  struct Result {
+    sim::TimePs complete_at = 0;
+    bool faulted = false;
+  };
+
+  /**
+   * @param concurrent_walkers number of parallel walk state machines.
+   */
+  Iommu(sim::Simulator& sim, MemorySystem& mem, const WalkParams& params,
+        std::size_t concurrent_walkers = 4, std::uint64_t seed = 0x10AA);
+
+  /**
+   * Translates one page. The returned time includes queueing on the walker.
+   */
+  Result translate(std::uint32_t process_id, PageNum vpn);
+
+  const IommuStats& stats() const { return stats_; }
+  const WalkParams& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  MemorySystem& mem_;
+  WalkParams params_;
+  sim::FifoServer walkers_;
+  sim::Rng rng_;
+  IommuStats stats_;
+};
+
+}  // namespace accelflow::mem
+
+#endif  // ACCELFLOW_MEM_IOMMU_H_

@@ -1,0 +1,75 @@
+#include "noc/interconnect.h"
+
+#include <cassert>
+
+namespace accelflow::noc {
+
+namespace {
+/** Index of the unordered pair (a, b), a != b, in a triangular layout. */
+std::size_t pair_index(int a, int b, int n) {
+  if (a > b) std::swap(a, b);
+  // Row-major upper triangle without diagonal.
+  return static_cast<std::size_t>(a * n + b - (a + 1) * (a + 2) / 2);
+}
+}  // namespace
+
+Interconnect::Interconnect(sim::Simulator& sim,
+                           const InterconnectParams& params)
+    : sim_(sim), params_(params) {
+  assert(!params_.chiplet_meshes.empty());
+  for (const auto& mp : params_.chiplet_meshes) {
+    meshes_.push_back(std::make_unique<Mesh>(sim_, mp));
+  }
+  const int n = num_chiplets();
+  const sim::Clock clock(params_.clock_ghz);
+  const sim::TimePs lat = clock.cycles_to_ps(params_.inter_chiplet_cycles);
+  const std::size_t num_links = static_cast<std::size_t>(n) * (n - 1) / 2;
+  links_.reserve(num_links);
+  for (std::size_t i = 0; i < num_links; ++i) {
+    links_.emplace_back(sim_, params_.inter_chiplet_gbps * 1e9, lat);
+  }
+}
+
+sim::Channel& Interconnect::link(int a, int b) {
+  return links_[pair_index(a, b, num_chiplets())];
+}
+
+const sim::Channel& Interconnect::link(int a, int b) const {
+  return links_[pair_index(a, b, num_chiplets())];
+}
+
+sim::TimePs Interconnect::transfer(Location src, Location dst,
+                                   std::uint64_t bytes,
+                                   sim::TimePs ready_at) {
+  if (src.chiplet == dst.chiplet) {
+    ++stats_.intra_transfers;
+    return mesh(src.chiplet).transfer(src.coord, dst.coord, bytes, ready_at);
+  }
+  ++stats_.inter_transfers;
+  stats_.inter_bytes += bytes;
+  // Source mesh to the chiplet edge router at (0, 0), then across the
+  // package link, then edge router to destination on the target mesh.
+  const Coord edge{0, 0};
+  const sim::TimePs at_edge =
+      mesh(src.chiplet).transfer(src.coord, edge, bytes, ready_at);
+  const sim::TimePs crossed =
+      link(src.chiplet, dst.chiplet).transfer(bytes, at_edge);
+  return mesh(dst.chiplet).transfer(edge, dst.coord, bytes, crossed);
+}
+
+sim::TimePs Interconnect::zero_load_latency(Location src, Location dst,
+                                            std::uint64_t bytes) const {
+  if (src.chiplet == dst.chiplet) {
+    return meshes_[static_cast<std::size_t>(src.chiplet)]->zero_load_latency(
+        src.coord, dst.coord, bytes);
+  }
+  const Coord edge{0, 0};
+  const auto& l = link(src.chiplet, dst.chiplet);
+  return meshes_[static_cast<std::size_t>(src.chiplet)]->zero_load_latency(
+             src.coord, edge, bytes) +
+         l.fixed_latency() + l.serialization_time(bytes) +
+         meshes_[static_cast<std::size_t>(dst.chiplet)]->zero_load_latency(
+             edge, dst.coord, bytes);
+}
+
+}  // namespace accelflow::noc

@@ -1,0 +1,77 @@
+#ifndef ACCELFLOW_SIM_LOG_H_
+#define ACCELFLOW_SIM_LOG_H_
+
+#include <cstdio>
+#include <utility>
+
+#include "sim/time.h"
+
+/**
+ * @file
+ * Minimal leveled logging for simulation models.
+ *
+ * Debug tracing of a multi-million-event simulation must cost nothing when
+ * off: the level check is a single branch on an inline global, and arguments
+ * are not evaluated unless the level is enabled (the macro guards the call).
+ */
+
+namespace accelflow::sim {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+namespace internal {
+inline LogLevel g_log_level = LogLevel::kWarn;
+}
+
+inline void set_log_level(LogLevel level) { internal::g_log_level = level; }
+inline LogLevel log_level() { return internal::g_log_level; }
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(internal::g_log_level);
+}
+
+namespace internal {
+
+template <typename... Args>
+void log_line(LogLevel level, TimePs now, const char* fmt, Args&&... args) {
+  static constexpr const char* kNames[] = {"ERROR", "WARN", "INFO", "DEBUG",
+                                           "TRACE"};
+  std::fprintf(stderr, "[%s %12s] ", kNames[static_cast<int>(level)],
+               format_time(now).c_str());
+  if constexpr (sizeof...(Args) == 0) {
+    std::fputs(fmt, stderr);
+  } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+  }
+  std::fputc('\n', stderr);
+}
+
+}  // namespace internal
+}  // namespace accelflow::sim
+
+/** Logs at `level` with the simulated timestamp `now`. printf-style. */
+#define AF_LOG(level, now, ...)                                        \
+  do {                                                                 \
+    if (::accelflow::sim::log_enabled(level)) {                        \
+      ::accelflow::sim::internal::log_line(level, now, __VA_ARGS__);   \
+    }                                                                  \
+  } while (0)
+
+#define AF_LOG_DEBUG(now, ...) \
+  AF_LOG(::accelflow::sim::LogLevel::kDebug, now, __VA_ARGS__)
+#define AF_LOG_TRACE(now, ...) \
+  AF_LOG(::accelflow::sim::LogLevel::kTrace, now, __VA_ARGS__)
+#define AF_LOG_INFO(now, ...) \
+  AF_LOG(::accelflow::sim::LogLevel::kInfo, now, __VA_ARGS__)
+#define AF_LOG_WARN(now, ...) \
+  AF_LOG(::accelflow::sim::LogLevel::kWarn, now, __VA_ARGS__)
+
+#endif  // ACCELFLOW_SIM_LOG_H_

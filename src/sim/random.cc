@@ -1,0 +1,166 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace accelflow::sim {
+
+namespace {
+
+/** splitmix64 step, used for seed expansion. */
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Guard against the all-zero state, which xoshiro cannot escape.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+double Rng::exponential(double mean) {
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller. Draw until u1 is nonzero.
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  assert(mean > 0.0);
+  if (cv <= 0.0) return mean;
+  // For lognormal: mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return lognormal(mu, std::sqrt(sigma2));
+}
+
+std::uint64_t Rng::poisson(double lambda) {
+  assert(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  assert(n > 0);
+  if (s == 0.0) return static_cast<std::size_t>(next_below(n));
+  double total = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) total += std::pow(static_cast<double>(i), -s);
+  double u = next_double() * total;
+  for (std::size_t i = 1; i <= n; ++i) {
+    u -= std::pow(static_cast<double>(i), -s);
+    if (u <= 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+ZipfTable::ZipfTable(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfTable::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace accelflow::sim

@@ -1,0 +1,127 @@
+#ifndef ACCELFLOW_SIM_SERVER_H_
+#define ACCELFLOW_SIM_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * Queueing-theoretic building blocks shared by many hardware models.
+ */
+
+namespace accelflow::sim {
+
+/**
+ * A bank of `k` identical non-preemptive servers fed by one unbounded FIFO.
+ *
+ * Jobs are dispatched to the earliest-free server; a job submitted at time t
+ * with service time s completes at max(t, earliest_free) + s. This models
+ * any serial resource with deterministic occupancy: CPU cores, the RELIEF
+ * hardware manager, output dispatchers, DMA engines.
+ *
+ * Completion callbacks are scheduled on the simulator, so models can chain
+ * work from them.
+ */
+class FifoServer {
+ public:
+  using Callback = std::function<void()>;
+
+  FifoServer(Simulator& sim, std::size_t num_servers)
+      : sim_(sim), free_at_(num_servers, 0) {}
+
+  /**
+   * Enqueues a job.
+   *
+   * @param service_time busy time the job occupies one server for.
+   * @param done invoked at completion time (may be empty).
+   * @return the completion time.
+   */
+  TimePs submit(TimePs service_time, Callback done = nullptr) {
+    return submit_at(sim_.now(), service_time, std::move(done));
+  }
+
+  /**
+   * Enqueues a job whose inputs are only available at `ready` (>= now).
+   * Service starts at max(ready, earliest free server).
+   */
+  TimePs submit_at(TimePs ready, TimePs service_time,
+                   Callback done = nullptr);
+
+  /** Earliest time any server becomes free (may be in the past). */
+  TimePs earliest_free() const;
+
+  /** True if a job submitted now would start immediately. */
+  bool idle_server_available() const { return earliest_free() <= sim_.now(); }
+
+  std::size_t num_servers() const { return free_at_.size(); }
+
+  /** Total busy (service) time accumulated across all servers. */
+  TimePs total_busy_time() const { return busy_time_; }
+
+  /** Total time jobs spent waiting for a server. */
+  TimePs total_wait_time() const { return wait_time_; }
+
+  std::uint64_t jobs_completed() const { return jobs_; }
+
+  /**
+   * Mean utilization over [0, now]: busy time / (servers * elapsed).
+   * Returns 0 before any time has elapsed.
+   */
+  double utilization() const;
+
+ private:
+  Simulator& sim_;
+  std::vector<TimePs> free_at_;
+  TimePs busy_time_ = 0;
+  TimePs wait_time_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+/**
+ * A bandwidth-limited channel: transfers serialize at `bytes_per_second`
+ * after a fixed `latency`. Models DRAM channels and network links.
+ */
+class Channel {
+ public:
+  Channel(Simulator& sim, double bytes_per_second, TimePs latency)
+      : sim_(sim), bytes_per_ps_(bytes_per_second / 1e12), latency_(latency) {}
+
+  /**
+   * Reserves the channel for `bytes` and returns the completion time
+   * (start-of-service contention + serialization + fixed latency).
+   *
+   * @param ready_at earliest time the data is available at the channel
+   *        (for chaining across network segments); defaults to now.
+   */
+  TimePs transfer(std::uint64_t bytes, TimePs ready_at = 0);
+
+  /** Serialization time for `bytes` without contention or latency. */
+  TimePs serialization_time(std::uint64_t bytes) const {
+    return static_cast<TimePs>(static_cast<double>(bytes) / bytes_per_ps_ + 0.5);
+  }
+
+  TimePs fixed_latency() const { return latency_; }
+  TimePs busy_until() const { return busy_until_; }
+
+  /** Total bytes moved. */
+  std::uint64_t bytes_transferred() const { return bytes_; }
+
+  /** Mean utilization over [0, now]. */
+  double utilization() const;
+
+ private:
+  Simulator& sim_;
+  double bytes_per_ps_;
+  TimePs latency_;
+  TimePs busy_until_ = 0;
+  TimePs busy_time_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_SERVER_H_

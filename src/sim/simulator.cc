@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace accelflow::sim {
+
+EventId Simulator::schedule_at(TimePs t, Callback cb) {
+  assert(t >= now_ && "cannot schedule in the past");
+  const EventId id = next_id_++;
+  heap_.push(Event{t < now_ ? now_ : t, id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  // We cannot cheaply tell "already ran" from "pending"; callers only cancel
+  // events they know are pending (e.g. armed timeouts), so just record it.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Event& top = heap_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    assert(top.time >= now_);
+    now_ = top.time;
+    // Move the callback out before popping so it survives reentrant
+    // scheduling from within the callback.
+    Callback cb = std::move(const_cast<Event&>(top).cb);
+    heap_.pop();
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePs t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_) {
+    // Peek past cancelled entries without executing.
+    while (!heap_.empty()) {
+      if (auto it = cancelled_.find(heap_.top().id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      break;
+    }
+    if (heap_.empty() || heap_.top().time > t) break;
+    step();
+    ++n;
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace accelflow::sim

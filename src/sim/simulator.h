@@ -1,0 +1,113 @@
+#ifndef ACCELFLOW_SIM_SIMULATOR_H_
+#define ACCELFLOW_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single-threaded event calendar: models schedule callbacks at absolute or
+ * relative times and the kernel executes them in time order. Ties are broken
+ * by insertion order, which makes every run bit-deterministic for a given
+ * seed and schedule.
+ */
+
+namespace accelflow::sim {
+
+/** Handle to a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for events that can never be cancelled. */
+inline constexpr EventId kInvalidEventId = 0;
+
+/**
+ * Event-driven simulator.
+ *
+ * Not thread safe: the whole simulation runs on one thread, which is what
+ * makes deterministic replay possible.
+ */
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /** Current simulated time. */
+  TimePs now() const { return now_; }
+
+  /** Schedules `cb` at absolute time `t` (>= now). Returns a cancel handle. */
+  EventId schedule_at(TimePs t, Callback cb);
+
+  /** Schedules `cb` after `delay` from now. */
+  EventId schedule_after(TimePs delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /**
+   * Cancels a pending event.
+   *
+   * @return true if the event was pending and is now cancelled; false if it
+   *         already ran, was already cancelled, or the id is invalid.
+   */
+  bool cancel(EventId id);
+
+  /**
+   * Runs until the calendar is empty or stop() is called.
+   * @return the number of events executed.
+   */
+  std::uint64_t run();
+
+  /**
+   * Runs events with time <= `t`, then sets now() = t (if the horizon was
+   * reached) and returns. Events scheduled exactly at `t` do execute.
+   * @return the number of events executed.
+   */
+  std::uint64_t run_until(TimePs t);
+
+  /** Requests that run()/run_until() return after the current event. */
+  void stop() { stopped_ = true; }
+
+  /** Number of events currently pending. */
+  std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+
+  /** Total events executed so far. */
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePs time;
+    EventId id;  // Monotonically increasing: doubles as the tie-breaker.
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /** Pops and runs the earliest event. Returns false if none runnable. */
+  bool step();
+
+  TimePs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  // Lazy cancellation: cancelled ids are skipped when popped. The set stays
+  // tiny in practice (only response timeouts are ever cancelled).
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_SIMULATOR_H_

@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace accelflow::sim {
+
+std::string format_time(TimePs t) {
+  char buf[48];
+  if (t < kPsPerNs) {
+    std::snprintf(buf, sizeof(buf), "%lups", static_cast<unsigned long>(t));
+  } else if (t < kPsPerUs) {
+    std::snprintf(buf, sizeof(buf), "%.2fns", to_nanoseconds(t));
+  } else if (t < kPsPerMs) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", to_microseconds(t));
+  } else if (t < kPsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", to_milliseconds(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  }
+  return buf;
+}
+
+}  // namespace accelflow::sim

@@ -1,0 +1,90 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace accelflow::stats {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const {
+  // Values < sub_buckets_ map 1:1 to the first linear range; above that,
+  // each power-of-two range is split into sub_buckets_/2 extra buckets.
+  if (value < sub_buckets_) return static_cast<std::size_t>(value);
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned range = msb - sub_bucket_bits_ + 1;  // >= 1
+  const std::uint64_t within = (value >> range) & ((sub_buckets_ >> 1) - 1);
+  return sub_buckets_ + (range - 1) * (sub_buckets_ >> 1) +
+         static_cast<std::size_t>(within);
+}
+
+std::uint64_t Histogram::bucket_low(std::size_t index) const {
+  if (index < sub_buckets_) return index;
+  const std::size_t half = sub_buckets_ >> 1;
+  const std::size_t range = (index - sub_buckets_) / half + 1;
+  const std::uint64_t within = (index - sub_buckets_) % half;
+  return ((sub_buckets_ >> 1) + within) << range;
+}
+
+std::uint64_t Histogram::bucket_high(std::size_t index) const {
+  if (index < sub_buckets_) return index;
+  const std::size_t half = sub_buckets_ >> 1;
+  const std::size_t range = (index - sub_buckets_) / half + 1;
+  return bucket_low(index) + ((1ull << range) - 1);
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  const std::size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += count;
+  total_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based.
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      const std::uint64_t mid = bucket_low(i) + (bucket_high(i) - bucket_low(i)) / 2;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::fraction_above(std::uint64_t threshold) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (bucket_low(i) > threshold) above += counts_[i];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+void Histogram::merge(const Histogram& o) {
+  assert(sub_bucket_bits_ == o.sub_bucket_bits_);
+  if (o.counts_.size() > counts_.size()) counts_.resize(o.counts_.size(), 0);
+  for (std::size_t i = 0; i < o.counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  sum_ += o.sum_;
+}
+
+}  // namespace accelflow::stats

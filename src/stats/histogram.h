@@ -1,0 +1,68 @@
+#ifndef ACCELFLOW_STATS_HISTOGRAM_H_
+#define ACCELFLOW_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+/**
+ * @file
+ * Log-bucketed histogram with bounded relative error, in the spirit of
+ * HdrHistogram. Used for latency distributions where millions of samples
+ * make exact retention wasteful.
+ */
+
+namespace accelflow::stats {
+
+/**
+ * Histogram over non-negative integer values (e.g. picoseconds).
+ *
+ * Values are bucketed with `sub_buckets` linear buckets per power-of-two
+ * range, giving a worst-case relative quantile error of 1/sub_buckets.
+ * The default (64) keeps quantiles within ~1.6%.
+ */
+class Histogram {
+ public:
+  explicit Histogram(unsigned sub_bucket_bits = 6)
+      : sub_bucket_bits_(sub_bucket_bits),
+        sub_buckets_(1u << sub_bucket_bits) {}
+
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t min() const { return total_ ? min_ : 0; }
+  std::uint64_t max() const { return total_ ? max_ : 0; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /**
+   * Value at quantile q in [0, 1]; q = 0.99 is P99. Returns a bucket
+   * representative (midpoint), clamped to the observed min/max.
+   */
+  std::uint64_t quantile(double q) const;
+
+  /** Fraction of samples with value > threshold. */
+  double fraction_above(std::uint64_t threshold) const;
+
+  void reset();
+
+  /** Merges another histogram (must have identical sub_bucket_bits). */
+  void merge(const Histogram& o);
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const;
+  std::uint64_t bucket_low(std::size_t index) const;
+  std::uint64_t bucket_high(std::size_t index) const;
+
+  unsigned sub_bucket_bits_;
+  std::uint64_t sub_buckets_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace accelflow::stats
+
+#endif  // ACCELFLOW_STATS_HISTOGRAM_H_

@@ -1,0 +1,62 @@
+#ifndef ACCELFLOW_STATS_LATENCY_RECORDER_H_
+#define ACCELFLOW_STATS_LATENCY_RECORDER_H_
+
+#include "sim/time.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+/**
+ * @file
+ * Latency accounting used by every experiment: a histogram for quantiles
+ * plus a Summary for exact moments.
+ */
+
+namespace accelflow::stats {
+
+/** Records a latency distribution; quantiles via histogram (<=1.6% error). */
+class LatencyRecorder {
+ public:
+  void record(sim::TimePs latency) {
+    hist_.add(latency);
+    summary_.add(static_cast<double>(latency));
+  }
+
+  std::uint64_t count() const { return hist_.count(); }
+  sim::TimePs p50() const { return hist_.quantile(0.50); }
+  sim::TimePs p90() const { return hist_.quantile(0.90); }
+  sim::TimePs p99() const { return hist_.quantile(0.99); }
+  sim::TimePs p999() const { return hist_.quantile(0.999); }
+  sim::TimePs quantile(double q) const { return hist_.quantile(q); }
+  sim::TimePs min() const { return hist_.min(); }
+  sim::TimePs max() const { return hist_.max(); }
+  double mean() const { return summary_.mean(); }
+  double mean_us() const { return sim::to_microseconds(
+      static_cast<sim::TimePs>(summary_.mean())); }
+  double p99_us() const { return sim::to_microseconds(p99()); }
+
+  /** Fraction of recorded latencies exceeding `slo`. */
+  double violation_rate(sim::TimePs slo) const {
+    return hist_.fraction_above(slo);
+  }
+
+  void reset() {
+    hist_.reset();
+    summary_.reset();
+  }
+
+  void merge(const LatencyRecorder& o) {
+    hist_.merge(o.hist_);
+    summary_.merge(o.summary_);
+  }
+
+  const Histogram& histogram() const { return hist_; }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  Histogram hist_;
+  Summary summary_;
+};
+
+}  // namespace accelflow::stats
+
+#endif  // ACCELFLOW_STATS_LATENCY_RECORDER_H_

@@ -1,0 +1,75 @@
+#ifndef ACCELFLOW_STATS_SUMMARY_H_
+#define ACCELFLOW_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+/**
+ * @file
+ * Streaming first/second-moment statistics (Welford's algorithm).
+ */
+
+namespace accelflow::stats {
+
+/** Online mean / variance / min / max accumulator. O(1) memory. */
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /** Population variance. */
+  double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
+  double cv() const { return mean_ != 0.0 ? stddev() / mean_ : 0.0; }
+
+  void reset() { *this = Summary{}; }
+
+  /** Merges another summary into this one (parallel Welford). */
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_ + o.n_);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / n;
+    mean_ += delta * static_cast<double>(o.n_) / n;
+    n_ += o.n_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace accelflow::stats
+
+#endif  // ACCELFLOW_STATS_SUMMARY_H_

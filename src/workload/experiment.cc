@@ -1,0 +1,176 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+
+#include "core/orch_baselines.h"
+#include "core/trace_templates.h"
+
+namespace accelflow::workload {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  core::Machine machine(config.machine);
+  core::TraceLibrary lib;
+  core::register_templates(lib);
+  register_relief_traces(lib);
+
+  auto services = build_services(config.specs, lib);
+  std::vector<Service*> service_ptrs;
+  for (auto& s : services) service_ptrs.push_back(s.get());
+
+  auto orch =
+      core::make_orchestrator(config.kind, machine, lib, config.engine);
+  RequestEngine engine(machine, *orch, service_ptrs, config.seed);
+  if (!config.step_deadline_budgets.empty()) {
+    engine.set_step_deadline_budgets(config.step_deadline_budgets);
+  } else {
+    engine.set_step_deadline_budget(config.step_deadline_budget);
+  }
+
+  const sim::TimePs issue_until = config.warmup + config.measure;
+  std::vector<std::unique_ptr<LoadGenerator>> gens;
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    const double rps = config.per_service_rps.empty()
+                           ? config.rps_per_service
+                           : config.per_service_rps[s];
+    if (rps <= 0) continue;
+    gens.push_back(std::make_unique<LoadGenerator>(
+        machine.sim(), engine, s, config.load_model, rps, issue_until,
+        config.seed ^ (0x10AD + 1315423911ull * (s + 1))));
+  }
+
+  // Warmup: run, then clear the recorders so only steady state counts.
+  machine.sim().run_until(config.warmup);
+  engine.reset_stats();
+  machine.sim().run_until(issue_until + config.drain);
+
+  ExperimentResult out;
+  out.services.resize(services.size());
+  double sum_mean = 0, sum_p99 = 0;
+  std::size_t measured = 0;
+  for (std::size_t s = 0; s < services.size(); ++s) {
+    ServiceResult& r = out.services[s];
+    const ServiceStats& st = engine.stats(s);
+    r.name = services[s]->name();
+    r.completed = st.completed;
+    r.failed = st.failed;
+    r.fallbacks = st.fallbacks;
+    r.latency = st.latency;
+    if (st.latency.count() > 0) {
+      r.mean_us = sim::to_microseconds(
+          static_cast<sim::TimePs>(st.latency.mean()));
+      r.p50_us = sim::to_microseconds(st.latency.p50());
+      r.p99_us = sim::to_microseconds(st.latency.p99());
+      sum_mean += r.mean_us;
+      sum_p99 += r.p99_us;
+      ++measured;
+    }
+  }
+  if (measured > 0) {
+    out.avg_mean_us = sum_mean / static_cast<double>(measured);
+    out.avg_p99_us = sum_p99 / static_cast<double>(measured);
+  }
+
+  // Machine activity.
+  out.elapsed = machine.sim().now();
+  out.core_utilization = machine.cores().utilization();
+  out.core_busy = machine.cores().stats().busy_time;
+  out.dma_utilization = machine.dma().utilization();
+  out.dma_busy = machine.dma().stats().busy_time;
+  out.manager_busy = machine.manager().total_busy_time();
+  out.interrupts = machine.cores().stats().interrupts;
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    const auto& acc = machine.accel(t);
+    out.accel_utilization[accel::index_of(t)] = acc.pe_utilization();
+    out.accel_busy += acc.stats().pe_busy_time;
+    out.accel_busy_by_type[accel::index_of(t)] = acc.stats().pe_busy_time;
+    out.dispatcher_busy += acc.dispatcher_busy_time();
+    out.overflow_enqueues += acc.stats().overflow_enqueues;
+    out.overflow_rejections += acc.stats().overflow_rejections;
+    out.accel_invocations += acc.stats().jobs;
+    out.tlb_lookups += acc.tlb_stats().lookups;
+    out.tlb_misses += acc.tlb_stats().misses();
+    out.page_faults += acc.stats().faults;
+    out.deadline_misses += acc.stats().deadline_misses;
+  }
+  if (const auto* eng = orch->engine()) {
+    out.engine = eng->stats();
+  } else if (const auto* base =
+                 dynamic_cast<const core::BaselineOrchestrator*>(
+                     orch.get())) {
+    out.baseline = base->stats();
+    out.orchestration_time = base->stats().orchestration_time;
+    out.manager_events = base->stats().manager_events;
+  }
+  return out;
+}
+
+std::vector<sim::TimePs> unloaded_latency(ExperimentConfig config,
+                                          core::OrchKind kind) {
+  config.kind = kind;
+  config.load_model = LoadGenerator::Model::kPoisson;
+  config.per_service_rps.assign(config.specs.size(), 200.0);
+  config.warmup = sim::milliseconds(5);
+  config.measure = sim::milliseconds(120);
+  config.drain = sim::milliseconds(40);
+  const ExperimentResult res = run_experiment(config);
+  std::vector<sim::TimePs> out;
+  out.reserve(res.services.size());
+  for (const auto& s : res.services) out.push_back(s.latency.p50());
+  return out;
+}
+
+double find_max_load(const ExperimentConfig& base,
+                     const std::vector<sim::TimePs>& slos, int search_iters,
+                     double lo, double hi, ExperimentResult* at_peak) {
+  auto meets_slo = [&](double factor, ExperimentResult* keep) {
+    ExperimentConfig cfg = base;
+    if (cfg.per_service_rps.empty()) {
+      cfg.per_service_rps.assign(cfg.specs.size(), cfg.rps_per_service);
+    }
+    for (double& r : cfg.per_service_rps) r *= factor;
+    const ExperimentResult res = run_experiment(cfg);
+    bool ok = true;
+    for (std::size_t s = 0; s < res.services.size(); ++s) {
+      if (cfg.per_service_rps[s] <= 0) continue;  // Not driven.
+      const auto& svc = res.services[s];
+      // A saturated service stops completing requests at all: that also
+      // violates.
+      if (svc.completed == 0 || svc.latency.p99() > slos[s]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && keep) *keep = res;
+    return ok;
+  };
+
+  // The latency-vs-load curve is cliff-like near saturation (queue-full
+  // fallbacks feed back into CPU load), so a pure bisection is noisy.
+  // Sweep a geometric grid upward until the first violation, then refine
+  // with a bounded number of bisection steps.
+  if (!meets_slo(lo, at_peak)) return 0.0;
+  double best = lo;
+  double step = 1.35;
+  double probe = lo;
+  while (probe * step < hi) {
+    probe *= step;
+    if (meets_slo(probe, at_peak)) {
+      best = probe;
+    } else {
+      hi = probe;
+      break;
+    }
+  }
+  for (int i = 0; i < search_iters; ++i) {
+    const double mid = 0.5 * (best + hi);
+    if (mid <= best || mid >= hi) break;
+    if (meets_slo(mid, at_peak)) {
+      best = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace accelflow::workload

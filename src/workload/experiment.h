@@ -1,0 +1,121 @@
+#ifndef ACCELFLOW_WORKLOAD_EXPERIMENT_H_
+#define ACCELFLOW_WORKLOAD_EXPERIMENT_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/orch_baselines.h"
+#include "core/orchestrator.h"
+#include "workload/load_generator.h"
+#include "workload/request_engine.h"
+#include "workload/suites.h"
+
+/**
+ * @file
+ * One-call experiment harness used by every bench binary: builds a machine,
+ * registers the trace templates, instantiates a suite, applies a load, and
+ * reports per-service latency plus machine-level activity.
+ */
+
+namespace accelflow::workload {
+
+/** Full description of one experiment run. */
+struct ExperimentConfig {
+  core::OrchKind kind = core::OrchKind::kAccelFlow;
+  core::MachineConfig machine;
+  core::EngineConfig engine;
+  std::vector<ServiceSpec> specs;
+  LoadGenerator::Model load_model = LoadGenerator::Model::kTrace;
+  /** Per-service mean RPS; if empty, `rps_per_service` applies to all. */
+  std::vector<double> per_service_rps;
+  double rps_per_service = 13400.0;
+  sim::TimePs warmup = sim::milliseconds(20);
+  sim::TimePs measure = sim::milliseconds(120);
+  sim::TimePs drain = sim::milliseconds(30);
+  std::uint64_t seed = 1;
+  /** Deadline budget per accelerator step (SLO runs); kTimeNever = off. */
+  sim::TimePs step_deadline_budget = sim::kTimeNever;
+  /** Per-service override of step_deadline_budget (empty = uniform). */
+  std::vector<sim::TimePs> step_deadline_budgets;
+};
+
+/** Per-service outcome. */
+struct ServiceResult {
+  std::string name;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t fallbacks = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  stats::LatencyRecorder latency;
+};
+
+/** Aggregate outcome of one run. */
+struct ExperimentResult {
+  std::vector<ServiceResult> services;
+  double avg_mean_us = 0;
+  double avg_p99_us = 0;
+
+  // Machine activity over the measured window (approximately: whole run).
+  double core_utilization = 0;
+  std::array<double, accel::kNumAccelTypes> accel_utilization{};
+  double dma_utilization = 0;
+  sim::TimePs core_busy = 0;
+  sim::TimePs accel_busy = 0;
+  std::array<sim::TimePs, accel::kNumAccelTypes> accel_busy_by_type{};
+  sim::TimePs elapsed = 0;  ///< Total simulated duration of the run.
+  sim::TimePs dispatcher_busy = 0;
+  sim::TimePs manager_busy = 0;
+  sim::TimePs dma_busy = 0;
+  sim::TimePs orchestration_time = 0;  ///< Baseline coordination time.
+  std::uint64_t interrupts = 0;
+  std::uint64_t manager_events = 0;
+
+  core::EngineStats engine;       ///< AccelFlow-family runs.
+  core::BaselineStats baseline;   ///< Baseline runs.
+
+  // High-overhead event rates (Section VII-B.6).
+  std::uint64_t overflow_enqueues = 0;
+  std::uint64_t overflow_rejections = 0;
+  std::uint64_t accel_invocations = 0;
+  std::uint64_t tlb_lookups = 0;
+  std::uint64_t tlb_misses = 0;
+  std::uint64_t page_faults = 0;
+  std::uint64_t deadline_misses = 0;
+
+  std::uint64_t total_completed() const {
+    std::uint64_t n = 0;
+    for (const auto& s : services) n += s.completed;
+    return n;
+  }
+};
+
+/** Runs one experiment. */
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/**
+ * Unloaded per-service latency (P50 at a trickle load) — the basis of the
+ * paper's SLO = 5x unloaded service execution time.
+ */
+std::vector<sim::TimePs> unloaded_latency(ExperimentConfig config,
+                                          core::OrchKind kind);
+
+/**
+ * Maximum per-service load multiplier (applied to the configured rates)
+ * such that every service's P99 stays within its SLO. Binary search.
+ *
+ * @param slos per-service latency SLOs.
+ * @return the multiplier and, via out parameters if non-null, the result
+ *         at the found operating point.
+ */
+double find_max_load(const ExperimentConfig& base,
+                     const std::vector<sim::TimePs>& slos,
+                     int search_iters = 7, double lo = 0.05,
+                     double hi = 12.0, ExperimentResult* at_peak = nullptr);
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#ifndef ACCELFLOW_WORKLOAD_LOAD_GENERATOR_H_
+#define ACCELFLOW_WORKLOAD_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "workload/request_engine.h"
+
+/**
+ * @file
+ * Open-loop load generation.
+ *
+ * Three arrival models reproduce the paper's drivers:
+ *  - Poisson at a fixed rate (the Fig. 12 load sweeps),
+ *  - a synthetic production trace with per-service base rates averaging
+ *    13.4K RPS and bursty rate modulation (the Alibaba traces of [54]),
+ *  - a bursty ON/OFF process with heavy-tailed bursts (the Azure serverless
+ *    traces of [87]).
+ */
+
+namespace accelflow::workload {
+
+/** Per-service base rates used with the synthetic production trace. */
+std::vector<double> alibaba_like_rates(std::size_t num_services,
+                                       double average_rps = 13400.0,
+                                       std::uint64_t seed = 0xA11BABA);
+
+/** Self-scheduling open-loop arrival process for one service. */
+class LoadGenerator {
+ public:
+  enum class Model : std::uint8_t {
+    kPoisson,   ///< Constant-rate Poisson.
+    kTrace,     ///< Rate-modulated Poisson (Alibaba-like burstiness).
+    kBursty,    ///< ON/OFF bursts (Azure-like serverless invocations).
+  };
+
+  /**
+   * Starts generating invocations of `service` into `engine`.
+   *
+   * @param rps mean arrival rate.
+   * @param until stop issuing at this simulated time.
+   */
+  LoadGenerator(sim::Simulator& sim, RequestEngine& engine,
+                std::size_t service, Model model, double rps,
+                sim::TimePs until, std::uint64_t seed);
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void schedule_next();
+  double current_rate();
+
+  sim::Simulator& sim_;
+  RequestEngine& engine_;
+  std::size_t service_;
+  Model model_;
+  double rps_;
+  sim::TimePs until_;
+  sim::Rng rng_;
+  std::uint64_t generated_ = 0;
+  // kTrace: piecewise-constant rate multiplier, redrawn every window.
+  double rate_multiplier_ = 1.0;
+  sim::TimePs window_end_ = 0;
+  // kBursty: ON/OFF state (starts OFF so the first toggle opens a burst).
+  bool on_ = false;
+  sim::TimePs phase_end_ = 0;
+};
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_LOAD_GENERATOR_H_

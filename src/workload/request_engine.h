@@ -1,0 +1,127 @@
+#ifndef ACCELFLOW_WORKLOAD_REQUEST_ENGINE_H_
+#define ACCELFLOW_WORKLOAD_REQUEST_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/orchestrator.h"
+#include "mem/address.h"
+#include "stats/latency_recorder.h"
+#include "workload/service.h"
+
+/**
+ * @file
+ * Drives end-to-end service invocations through an orchestrator: walks each
+ * request's stage list (CPU segments and parallel chain groups), samples
+ * per-chain branch flags and payloads deterministically, and records
+ * end-to-end latency per service.
+ *
+ * Determinism note: request arrival processes, per-request flags, and
+ * per-chain cost streams are seeded independently of the architecture under
+ * test, so two architectures see the *same* request sequence and the same
+ * branch outcomes — experiments are paired.
+ */
+
+namespace accelflow::workload {
+
+/** Per-service measurement state. */
+struct ServiceStats {
+  stats::LatencyRecorder latency;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;     ///< Timeout or error outcome.
+  std::uint64_t fallbacks = 0;  ///< Requests with >=1 CPU-fallback chain.
+};
+
+/** Executes requests against one machine + orchestrator. */
+class RequestEngine {
+ public:
+  /**
+   * @param services one runtime Service per colocated service; the index
+   *        doubles as the tenant ID.
+   */
+  RequestEngine(core::Machine& machine, core::Orchestrator& orch,
+                std::vector<Service*> services, std::uint64_t seed);
+
+  /** Injects one invocation of services[s] at the current simulated time. */
+  void inject(std::size_t s);
+
+  /**
+   * Injects a nested (machine-internal) sub-request of services[s]; fires
+   * `deliver` with the response size when it completes, after the wire RTT.
+   */
+  void inject_internal(std::size_t s, double wire_rtt_us,
+                       std::function<void(std::uint64_t)> deliver);
+
+  /** Number of colocated services. */
+  std::size_t num_services() const { return services_.size(); }
+  const Service& service(std::size_t s) const { return *services_[s]; }
+
+  const ServiceStats& stats(std::size_t s) const { return stats_[s]; }
+
+  /** Resets the per-service recorders (end of warmup). */
+  void reset_stats();
+
+  std::uint64_t total_completed() const;
+  std::uint64_t total_issued() const;
+  std::uint64_t in_flight() const { return active_.size(); }
+
+  /**
+   * Deadline budget per accelerator step for SLO runs (Section IV-C);
+   * kTimeNever disables stamping. The per-service form lets short-SLO
+   * services carry tighter step deadlines than long chains.
+   */
+  void set_step_deadline_budget(sim::TimePs budget) {
+    step_budgets_.assign(services_.size(), budget);
+  }
+  void set_step_deadline_budgets(std::vector<sim::TimePs> budgets) {
+    step_budgets_ = std::move(budgets);
+  }
+
+ private:
+  struct ActiveRequest {
+    std::size_t service = 0;
+    accel::RequestId id = 0;
+    int core = 0;
+    std::size_t stage = 0;
+    int pending_chains = 0;
+    bool failed = false;
+    bool fell_back = false;
+    sim::TimePs arrived = 0;
+    sim::Rng rng;
+    std::vector<std::unique_ptr<core::ChainContext>> chains;
+    /** Set for nested sub-requests: fired with the response size. */
+    std::function<void(std::uint64_t)> on_complete;
+    sim::TimePs wire_rtt = 0;
+  };
+
+  ActiveRequest* create_request(std::size_t s);
+  void advance(ActiveRequest* r);
+  void launch_chains(ActiveRequest* r, const StageSpec& stage);
+  void complete(ActiveRequest* r);
+  mem::VirtAddr buffer_for(std::size_t service, std::uint64_t bytes);
+
+  core::Machine& machine_;
+  core::Orchestrator& orch_;
+  std::vector<Service*> services_;
+  std::vector<ServiceStats> stats_;
+  std::uint64_t seed_;
+  accel::RequestId next_id_ = 1;
+  std::vector<sim::TimePs> step_budgets_;
+  std::unordered_map<accel::RequestId, std::unique_ptr<ActiveRequest>>
+      active_;
+  // Per-service rotating buffer pools: realistic TLB locality.
+  struct BufferPool {
+    std::unique_ptr<mem::AddressSpace> space;
+    std::vector<mem::VirtAddr> buffers;
+    std::size_t next = 0;
+  };
+  std::vector<BufferPool> pools_;
+};
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_REQUEST_ENGINE_H_

@@ -1,0 +1,430 @@
+#include "workload/suites.h"
+
+#include "core/trace_builder.h"
+
+namespace accelflow::workload {
+
+namespace {
+
+using accel::AccelType;
+
+StageSpec cpu_stage(double weight) {
+  StageSpec s;
+  s.kind = StageSpec::Kind::kCpu;
+  s.cpu_weight = weight;
+  return s;
+}
+
+ChainGroup grp(std::string trace, int count = 1, FlagProbs flags = {}) {
+  ChainGroup g;
+  g.trace = std::move(trace);
+  g.count = count;
+  g.flags = flags;
+  return g;
+}
+
+StageSpec chain_stage(std::vector<ChainGroup> groups) {
+  StageSpec s;
+  s.kind = StageSpec::Kind::kChains;
+  s.groups = std::move(groups);
+  return s;
+}
+
+FlagProbs compressed_flags(double p = 0.90) {
+  FlagProbs f;
+  f.compressed = p;
+  return f;
+}
+
+}  // namespace
+
+std::vector<ServiceSpec> social_network_specs() {
+  std::vector<ServiceSpec> specs;
+
+  // Per-service Figure-1 fractions. Chosen so the suite average reproduces
+  // the paper's fleet averages (AppLogic 20.7%, TCP 25.6%, (De)Encr 14.6%,
+  // RPC 3.2%, (De)Ser 22.4%, (De)Cmp 9.5%, LdB 3.9%); services whose
+  // Table IV path has no (de)compression get a zero Cmp share.
+
+  {  // ComposePost: T1-CPU-4x(T9-T10)-CPU-3x(T9-T10)-CPU-T2, 87 accels.
+    ServiceSpec s;
+    s.name = "CPost";
+    s.total_cpu_time = sim::microseconds(660);
+    s.fractions = {0.23, 0.24, 0.13, 0.045, 0.20, 0.14, 0.015};
+    s.rpc_callees = {"UniqId", "CUrls", "StoreP"};
+    s.stages = {chain_stage({grp("T1", 1, compressed_flags())}),
+                cpu_stage(0.3),
+                chain_stage({grp("T9c", 4, compressed_flags())}),
+                cpu_stage(0.4),
+                chain_stage({grp("T9c", 3, compressed_flags())}),
+                cpu_stage(0.3),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  {  // ReadHomeTimeline: T1-CPU-T4-T5-CPU-T9-T10-CPU-T3, 28 accels.
+    ServiceSpec s;
+    s.name = "ReadH";
+    s.total_cpu_time = sim::microseconds(210);
+    s.rpc_callees = {"StoreP"};
+    s.fractions = {0.20, 0.25, 0.13, 0.030, 0.20, 0.16, 0.030};
+    FlagProbs read_flags;
+    read_flags.hit = 0.90;
+    read_flags.compressed = 0.10;
+    s.stages = {chain_stage({grp("T1")}),
+                cpu_stage(0.4),
+                chain_stage({grp("T4", 1, read_flags)}),
+                cpu_stage(0.3),
+                chain_stage({grp("T9c", 1, compressed_flags())}),
+                cpu_stage(0.3),
+                chain_stage({grp("T3")})};
+    specs.push_back(std::move(s));
+  }
+  {  // StorePost: T1-CPU-T8-T7-CPU-T2, 18 accels.
+    ServiceSpec s;
+    s.name = "StoreP";
+    s.total_cpu_time = sim::microseconds(166);
+    s.fractions = {0.18, 0.24, 0.14, 0.025, 0.21, 0.17, 0.035};
+    s.stages = {chain_stage({grp("T1", 1, compressed_flags())}),
+                cpu_stage(0.5),
+                chain_stage({grp("T8c")}),
+                cpu_stage(0.5),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  {  // Follow: T1-CPU-3x(T8-T7)-CPU-T2, 30 accels.
+    ServiceSpec s;
+    s.name = "Follow";
+    s.total_cpu_time = sim::microseconds(245);
+    s.fractions = {0.25, 0.28, 0.16, 0.025, 0.24, 0.0, 0.045};
+    s.stages = {chain_stage({grp("T1")}),
+                cpu_stage(0.5),
+                chain_stage({grp("T8", 3)}),
+                cpu_stage(0.5),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  {  // Login: T1-CPU-T4-T5-T6-T7-CPU-T2, 29 accels. The cache misses and
+     // the value comes (compressed) from the DB, with a cache write-back.
+    ServiceSpec s;
+    s.name = "Login";
+    s.total_cpu_time = sim::microseconds(262);
+    s.fractions = {0.12, 0.28, 0.17, 0.030, 0.23, 0.15, 0.020};
+    FlagProbs login_flags;
+    login_flags.hit = 0.10;  // Sessions are rarely cached.
+    login_flags.found = 0.97;
+    login_flags.compressed = 0.90;
+    login_flags.c_compressed = 0.05;
+    s.stages = {chain_stage({grp("T1")}),
+                cpu_stage(0.5),
+                chain_stage({grp("T4", 1, login_flags)}),
+                cpu_stage(0.5),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  {  // ComposeUrls: T1-CPU-T8-T7-CPU-T3, 19 accels.
+    ServiceSpec s;
+    s.name = "CUrls";
+    s.total_cpu_time = sim::microseconds(175);
+    s.fractions = {0.21, 0.24, 0.14, 0.025, 0.22, 0.14, 0.025};
+    s.stages = {chain_stage({grp("T1", 1, compressed_flags())}),
+                cpu_stage(0.5),
+                chain_stage({grp("T8c")}),
+                cpu_stage(0.5),
+                chain_stage({grp("T3")})};
+    specs.push_back(std::move(s));
+  }
+  {  // UniqueId: T1-CPU-T2, 9 accels. Short: tax dominates.
+    ServiceSpec s;
+    s.name = "UniqId";
+    s.total_cpu_time = sim::microseconds(52);
+    s.fractions = {0.15, 0.30, 0.17, 0.040, 0.27, 0.0, 0.070};
+    s.stages = {chain_stage({grp("T1")}), cpu_stage(1.0),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  {  // RegisterUser: T1-CPU-T8-T7-CPU-T9-T10-CPU-T2, 25 accels.
+    ServiceSpec s;
+    s.name = "RegUsr";
+    s.total_cpu_time = sim::microseconds(218);
+    s.rpc_callees = {"UniqId"};
+    s.fractions = {0.316, 0.218, 0.128, 0.036, 0.222, 0.0, 0.072};
+    s.stages = {chain_stage({grp("T1")}),
+                cpu_stage(0.4),
+                chain_stage({grp("T8")}),
+                cpu_stage(0.3),
+                chain_stage({grp("T9")}),
+                cpu_stage(0.3),
+                chain_stage({grp("T2")})};
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::vector<ServiceSpec> hotel_reservation_specs() {
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us,
+                 std::vector<StageSpec> stages) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    s.stages = std::move(stages);
+    specs.push_back(std::move(s));
+  };
+  FlagProbs geo;
+  geo.hit = 0.95;
+  add("Search", 180,
+      {chain_stage({grp("T1")}), cpu_stage(0.5),
+       chain_stage({grp("T9", 2)}), cpu_stage(0.5),
+       chain_stage({grp("T2")})});
+  add("Reserve", 150,
+      {chain_stage({grp("T1")}), cpu_stage(0.4),
+       chain_stage({grp("T8c")}), cpu_stage(0.6),
+       chain_stage({grp("T2")})});
+  add("Recommend", 120,
+      {chain_stage({grp("T1")}), cpu_stage(0.6),
+       chain_stage({grp("T4", 1, geo)}), cpu_stage(0.4),
+       chain_stage({grp("T3")})});
+  add("Geo", 60,
+      {chain_stage({grp("T1")}), cpu_stage(1.0),
+       chain_stage({grp("T2")})});
+  add("Rate", 90,
+      {chain_stage({grp("T1")}), cpu_stage(0.5),
+       chain_stage({grp("T4", 1, geo)}), cpu_stage(0.5),
+       chain_stage({grp("T2")})});
+  add("UserProf", 75,
+      {chain_stage({grp("T1")}), cpu_stage(0.7),
+       chain_stage({grp("T8")}), cpu_stage(0.3),
+       chain_stage({grp("T2")})});
+  return specs;
+}
+
+std::vector<ServiceSpec> media_services_specs() {
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us,
+                 std::vector<StageSpec> stages) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    s.payload_median_bytes = 4096;  // Media payloads are larger.
+    s.stages = std::move(stages);
+    specs.push_back(std::move(s));
+  };
+  FlagProbs media;
+  media.compressed = 0.85;
+  media.hit = 0.75;
+  add("ComposeReview", 260,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.4),
+       chain_stage({grp("T9c", 5, media)}), cpu_stage(0.3),
+       chain_stage({grp("T8c")}), cpu_stage(0.3),
+       chain_stage({grp("T3")})});
+  add("ReadPage", 200,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.4),
+       chain_stage({grp("T4", 4, media)}), cpu_stage(0.6),
+       chain_stage({grp("T3")})});
+  add("Stream", 320,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.3),
+       chain_stage({grp("T11c", 3, media)}), cpu_stage(0.7),
+       chain_stage({grp("T3")})});
+  add("UserReview", 140,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.5),
+       chain_stage({grp("T4", 1, media)}), cpu_stage(0.5),
+       chain_stage({grp("T2")})});
+  add("CastInfo", 110,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.6),
+       chain_stage({grp("T4", 1, media)}), cpu_stage(0.4),
+       chain_stage({grp("T3")})});
+  add("Plot", 95,
+      {chain_stage({grp("T1", 1, media)}), cpu_stage(0.7),
+       chain_stage({grp("T4", 1, media)}), cpu_stage(0.3),
+       chain_stage({grp("T2")})});
+  return specs;
+}
+
+std::vector<ServiceSpec> train_ticket_specs() {
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us,
+                 std::vector<StageSpec> stages) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    s.stages = std::move(stages);
+    specs.push_back(std::move(s));
+  };
+  // TrainTicket has the lowest conditional share (53.8%): many plain
+  // request/response services.
+  add("QueryTicket", 170,
+      {chain_stage({grp("T1")}), cpu_stage(0.6),
+       chain_stage({grp("T9", 2)}), cpu_stage(0.4),
+       chain_stage({grp("T2")})});
+  add("Order", 210,
+      {chain_stage({grp("T1")}), cpu_stage(0.4),
+       chain_stage({grp("T8")}), cpu_stage(0.6),
+       chain_stage({grp("T2")})});
+  add("Pay", 160,
+      {chain_stage({grp("T1")}), cpu_stage(0.5),
+       chain_stage({grp("T11")}), cpu_stage(0.5),
+       chain_stage({grp("T2")})});
+  add("Notify", 55,
+      {chain_stage({grp("T1")}), cpu_stage(1.0),
+       chain_stage({grp("T2")})});
+  add("Route", 90,
+      {chain_stage({grp("T1")}), cpu_stage(1.0),
+       chain_stage({grp("T2")})});
+  add("Seat", 120,
+      {chain_stage({grp("T1")}), cpu_stage(0.5),
+       chain_stage({grp("T4")}), cpu_stage(0.5),
+       chain_stage({grp("T2")})});
+  return specs;
+}
+
+std::vector<ServiceSpec> usuite_specs() {
+  // uSuite's benchmarks are mid-tier services that fan a query out to leaf
+  // shards and merge the responses: heavy on nested RPC and
+  // (de)serialization, light on storage.
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us, int fanout,
+                 std::vector<StageSpec> extra_head = {}) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    s.fractions = {0.22, 0.26, 0.13, 0.05, 0.25, 0.0, 0.09};
+    s.stages = {chain_stage({grp("T1")}), cpu_stage(0.5)};
+    for (auto& st : extra_head) s.stages.push_back(std::move(st));
+    s.stages.push_back(chain_stage({grp("T9", fanout)}));
+    s.stages.push_back(cpu_stage(0.5));
+    s.stages.push_back(chain_stage({grp("T2")}));
+    specs.push_back(std::move(s));
+  };
+  add("HDSearch", 260, 4);
+  add("Router", 120, 2);
+  add("SetAlgebra", 180, 3);
+  add("Recommend", 150, 2,
+      {chain_stage({grp("T4")}), cpu_stage(0.3)});
+  return specs;
+}
+
+std::vector<ServiceSpec> serverless_specs() {
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us, double app_frac,
+                 std::vector<StageSpec> stages,
+                 std::uint64_t payload = 8192) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    // Serverless functions carry more application logic; the tax split
+    // within the remainder follows the fleet-average proportions.
+    const double tax = 1.0 - app_frac;
+    const double norm = 1.0 - kPaperAverageFractions[0];
+    s.fractions = {app_frac,
+                   kPaperAverageFractions[1] / norm * tax,
+                   kPaperAverageFractions[2] / norm * tax,
+                   kPaperAverageFractions[3] / norm * tax,
+                   kPaperAverageFractions[4] / norm * tax,
+                   kPaperAverageFractions[5] / norm * tax,
+                   kPaperAverageFractions[6] / norm * tax};
+    s.payload_median_bytes = payload;
+    s.stages = std::move(stages);
+    specs.push_back(std::move(s));
+  };
+  FlagProbs blob;
+  blob.compressed = 0.9;
+  // Short functions: tax dominates; AccelFlow helps most (Fig. 16).
+  add("ImgRot", 140, 0.45,
+      {chain_stage({grp("T1", 1, blob)}), cpu_stage(1.0),
+       chain_stage({grp("T3")})},
+      32768);
+  add("JsonParse", 90, 0.35,
+      {chain_stage({grp("T1", 1, blob)}), cpu_stage(1.0),
+       chain_stage({grp("T2")})});
+  add("MLServe", 480, 0.60,
+      {chain_stage({grp("T1")}), cpu_stage(0.7),
+       chain_stage({grp("T11")}), cpu_stage(0.3),
+       chain_stage({grp("T2")})});
+  add("DocConv", 350, 0.55,
+      {chain_stage({grp("T1", 1, blob)}), cpu_stage(1.0),
+       chain_stage({grp("T3")})},
+      16384);
+  add("VideoShort", 900, 0.70,
+      {chain_stage({grp("T1", 1, blob)}), cpu_stage(0.5),
+       chain_stage({grp("T11c", 1, blob)}), cpu_stage(0.5),
+       chain_stage({grp("T3")})},
+      65536);
+  add("Thumbnail", 220, 0.50,
+      {chain_stage({grp("T1", 1, blob)}), cpu_stage(1.0),
+       chain_stage({grp("T3")})},
+      32768);
+  return specs;
+}
+
+void register_relief_traces(core::TraceLibrary& lib) {
+  using accel::AccelType;
+  auto reg = [&lib](const char* name,
+                    std::initializer_list<AccelType> chain) {
+    if (lib.contains(name)) return;
+    core::TraceBuilder b(lib);
+    b.seq(chain);
+    b.end_notify(name);
+  };
+  // Seven stand-in coarse accelerators: Dcmp, Dser, Ser, Cmp, Encr, Decr,
+  // RPC (the image kernels and RNN cells of the RELIEF artifact).
+  reg("RLF_GrayScale", {AccelType::kDcmp, AccelType::kDser, AccelType::kSer,
+                        AccelType::kCmp});
+  reg("RLF_Harris", {AccelType::kDcmp, AccelType::kDser, AccelType::kEncr,
+                     AccelType::kDecr, AccelType::kSer});
+  reg("RLF_EdgeDetect",
+      {AccelType::kDcmp, AccelType::kEncr, AccelType::kDecr,
+       AccelType::kCmp});
+  reg("RLF_Disparity",
+      {AccelType::kDcmp, AccelType::kDser, AccelType::kEncr,
+       AccelType::kRpc, AccelType::kDecr, AccelType::kSer, AccelType::kCmp});
+  reg("RLF_LSTM",
+      {AccelType::kDser, AccelType::kRpc, AccelType::kEncr, AccelType::kSer});
+  reg("RLF_GRU",
+      {AccelType::kDser, AccelType::kRpc, AccelType::kDecr, AccelType::kSer});
+  reg("RLF_Seq2Seq",
+      {AccelType::kDser, AccelType::kRpc, AccelType::kEncr,
+       AccelType::kDecr, AccelType::kRpc, AccelType::kSer});
+}
+
+std::vector<ServiceSpec> relief_suite_specs() {
+  // Coarse-grained accelerator applications standing in for the RELIEF
+  // gem5 artifact: fixed linear chains (registered as custom traces by
+  // register_relief_traces), each operation hundreds of microseconds, no
+  // in-flight control flow — the regime RELIEF was designed for.
+  std::vector<ServiceSpec> specs;
+  auto add = [&](const char* name, double total_us, const char* trace,
+                 double app_frac) {
+    ServiceSpec s;
+    s.name = name;
+    s.total_cpu_time = sim::microseconds(total_us);
+    // One chain; tax fractions spread across the categories the chain
+    // uses (computed against equal weights here; the Service constructor
+    // divides by actual op counts).
+    const double tax = (1.0 - app_frac) / 6.0;
+    s.fractions = {app_frac, tax, tax, tax, tax, tax, tax};
+    s.payload_median_bytes = 64 * 1024;
+    s.payload_cv = 0.4;
+    s.stages = {cpu_stage(0.5), chain_stage({grp(trace)}), cpu_stage(0.5)};
+    specs.push_back(std::move(s));
+  };
+  add("GrayScale", 800, "RLF_GrayScale", 0.10);
+  add("Harris", 1600, "RLF_Harris", 0.12);
+  add("EdgeDetect", 1200, "RLF_EdgeDetect", 0.10);
+  add("Disparity", 2400, "RLF_Disparity", 0.15);
+  add("LSTM", 2000, "RLF_LSTM", 0.20);
+  add("GRU", 1500, "RLF_GRU", 0.20);
+  add("Seq2Seq", 3000, "RLF_Seq2Seq", 0.25);
+  return specs;
+}
+
+std::vector<std::unique_ptr<Service>> build_services(
+    const std::vector<ServiceSpec>& specs, const core::TraceLibrary& lib) {
+  std::vector<std::unique_ptr<Service>> services;
+  services.reserve(specs.size());
+  for (const ServiceSpec& spec : specs) {
+    services.push_back(std::make_unique<Service>(spec, lib));
+  }
+  return services;
+}
+
+}  // namespace accelflow::workload

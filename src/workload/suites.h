@@ -1,0 +1,64 @@
+#ifndef ACCELFLOW_WORKLOAD_SUITES_H_
+#define ACCELFLOW_WORKLOAD_SUITES_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/trace_library.h"
+#include "workload/service.h"
+
+/**
+ * @file
+ * The benchmark suites of Section VI:
+ *  - the eight DeathStarBench SocialNetwork services (CPost, ReadH, StoreP,
+ *    Follow, Login, CUrls, UniqId, RegUsr) with the Table IV paths,
+ *  - HotelReservation and MediaServices (for the load sweeps of Fig. 12),
+ *  - TrainTicket-style services (Section III's conditional statistics),
+ *  - FunctionBench serverless functions (Fig. 16),
+ *  - a substitute for the RELIEF gem5 artifact's coarse-grained image
+ *    processing and RNN applications (Fig. 15).
+ */
+
+namespace accelflow::workload {
+
+/** Builds the specs of the eight SocialNetwork services. */
+std::vector<ServiceSpec> social_network_specs();
+
+/** HotelReservation services (6 services). */
+std::vector<ServiceSpec> hotel_reservation_specs();
+
+/** MediaServices services (6 services). */
+std::vector<ServiceSpec> media_services_specs();
+
+/** TrainTicket-style services (6 services). */
+std::vector<ServiceSpec> train_ticket_specs();
+
+/** uSuite-style mid-tier services (4 services: HDSearch, Router,
+ *  SetAlgebra, Recommend), each fanning out to leaf shards. */
+std::vector<ServiceSpec> usuite_specs();
+
+/** FunctionBench serverless functions (6 functions). */
+std::vector<ServiceSpec> serverless_specs();
+
+/**
+ * Coarse-grained image-processing and RNN applications standing in for the
+ * RELIEF gem5 artifact: fixed linear chains of long accelerator operations
+ * (hundreds of microseconds), no in-flight branching.
+ */
+std::vector<ServiceSpec> relief_suite_specs();
+
+/**
+ * Registers the RLF_* linear-chain traces the relief suite references.
+ * Seven non-TCP accelerator units stand in for the artifact's seven
+ * coarse-grained accelerators.
+ */
+void register_relief_traces(core::TraceLibrary& lib);
+
+/** Instantiates runtime Services against a trace library. */
+std::vector<std::unique_ptr<Service>> build_services(
+    const std::vector<ServiceSpec>& specs, const core::TraceLibrary& lib);
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_SUITES_H_

@@ -1,0 +1,67 @@
+#ifndef ACCELFLOW_WORKLOAD_TAX_H_
+#define ACCELFLOW_WORKLOAD_TAX_H_
+
+#include <array>
+#include <string_view>
+
+#include "accel/types.h"
+
+/**
+ * @file
+ * Datacenter-tax categories as the paper's Figure 1 groups them: the six
+ * accelerator-backed categories plus the core application logic.
+ */
+
+namespace accelflow::workload {
+
+/** Figure 1's execution-time categories. */
+enum class TaxCategory : std::uint8_t {
+  kAppLogic = 0,
+  kTcp = 1,
+  kEncr = 2,  ///< (De)Encryption.
+  kRpc = 3,
+  kSer = 4,   ///< (De)Serialization.
+  kCmp = 5,   ///< (De)Compression.
+  kLdb = 6,
+};
+
+inline constexpr std::size_t kNumTaxCategories = 7;
+
+constexpr std::string_view name_of(TaxCategory c) {
+  constexpr std::string_view kNames[kNumTaxCategories] = {
+      "AppLogic", "TCP", "(De)Encr", "RPC", "(De)Ser", "(De)Cmp", "LdB"};
+  return kNames[static_cast<std::size_t>(c)];
+}
+
+/** Category an accelerator's work is accounted under. */
+constexpr TaxCategory category_of(accel::AccelType t) {
+  switch (t) {
+    case accel::AccelType::kTcp:
+      return TaxCategory::kTcp;
+    case accel::AccelType::kEncr:
+    case accel::AccelType::kDecr:
+      return TaxCategory::kEncr;
+    case accel::AccelType::kRpc:
+      return TaxCategory::kRpc;
+    case accel::AccelType::kSer:
+    case accel::AccelType::kDser:
+      return TaxCategory::kSer;
+    case accel::AccelType::kCmp:
+    case accel::AccelType::kDcmp:
+      return TaxCategory::kCmp;
+    case accel::AccelType::kLdb:
+      return TaxCategory::kLdb;
+  }
+  return TaxCategory::kAppLogic;
+}
+
+/** Per-category fractions of a service's total CPU time (sums to 1). */
+using TaxFractions = std::array<double, kNumTaxCategories>;
+
+/** The Figure 1 fleet-average fractions the suite calibrates to. */
+inline constexpr TaxFractions kPaperAverageFractions = {
+    0.207, 0.256, 0.146, 0.032, 0.224, 0.095, 0.039};
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_TAX_H_

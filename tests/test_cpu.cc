@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the CPU core-cluster model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core_cluster.h"
+#include "sim/simulator.h"
+
+namespace accelflow::cpu {
+namespace {
+
+TEST(CoreCluster, SegmentsSerializePerCore) {
+  sim::Simulator sim;
+  CpuParams p;
+  p.num_cores = 2;
+  CoreCluster cores(sim, p);
+  std::vector<sim::TimePs> done;
+  cores.run_on(0, sim::microseconds(10),
+               [&] { done.push_back(sim.now()); });
+  cores.run_on(0, sim::microseconds(10),
+               [&] { done.push_back(sim.now()); });
+  cores.run_on(1, sim::microseconds(10),
+               [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], sim::microseconds(10));  // Core 0 first segment.
+  EXPECT_EQ(done[1], sim::microseconds(10));  // Core 1 in parallel.
+  EXPECT_EQ(done[2], sim::microseconds(20));  // Core 0 second segment.
+}
+
+TEST(CoreCluster, InterruptChargesDeliveryPlusHandler) {
+  sim::Simulator sim;
+  CpuParams p;
+  p.interrupt_cycles = 2400;  // 1us at 2.4GHz.
+  CoreCluster cores(sim, p);
+  const sim::TimePs end =
+      cores.interrupt(0, sim::microseconds(2));
+  EXPECT_EQ(end, sim::microseconds(3));
+  EXPECT_EQ(cores.stats().interrupts, 1u);
+  EXPECT_EQ(cores.stats().interrupt_time, sim::microseconds(3));
+}
+
+TEST(CoreCluster, NotificationIsCheap) {
+  sim::Simulator sim;
+  CpuParams p;
+  CoreCluster cores(sim, p);
+  const sim::TimePs notify_end = cores.notify(0);
+  const sim::TimePs irq_end = cores.interrupt(1, 0);
+  EXPECT_LT(notify_end, irq_end);
+  EXPECT_EQ(cores.stats().notifications, 1u);
+}
+
+TEST(CoreCluster, LeastLoadedPicksIdleCore) {
+  sim::Simulator sim;
+  CpuParams p;
+  p.num_cores = 3;
+  CoreCluster cores(sim, p);
+  cores.run_on(0, sim::microseconds(10));
+  cores.run_on(1, sim::microseconds(5));
+  EXPECT_EQ(cores.least_loaded(), 2);
+  cores.run_on(2, sim::microseconds(20));
+  EXPECT_EQ(cores.least_loaded(), 1);
+}
+
+TEST(CoreCluster, UtilizationAveragesAcrossCores) {
+  sim::Simulator sim;
+  CpuParams p;
+  p.num_cores = 4;
+  CoreCluster cores(sim, p);
+  cores.run_on(0, sim::microseconds(10));
+  sim.schedule_at(sim::microseconds(10), [] {});
+  sim.run();
+  EXPECT_NEAR(cores.utilization(), 0.25, 1e-9);
+}
+
+TEST(CoreCluster, CycleConversionUsesConfiguredClock) {
+  sim::Simulator sim;
+  CpuParams p;
+  p.clock_ghz = 2.0;
+  CoreCluster cores(sim, p);
+  EXPECT_EQ(cores.cycles(2000), sim::microseconds(1));
+}
+
+}  // namespace
+}  // namespace accelflow::cpu

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the area/power/energy model (paper Section VI, VII-B.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/model.h"
+
+namespace accelflow::energy {
+namespace {
+
+TEST(AreaModel, PaperTotals) {
+  const AreaModel a;
+  // Section VI: baseline processor 122.3mm^2, accelerators 44.9mm^2.
+  EXPECT_NEAR(a.baseline_processor_mm2(), 122.3, 0.01);
+  EXPECT_NEAR(a.accelerators_mm2(), 44.9, 0.01);
+  // "the accelerators take 26.1% of the total area".
+  EXPECT_NEAR(a.accelerators_mm2() / a.total_mm2(), 0.261, 0.01);
+  // "AccelFlow's area overhead is at most 2.9% of the SoC".
+  EXPECT_NEAR(a.accelflow_overhead_fraction(), 0.029, 0.004);
+}
+
+TEST(AreaModel, PerAcceleratorAreasMatchSectionVI) {
+  const AreaModel a;
+  using accel::AccelType;
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kSer)], 0.6);
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kDser)], 0.9);
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kCmp)], 9.1);
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kDcmp)], 5.2);
+  // TCP and (De)Encr sized like Cmp; RPC and LdB like Dser.
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kTcp)], 9.1);
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kRpc)], 0.9);
+  EXPECT_DOUBLE_EQ(a.accel_mm2[accel::index_of(AccelType::kLdb)], 0.9);
+}
+
+TEST(PowerModel, AccelPowerSplitsByArea) {
+  const PowerModel p;
+  double total = 0;
+  for (const auto t : accel::kAllAccelTypes) total += p.accel_w(t);
+  EXPECT_NEAR(total, p.accel_max_total_w, 1e-9);
+  // Cmp (9.1mm^2) draws more than Ser (0.6mm^2).
+  EXPECT_GT(p.accel_w(accel::AccelType::kCmp),
+            p.accel_w(accel::AccelType::kSer));
+}
+
+TEST(Energy, ZeroElapsedIsZero) {
+  const EnergyReport r = compute_energy(Activity{});
+  EXPECT_DOUBLE_EQ(r.total_j, 0.0);
+}
+
+TEST(Energy, IdleSystemDrawsFloorPower) {
+  Activity a;
+  a.elapsed = sim::seconds(1);
+  const EnergyReport r = compute_energy(a);
+  const PowerModel p;
+  // Idle floor: idle cores + uncore + leakage.
+  EXPECT_GT(r.avg_power_w, p.num_cores * p.core_idle_w);
+  EXPECT_LT(r.avg_power_w, p.server_max_w());
+}
+
+TEST(Energy, BusyCoresCostMore) {
+  Activity idle;
+  idle.elapsed = sim::seconds(1);
+  Activity busy = idle;
+  busy.core_busy = sim::seconds(36);  // All cores fully busy.
+  const auto ei = compute_energy(idle);
+  const auto eb = compute_energy(busy);
+  EXPECT_GT(eb.core_j, ei.core_j * 5);
+  EXPECT_GT(eb.total_j, ei.total_j);
+}
+
+TEST(Energy, AcceleratorActivityCostsBounded) {
+  Activity a;
+  a.elapsed = sim::seconds(1);
+  for (auto& b : a.accel_busy) b = sim::seconds(8);  // All PEs fully busy.
+  const auto r = compute_energy(a);
+  const PowerModel p;
+  // At full activity the accelerator draw approaches the 12.5W cap.
+  EXPECT_NEAR(r.accel_j, p.accel_max_total_w, 0.8);
+}
+
+TEST(Energy, RequestsPerJouleScalesWithWork) {
+  Activity a;
+  a.elapsed = sim::seconds(1);
+  a.requests = 1000;
+  const auto r1 = compute_energy(a);
+  a.requests = 2000;
+  const auto r2 = compute_energy(a);
+  EXPECT_NEAR(r2.requests_per_joule, 2 * r1.requests_per_joule, 1e-9);
+}
+
+}  // namespace
+}  // namespace accelflow::energy

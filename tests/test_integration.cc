@@ -1,0 +1,182 @@
+/**
+ * @file
+ * End-to-end integration tests over the experiment harness: paired
+ * determinism, cross-architecture orderings at load, ablation monotonicity,
+ * sensitivity directions, and SLO search sanity. These pin the *shapes*
+ * the paper reports, at reduced scale so the suite stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace accelflow::workload {
+namespace {
+
+ExperimentConfig small_config(core::OrchKind kind, double rps = 6000.0) {
+  ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.specs = social_network_specs();
+  cfg.load_model = LoadGenerator::Model::kPoisson;
+  cfg.per_service_rps.assign(cfg.specs.size(), rps);
+  cfg.warmup = sim::milliseconds(5);
+  cfg.measure = sim::milliseconds(25);
+  cfg.drain = sim::milliseconds(15);
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Integration, RunsAreDeterministic) {
+  const auto a = run_experiment(small_config(core::OrchKind::kAccelFlow));
+  const auto b = run_experiment(small_config(core::OrchKind::kAccelFlow));
+  ASSERT_EQ(a.services.size(), b.services.size());
+  EXPECT_EQ(a.total_completed(), b.total_completed());
+  for (std::size_t s = 0; s < a.services.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a.services[s].p99_us, b.services[s].p99_us);
+    EXPECT_DOUBLE_EQ(a.services[s].mean_us, b.services[s].mean_us);
+  }
+  EXPECT_EQ(a.accel_invocations, b.accel_invocations);
+}
+
+TEST(Integration, SeedsChangeResults) {
+  auto cfg = small_config(core::OrchKind::kAccelFlow);
+  const auto a = run_experiment(cfg);
+  cfg.seed = 78;
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.total_completed(), b.total_completed());
+}
+
+TEST(Integration, ArchitectureLatencyOrderingAtLoad) {
+  // The paper's headline ordering at production-like load: AccelFlow's
+  // P99 beats every baseline, and Non-acc is the worst.
+  std::array<double, 5> p99{};
+  const core::OrchKind kinds[] = {
+      core::OrchKind::kNonAcc, core::OrchKind::kCpuCentric,
+      core::OrchKind::kRelief, core::OrchKind::kCohort,
+      core::OrchKind::kAccelFlow};
+  for (int i = 0; i < 5; ++i) {
+    p99[static_cast<std::size_t>(i)] =
+        run_experiment(small_config(kinds[i], 10000.0)).avg_p99_us;
+  }
+  const double af = p99[4];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(p99[static_cast<std::size_t>(i)], af) << i;
+  }
+  EXPECT_GT(p99[0], p99[2]);  // Non-acc worse than RELIEF.
+}
+
+TEST(Integration, AblationLadderIsOrdered) {
+  // The ladder separates at high load, where the manager's involvement
+  // costs tail latency (Fig. 13 uses the bursty production rates).
+  const double relief =
+      run_experiment(small_config(core::OrchKind::kRelief, 15000.0))
+          .avg_p99_us;
+  const double direct =
+      run_experiment(small_config(core::OrchKind::kAccelFlowDirect, 15000.0))
+          .avg_p99_us;
+  const double full =
+      run_experiment(small_config(core::OrchKind::kAccelFlow, 15000.0))
+          .avg_p99_us;
+  EXPECT_LT(direct, relief);
+  EXPECT_LT(full, relief);
+  EXPECT_LE(full, direct * 1.05);  // Full never meaningfully worse.
+}
+
+TEST(Integration, IdealIsAtLeastAsFastAsAccelFlow) {
+  const auto af = run_experiment(small_config(core::OrchKind::kAccelFlow));
+  const auto ideal = run_experiment(small_config(core::OrchKind::kIdeal));
+  EXPECT_LE(ideal.avg_mean_us, af.avg_mean_us * 1.02);
+}
+
+TEST(Integration, LatencyGrowsWithLoad) {
+  const auto lo = run_experiment(small_config(core::OrchKind::kRelief, 4000));
+  const auto hi =
+      run_experiment(small_config(core::OrchKind::kRelief, 14000));
+  EXPECT_GT(hi.avg_p99_us, lo.avg_p99_us);
+}
+
+TEST(Integration, MoreChipletsRaiseLatency) {
+  auto cfg2 = small_config(core::OrchKind::kAccelFlow, 10000.0);
+  cfg2.machine.num_chiplets = 2;
+  auto cfg6 = cfg2;
+  cfg6.machine.num_chiplets = 6;
+  const auto r2 = run_experiment(cfg2);
+  const auto r6 = run_experiment(cfg6);
+  EXPECT_GT(r6.avg_mean_us, r2.avg_mean_us);
+}
+
+TEST(Integration, FewerPesRaiseLatency) {
+  auto cfg8 = small_config(core::OrchKind::kAccelFlow, 10000.0);
+  auto cfg2 = cfg8;
+  cfg2.machine.pes_per_accel = 2;
+  const auto r8 = run_experiment(cfg8);
+  const auto r2 = run_experiment(cfg2);
+  EXPECT_GT(r2.avg_p99_us, r8.avg_p99_us);
+}
+
+TEST(Integration, SlowerAcceleratorsRaiseLatency) {
+  auto fast = small_config(core::OrchKind::kAccelFlow, 8000.0);
+  auto slow = fast;
+  slow.machine.speedup_scale = 0.25;
+  EXPECT_GT(run_experiment(slow).avg_mean_us,
+            run_experiment(fast).avg_mean_us);
+}
+
+TEST(Integration, NewerGenerationsLowerNonAccLatency) {
+  auto hw = small_config(core::OrchKind::kNonAcc, 8000.0);
+  hw.machine.apply_generation(core::Generation::kHaswell);
+  auto emr = small_config(core::OrchKind::kNonAcc, 8000.0);
+  emr.machine.apply_generation(core::Generation::kEmeraldRapids);
+  EXPECT_GT(run_experiment(hw).avg_mean_us,
+            run_experiment(emr).avg_mean_us);
+}
+
+TEST(Integration, UnloadedLatencyIsBelowLoadedLatency) {
+  auto cfg = small_config(core::OrchKind::kAccelFlow);
+  const auto unloaded = unloaded_latency(cfg, core::OrchKind::kAccelFlow);
+  const auto loaded = run_experiment(small_config(core::OrchKind::kAccelFlow,
+                                                  14000.0));
+  ASSERT_EQ(unloaded.size(), loaded.services.size());
+  for (std::size_t s = 0; s < unloaded.size(); ++s) {
+    EXPECT_GT(unloaded[s], 0u);
+    EXPECT_LE(sim::to_microseconds(unloaded[s]),
+              loaded.services[s].p99_us * 1.2);
+  }
+}
+
+TEST(Integration, FindMaxLoadBrackets) {
+  auto cfg = small_config(core::OrchKind::kIdeal);
+  cfg.measure = sim::milliseconds(15);
+  const auto unloaded = unloaded_latency(cfg, core::OrchKind::kNonAcc);
+  // Absurdly loose SLOs: the search must return a high factor.
+  std::vector<sim::TimePs> loose;
+  for (const auto u : unloaded) loose.push_back(1000 * u);
+  const double f = find_max_load(cfg, loose, 2, 0.05, 3.0);
+  EXPECT_GT(f, 1.0);
+  // Impossible SLOs: zero.
+  std::vector<sim::TimePs> impossible(unloaded.size(), 1);
+  EXPECT_DOUBLE_EQ(find_max_load(cfg, impossible, 2, 0.05, 3.0), 0.0);
+}
+
+TEST(Integration, EngineCountersAreConsistent) {
+  const auto res = run_experiment(small_config(core::OrchKind::kAccelFlow));
+  EXPECT_GT(res.engine.chains_started, 0u);
+  // Everything started eventually completes (drain long enough) up to a
+  // few percent still in flight.
+  EXPECT_GE(res.engine.chains_completed + res.engine.chains_started / 20,
+            res.engine.chains_started);
+  EXPECT_GT(res.engine.glue_instrs.count(), 0u);
+  EXPECT_GT(res.engine.atm_loads, 0u);
+  EXPECT_GT(res.accel_invocations, 0u);
+}
+
+TEST(Integration, BaselineCountersAreConsistent) {
+  const auto res =
+      run_experiment(small_config(core::OrchKind::kCpuCentric));
+  EXPECT_GT(res.baseline.chains, 0u);
+  EXPECT_GT(res.interrupts, 0u);
+  EXPECT_GT(res.orchestration_time, 0u);
+}
+
+}  // namespace
+}  // namespace accelflow::workload

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the machine composition: chiplet organizations, placement,
+ * ATM behavior, trace loading, and the CPU-chain executor shared by
+ * Non-acc and the fallback paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cpu_executor.h"
+#include "core/machine.h"
+#include "core/trace_templates.h"
+
+namespace accelflow::core {
+namespace {
+
+using accel::AccelType;
+
+TEST(ChipletAssignment, BaseDesignSplitsLdbFromTheRest) {
+  const auto m = accel_chiplet_assignment(2);
+  EXPECT_EQ(m[accel::index_of(AccelType::kLdb)], 0);
+  for (const auto t : accel::kAllAccelTypes) {
+    if (t == AccelType::kLdb) continue;
+    EXPECT_EQ(m[accel::index_of(t)], 1) << name_of(t);
+  }
+}
+
+TEST(ChipletAssignment, AllOrganizationsKeepLdbWithCores) {
+  for (const int n : {1, 2, 3, 4, 6}) {
+    const auto m = accel_chiplet_assignment(n);
+    EXPECT_EQ(m[accel::index_of(AccelType::kLdb)], 0) << n;
+    for (const auto t : accel::kAllAccelTypes) {
+      EXPECT_LT(m[accel::index_of(t)], n) << n << " " << name_of(t);
+    }
+  }
+}
+
+TEST(ChipletAssignment, SixChipletsMatchPaperGrouping) {
+  // TCP | (De)Encr | RPC | (De)Ser | (De)Cmp in separate chiplets.
+  const auto m = accel_chiplet_assignment(6);
+  EXPECT_EQ(m[accel::index_of(AccelType::kEncr)],
+            m[accel::index_of(AccelType::kDecr)]);
+  EXPECT_EQ(m[accel::index_of(AccelType::kSer)],
+            m[accel::index_of(AccelType::kDser)]);
+  EXPECT_EQ(m[accel::index_of(AccelType::kCmp)],
+            m[accel::index_of(AccelType::kDcmp)]);
+  EXPECT_NE(m[accel::index_of(AccelType::kTcp)],
+            m[accel::index_of(AccelType::kEncr)]);
+  EXPECT_NE(m[accel::index_of(AccelType::kRpc)],
+            m[accel::index_of(AccelType::kSer)]);
+}
+
+TEST(ChipletAssignment, RejectsUnsupportedCounts) {
+  EXPECT_THROW(accel_chiplet_assignment(5), std::invalid_argument);
+  EXPECT_THROW(accel_chiplet_assignment(0), std::invalid_argument);
+}
+
+TEST(Machine, PlacesAcceleratorsOnTheirChiplets) {
+  for (const int n : {1, 2, 3, 4, 6}) {
+    MachineConfig cfg;
+    cfg.num_chiplets = n;
+    Machine m(cfg);
+    const auto assignment = accel_chiplet_assignment(n);
+    for (const auto t : accel::kAllAccelTypes) {
+      EXPECT_EQ(m.accel(t).location().chiplet,
+                assignment[accel::index_of(t)])
+          << n << " " << name_of(t);
+    }
+  }
+}
+
+TEST(Machine, CoreLocationsAreDistinct) {
+  Machine m{MachineConfig{}};
+  std::set<std::pair<int, int>> seen;
+  for (int c = 0; c < 36; ++c) {
+    const auto loc = m.core_location(c);
+    EXPECT_EQ(loc.chiplet, 0);
+    EXPECT_TRUE(seen.insert({loc.coord.x, loc.coord.y}).second) << c;
+  }
+}
+
+TEST(Machine, GenerationScalingIsMonotone) {
+  MachineConfig cfg;
+  cfg.apply_generation(Generation::kHaswell);
+  const double hw = cfg.cpu.app_speed;
+  cfg.apply_generation(Generation::kEmeraldRapids);
+  EXPECT_GT(cfg.cpu.app_speed, hw);
+  // Tax speeds compress toward 1 (memory-bound code barely scales).
+  EXPECT_LT(std::abs(cfg.cpu.tax_speed - 1.0),
+            std::abs(cfg.cpu.app_speed - 1.0));
+}
+
+TEST(Atm, StoreLoadRoundTrip) {
+  Atm atm(2.4, 20.0, noc::Location{1, {2, 2}});
+  Trace t;
+  append_invoke(t, AccelType::kSer);
+  append_end_notify(t);
+  EXPECT_FALSE(atm.contains(5));
+  atm.store(5, t);
+  EXPECT_TRUE(atm.contains(5));
+  EXPECT_EQ(atm.load(5).word, t.word);
+  EXPECT_EQ(atm.stats().reads, 1u);
+  EXPECT_EQ(atm.stats().writes, 1u);
+  // 20 cycles at 2.4GHz ~ 8.3ns.
+  EXPECT_NEAR(sim::to_nanoseconds(atm.read_latency()), 8.33, 0.1);
+}
+
+TEST(Machine, LoadTracesInstallsTemplates) {
+  Machine m{MachineConfig{}};
+  TraceLibrary lib;
+  const auto tt = register_templates(lib);
+  m.load_traces(lib);
+  EXPECT_TRUE(m.atm().contains(tt.t1));
+  EXPECT_TRUE(m.atm().contains(tt.t12));
+  EXPECT_EQ(m.atm().load(tt.t2).word, lib.get(tt.t2).word);
+}
+
+class FixedEnv : public ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(ChainContext&, accel::AccelType,
+                          std::uint64_t) override {
+    return sim::microseconds(3);
+  }
+  std::uint64_t transformed_size(accel::AccelType,
+                                 std::uint64_t b) override {
+    return b;
+  }
+  sim::TimePs remote_latency(ChainContext&, RemoteKind) override {
+    return sim::microseconds(20);
+  }
+  std::uint64_t response_size(ChainContext&, RemoteKind) override {
+    return 1024;
+  }
+};
+
+TEST(CpuChainExecutor, RunsOpsOnTheCore) {
+  Machine m{MachineConfig{}};
+  TraceLibrary lib;
+  const auto tt = register_templates(lib);
+  CpuChainExecutor exec(m, sim::milliseconds(10));
+  FixedEnv env;
+  ChainContext ctx;
+  ctx.core = 3;
+  ctx.env = &env;
+  ctx.rng.reseed(1);
+  bool done = false;
+  const auto walk = walk_chain(lib, tt.t2, ctx.flags);
+  exec.run(&ctx, walk.ops, 1024, [&](bool timed_out) {
+    done = true;
+    EXPECT_FALSE(timed_out);
+  });
+  m.sim().run();
+  EXPECT_TRUE(done);
+  // 4 ops x 3us on the core.
+  EXPECT_GE(m.cores().stats().busy_time, sim::microseconds(12));
+  EXPECT_EQ(exec.stats().ops, 4u);
+  EXPECT_EQ(ctx.accel_invocations, 4u);
+}
+
+TEST(CpuChainExecutor, WaitsReleaseTheCore) {
+  Machine m{MachineConfig{}};
+  TraceLibrary lib;
+  const auto tt = register_templates(lib);
+  CpuChainExecutor exec(m, sim::milliseconds(10));
+  FixedEnv env;
+  ChainContext ctx;
+  ctx.core = 0;
+  ctx.flags.hit = true;
+  ctx.env = &env;
+  ctx.rng.reseed(1);
+  bool done = false;
+  const auto walk = walk_chain(lib, tt.t4, ctx.flags);
+  exec.run(&ctx, walk.ops, 1024, [&](bool) { done = true; });
+  m.sim().run();
+  EXPECT_TRUE(done);
+  // Elapsed includes the 20us remote wait; core busy time does not.
+  EXPECT_GE(m.sim().now(), sim::microseconds(20 + 7 * 3));
+  EXPECT_LT(m.cores().stats().busy_time, sim::microseconds(20 + 7 * 3));
+}
+
+TEST(CpuChainExecutor, TimesOutOnSlowRemotes) {
+  Machine m{MachineConfig{}};
+  TraceLibrary lib;
+  const auto tt = register_templates(lib);
+  CpuChainExecutor exec(m, sim::microseconds(5));  // Tighter than remote.
+  FixedEnv env;
+  ChainContext ctx;
+  ctx.core = 0;
+  ctx.env = &env;
+  ctx.rng.reseed(1);
+  bool timed_out = false;
+  const auto walk = walk_chain(lib, tt.t4, ctx.flags);
+  exec.run(&ctx, walk.ops, 1024, [&](bool t) { timed_out = t; });
+  m.sim().run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(exec.stats().timeouts, 1u);
+}
+
+TEST(CpuChainExecutor, TaxSpeedScalesCpuTime) {
+  MachineConfig slow_cfg;
+  slow_cfg.cpu.tax_speed = 0.5;
+  Machine slow(slow_cfg);
+  Machine fast{MachineConfig{}};
+  TraceLibrary lib;
+  const auto tt = register_templates(lib);
+  FixedEnv env;
+  for (Machine* m : {&slow, &fast}) {
+    CpuChainExecutor exec(*m, sim::milliseconds(10));
+    ChainContext ctx;
+    ctx.core = 0;
+    ctx.env = &env;
+    ctx.rng.reseed(1);
+    const auto walk = walk_chain(lib, tt.t2, ctx.flags);
+    exec.run(&ctx, walk.ops, 1024, nullptr);
+    m->sim().run();
+  }
+  EXPECT_NEAR(static_cast<double>(slow.cores().stats().busy_time),
+              2.0 * static_cast<double>(fast.cores().stats().busy_time),
+              1e7);
+}
+
+}  // namespace
+}  // namespace accelflow::core

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: TLB, IOMMU/page walker, LLC/DRAM.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address.h"
+#include "mem/iommu.h"
+#include "mem/memory_system.h"
+#include "mem/tlb.h"
+#include "sim/simulator.h"
+
+namespace accelflow::mem {
+namespace {
+
+TEST(Address, PageMath) {
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(4095), 0u);
+  EXPECT_EQ(page_of(4096), 1u);
+  EXPECT_EQ(pages_spanned(0, 1), 1u);
+  EXPECT_EQ(pages_spanned(0, 4096), 1u);
+  EXPECT_EQ(pages_spanned(0, 4097), 2u);
+  EXPECT_EQ(pages_spanned(4000, 200), 2u);
+  EXPECT_EQ(pages_spanned(0, 0), 0u);
+}
+
+TEST(Address, AddressSpaceDisjointPerProcess) {
+  AddressSpace a(1), b(2);
+  const VirtAddr va = a.allocate(100);
+  const VirtAddr vb = b.allocate(100);
+  EXPECT_NE(page_of(va), page_of(vb));
+  // Page aligned, monotonically increasing.
+  const VirtAddr va2 = a.allocate(10000);
+  EXPECT_EQ(va2 % kPageSize, 0u);
+  EXPECT_GT(va2, va);
+}
+
+TEST(Tlb, HitAfterFill) {
+  Tlb tlb(64, 4);
+  EXPECT_FALSE(tlb.lookup(1, 100));
+  tlb.fill(1, 100);
+  EXPECT_TRUE(tlb.lookup(1, 100));
+  EXPECT_EQ(tlb.stats().lookups, 2u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(Tlb, ProcessIdsAreDistinct) {
+  Tlb tlb(64, 4);
+  tlb.fill(1, 100);
+  EXPECT_FALSE(tlb.lookup(2, 100));
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  // Direct test of LRU: 1 set, 2 ways.
+  Tlb tlb(2, 2);
+  tlb.fill(0, 1);
+  tlb.fill(0, 2);
+  EXPECT_TRUE(tlb.lookup(0, 1));  // Touch 1: 2 becomes LRU.
+  tlb.fill(0, 3);                 // Evicts 2.
+  EXPECT_TRUE(tlb.lookup(0, 1));
+  EXPECT_FALSE(tlb.lookup(0, 2));
+  EXPECT_TRUE(tlb.lookup(0, 3));
+  EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, AccessFillsOnMiss) {
+  Tlb tlb(16, 4);
+  EXPECT_FALSE(tlb.access(3, 7));
+  EXPECT_TRUE(tlb.access(3, 7));
+}
+
+TEST(Tlb, FlushProcessOnlyRemovesThatProcess) {
+  Tlb tlb(64, 4);
+  tlb.fill(1, 10);
+  tlb.fill(2, 20);
+  tlb.flush_process(1);
+  EXPECT_FALSE(tlb.lookup(1, 10));
+  EXPECT_TRUE(tlb.lookup(2, 20));
+  tlb.flush_all();
+  EXPECT_FALSE(tlb.lookup(2, 20));
+}
+
+TEST(Tlb, CapacityBehaviour) {
+  // Working set <= capacity: after warmup, all hits.
+  Tlb tlb(128, 4);
+  for (PageNum p = 0; p < 100; ++p) tlb.access(0, p);
+  std::uint64_t hits = 0;
+  for (PageNum p = 0; p < 100; ++p) hits += tlb.lookup(0, p);
+  EXPECT_EQ(hits, 100u);
+}
+
+TEST(MemorySystem, LlcHitIsFasterThanMiss) {
+  sim::Simulator sim;
+  MemParams p;
+  MemorySystem mem(sim, p);
+  // Force outcomes via probability 1 / 0.
+  const auto hit = mem.read(64, 1.0);
+  const auto miss = mem.read(64, 0.0);
+  EXPECT_TRUE(hit.llc_hit);
+  EXPECT_FALSE(miss.llc_hit);
+  EXPECT_LT(hit.complete_at, miss.complete_at);
+  EXPECT_EQ(mem.stats().llc_hits, 1u);
+  EXPECT_EQ(mem.stats().llc_misses, 1u);
+}
+
+TEST(MemorySystem, DramBandwidthSerializes) {
+  sim::Simulator sim;
+  MemParams p;
+  p.num_controllers = 1;
+  MemorySystem mem(sim, p);
+  const auto a = mem.read(1 << 20, 0.0);
+  const auto b = mem.read(1 << 20, 0.0);
+  // Two 1MB misses on one controller: second completes later.
+  EXPECT_GT(b.complete_at, a.complete_at);
+  EXPECT_EQ(mem.stats().bytes_from_dram, 2u << 20);
+}
+
+TEST(MemorySystem, ControllersLoadBalance) {
+  sim::Simulator sim;
+  MemParams p;  // 4 controllers.
+  MemorySystem mem(sim, p);
+  const auto a = mem.read(1 << 20, 0.0);
+  const auto b = mem.read(1 << 20, 0.0);
+  // Different controllers: identical completion (same start).
+  EXPECT_EQ(a.complete_at, b.complete_at);
+}
+
+TEST(MemorySystem, DependentAccessLatencies) {
+  sim::Simulator sim;
+  MemParams p;
+  MemorySystem mem(sim, p);
+  sim::TimePs hit_lat = 0, miss_lat = 0;
+  // Sample repeatedly; hit prob 1 vs 0 gives deterministic paths.
+  hit_lat = mem.dependent_access_latency(1.0);
+  miss_lat = mem.dependent_access_latency(0.0);
+  EXPECT_LT(hit_lat, miss_lat);
+  EXPECT_EQ(miss_lat, hit_lat + sim::nanoseconds(p.dram_latency_ns));
+}
+
+TEST(Iommu, WalkTakesLevelsAccesses) {
+  sim::Simulator sim;
+  MemParams mp;
+  MemorySystem mem(sim, mp);
+  WalkParams wp;
+  wp.ptw_llc_hit_prob = 1.0;  // Deterministic walk latency.
+  Iommu iommu(sim, mem, wp);
+  const auto res = iommu.translate(1, 42);
+  EXPECT_FALSE(res.faulted);
+  // 4 levels of LLC-hit pointer chases.
+  const sim::TimePs per_level =
+      sim::Clock(mp.core_ghz).cycles_to_ps(mp.llc_round_trip_cycles);
+  EXPECT_EQ(res.complete_at, 4 * per_level);
+  EXPECT_EQ(iommu.stats().walks, 1u);
+}
+
+TEST(Iommu, WalkersSerializeUnderLoad) {
+  sim::Simulator sim;
+  MemParams mp;
+  MemorySystem mem(sim, mp);
+  WalkParams wp;
+  wp.ptw_llc_hit_prob = 1.0;
+  Iommu iommu(sim, mem, wp, /*concurrent_walkers=*/1);
+  const auto a = iommu.translate(1, 1);
+  const auto b = iommu.translate(1, 2);
+  EXPECT_EQ(b.complete_at, 2 * a.complete_at);
+}
+
+TEST(Iommu, FaultInjection) {
+  sim::Simulator sim;
+  MemParams mp;
+  MemorySystem mem(sim, mp);
+  WalkParams wp;
+  wp.page_fault_prob = 1.0;
+  Iommu iommu(sim, mem, wp);
+  const auto res = iommu.translate(1, 1);
+  EXPECT_TRUE(res.faulted);
+  EXPECT_EQ(iommu.stats().faults, 1u);
+}
+
+}  // namespace
+}  // namespace accelflow::mem

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Property-based sweeps (parameterized gtest) pinning system invariants:
+ *  - every orchestrator executes every template chain with identical
+ *    logical behavior under every branch-flag combination,
+ *  - accelerator job conservation (in == out) under random traffic,
+ *  - mesh latency monotonicity,
+ *  - suite specs remain internally consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/machine.h"
+#include "core/orchestrator.h"
+#include "core/trace_templates.h"
+#include "noc/mesh.h"
+#include "sim/random.h"
+#include "workload/suites.h"
+
+namespace accelflow {
+namespace {
+
+using accel::AccelType;
+using accel::PayloadFlags;
+
+class FixedEnv : public core::ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(core::ChainContext&, accel::AccelType,
+                          std::uint64_t) override {
+    return sim::microseconds(2);
+  }
+  std::uint64_t transformed_size(accel::AccelType,
+                                 std::uint64_t b) override {
+    return b;
+  }
+  sim::TimePs remote_latency(core::ChainContext&,
+                             core::RemoteKind) override {
+    return sim::microseconds(8);
+  }
+  std::uint64_t response_size(core::ChainContext&,
+                              core::RemoteKind) override {
+    return 2048;
+  }
+};
+
+/**
+ * Property: for any (template, flag combination, orchestrator), the chain
+ * completes and performs exactly the invocations that the static walker
+ * predicts.
+ */
+class ChainEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(ChainEquivalence, OrchestratorMatchesStaticWalk) {
+  const int template_index = std::get<0>(GetParam());
+  const unsigned bits = std::get<1>(GetParam());
+
+  core::TraceLibrary lib;
+  const auto tt = core::register_templates(lib);
+  const core::AtmAddr starts[] = {tt.t1, tt.t2,  tt.t3,  tt.t4,
+                                  tt.t8, tt.t8c, tt.t9c, tt.t11};
+  const core::AtmAddr start = starts[template_index];
+
+  PayloadFlags f;
+  f.compressed = bits & 1;
+  f.hit = bits & 2;
+  f.found = bits & 4;
+  f.exception = bits & 8;
+  f.c_compressed = bits & 16;
+
+  const auto expected = core::walk_chain(lib, start, f);
+
+  FixedEnv env;
+  for (const auto kind :
+       {core::OrchKind::kNonAcc, core::OrchKind::kCpuCentric,
+        core::OrchKind::kRelief, core::OrchKind::kCohort,
+        core::OrchKind::kAccelFlow, core::OrchKind::kIdeal}) {
+    core::Machine machine{core::MachineConfig{}};
+    auto orch = core::make_orchestrator(kind, machine, lib);
+    core::ChainContext ctx;
+    ctx.request = 1;
+    ctx.core = 0;
+    ctx.flags = f;
+    ctx.initial_bytes = 1024;
+    ctx.env = &env;
+    ctx.rng.reseed(5);
+    bool done = false;
+    ctx.on_done = [&done](const core::ChainResult&) { done = true; };
+    orch->run_chain(&ctx, start);
+    machine.sim().run();
+    ASSERT_TRUE(done) << name_of(kind) << " bits=" << bits;
+    EXPECT_EQ(ctx.accel_invocations, expected.invocations.size())
+        << name_of(kind) << " bits=" << bits;
+    EXPECT_EQ(ctx.branches, static_cast<unsigned>(expected.branches))
+        << name_of(kind);
+    EXPECT_EQ(ctx.remote_calls,
+              static_cast<unsigned>(expected.remote_waits))
+        << name_of(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TemplatesTimesFlags, ChainEquivalence,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(0u, 1u, 3u, 5u, 8u, 31u)));
+
+/** Property: accelerators conserve jobs under random traffic. */
+class AccelConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccelConservation, JobsInEqualJobsOut) {
+  core::TraceLibrary lib;
+  const auto tt = core::register_templates(lib);
+  core::Machine machine{core::MachineConfig{}};
+  auto orch =
+      core::make_orchestrator(core::OrchKind::kAccelFlow, machine, lib);
+  FixedEnv env;
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+
+  std::vector<std::unique_ptr<core::ChainContext>> ctxs;
+  int done = 0;
+  const core::AtmAddr starts[] = {tt.t1, tt.t2, tt.t4, tt.t9c, tt.t8};
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    auto ctx = std::make_unique<core::ChainContext>();
+    ctx->request = static_cast<accel::RequestId>(i + 1);
+    ctx->core = static_cast<int>(rng.next_below(36));
+    ctx->flags.compressed = rng.bernoulli(0.5);
+    ctx->flags.hit = rng.bernoulli(0.5);
+    ctx->flags.found = rng.bernoulli(0.9);
+    ctx->initial_bytes = 256 + rng.next_below(8192);
+    ctx->env = &env;
+    ctx->rng.reseed(static_cast<std::uint64_t>(i));
+    ctx->on_done = [&done](const core::ChainResult&) { ++done; };
+    const core::AtmAddr start = starts[rng.next_below(5)];
+    core::ChainContext* raw = ctx.get();
+    ctxs.push_back(std::move(ctx));
+    machine.sim().schedule_at(sim::microseconds(rng.next_below(200)),
+                              [&orch, raw, start] {
+                                orch->run_chain(raw, start);
+                              });
+  }
+  machine.sim().run();
+  EXPECT_EQ(done, n);
+  // Conservation: every job that entered a PE produced exactly one output
+  // (counted by the histogram of output sizes) and no queue slot leaked.
+  for (const auto t : accel::kAllAccelTypes) {
+    const auto& acc = machine.accel(t);
+    EXPECT_EQ(acc.stats().jobs, acc.stats().output_bytes.count())
+        << name_of(t);
+    EXPECT_EQ(acc.input_occupancy(), 0u) << name_of(t);
+    EXPECT_EQ(acc.overflow_occupancy(), 0u) << name_of(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccelConservation, ::testing::Range(0, 6));
+
+/** Property: mesh zero-load latency is monotone in distance and size. */
+class MeshMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MeshMonotonicity, LatencyMonotone) {
+  sim::Simulator sim;
+  noc::MeshParams p;
+  p.width = 6;
+  p.height = 6;
+  noc::Mesh mesh(sim, p);
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  for (int i = 0; i < 50; ++i) {
+    const noc::Coord a{static_cast<int>(rng.next_below(6)),
+                       static_cast<int>(rng.next_below(6))};
+    const noc::Coord b{static_cast<int>(rng.next_below(6)),
+                       static_cast<int>(rng.next_below(6))};
+    const noc::Coord c{static_cast<int>(rng.next_below(6)),
+                       static_cast<int>(rng.next_below(6))};
+    const auto bytes = 64 + rng.next_below(4096);
+    // More hops never cheaper.
+    if (mesh.hops(a, b) <= mesh.hops(a, c)) {
+      EXPECT_LE(mesh.zero_load_latency(a, b, bytes),
+                mesh.zero_load_latency(a, c, bytes));
+    }
+    // Bigger payload never cheaper.
+    EXPECT_LE(mesh.zero_load_latency(a, b, bytes),
+              mesh.zero_load_latency(a, b, bytes * 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeshMonotonicity, ::testing::Range(0, 4));
+
+TEST(SuiteProperties, AllSuitesBuildAndResolve) {
+  core::TraceLibrary lib;
+  core::register_templates(lib);
+  workload::register_relief_traces(lib);
+  for (const auto& specs :
+       {workload::social_network_specs(), workload::hotel_reservation_specs(),
+        workload::media_services_specs(), workload::train_ticket_specs(),
+        workload::usuite_specs(), workload::serverless_specs(),
+        workload::relief_suite_specs()}) {
+    const auto services = workload::build_services(specs, lib);
+    for (const auto& svc : services) {
+      EXPECT_GT(svc->invocations_most_common_path(), 0) << svc->name();
+      EXPECT_GT(svc->total_cpu_weight(), 0.0) << svc->name();
+    }
+  }
+}
+
+TEST(SuiteProperties, USuiteFansOutNestedRpcs) {
+  core::TraceLibrary lib;
+  core::register_templates(lib);
+  const auto services =
+      workload::build_services(workload::usuite_specs(), lib);
+  // HDSearch: T1 (5) + 4x(T9+T10 = 9) + T2 (4) = 45.
+  EXPECT_EQ(services[0]->name(), "HDSearch");
+  EXPECT_EQ(services[0]->invocations_most_common_path(), 45);
+}
+
+}  // namespace
+}  // namespace accelflow

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Pure-function tests for the service calibration math and environment
+ * hooks: budget conservation, size scaling, remote draws, flag sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trace_templates.h"
+#include "workload/service.h"
+#include "workload/suites.h"
+
+namespace accelflow::workload {
+namespace {
+
+class ServiceMathTest : public ::testing::Test {
+ protected:
+  ServiceMathTest() { core::register_templates(lib_); }
+  core::TraceLibrary lib_;
+};
+
+TEST_F(ServiceMathTest, AppBudgetSplitsByWeight) {
+  const auto specs = social_network_specs();
+  for (const auto& spec : specs) {
+    Service svc(spec, lib_);
+    // Sum of all app segments equals the AppLogic budget.
+    sim::TimePs total = 0;
+    for (const auto& st : spec.stages) {
+      if (st.kind == StageSpec::Kind::kCpu) {
+        total += svc.app_segment_mean(st.cpu_weight);
+      }
+    }
+    const auto budget = static_cast<sim::TimePs>(
+        spec.fractions[0] * static_cast<double>(spec.total_cpu_time));
+    EXPECT_NEAR(static_cast<double>(total), static_cast<double>(budget),
+                static_cast<double>(budget) * 0.001)
+        << spec.name;
+  }
+}
+
+TEST_F(ServiceMathTest, OpCostScalesSublinearlyWithPayload) {
+  Service svc(social_network_specs()[0], lib_);
+  core::ChainContext ctx;
+  ctx.env = &svc;
+  // Average many draws at two sizes; cost ratio ~ sqrt(size ratio).
+  double small = 0, large = 0;
+  const int n = 4000;
+  ctx.rng.reseed(1);
+  for (int i = 0; i < n; ++i) {
+    small += static_cast<double>(
+        svc.op_cpu_cost(ctx, accel::AccelType::kTcp, 1024));
+  }
+  ctx.rng.reseed(1);
+  for (int i = 0; i < n; ++i) {
+    large += static_cast<double>(
+        svc.op_cpu_cost(ctx, accel::AccelType::kTcp, 4 * 1024));
+  }
+  const double ratio = large / small;
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST_F(ServiceMathTest, CostFactorIsClamped) {
+  Service svc(social_network_specs()[6], lib_);  // UniqId.
+  core::ChainContext ctx;
+  ctx.env = &svc;
+  ctx.rng.reseed(2);
+  // Even absurd payloads cannot scale a single op beyond 4x (plus noise).
+  const double mean =
+      static_cast<double>(svc.mean_op_cost(accel::AccelType::kTcp));
+  double worst = 0;
+  for (int i = 0; i < 2000; ++i) {
+    worst = std::max(
+        worst, static_cast<double>(
+                   svc.op_cpu_cost(ctx, accel::AccelType::kTcp, 1 << 28)));
+  }
+  EXPECT_LT(worst, mean * 4.0 * 3.0);  // 4x size cap, ~3x lognormal tail.
+}
+
+TEST_F(ServiceMathTest, ZeroBudgetCategoriesCostNothing) {
+  // Follow has no (De)Cmp on its path: Cmp ops are free if ever drawn.
+  Service svc(social_network_specs()[3], lib_);
+  core::ChainContext ctx;
+  ctx.env = &svc;
+  ctx.rng.reseed(3);
+  EXPECT_EQ(svc.op_cpu_cost(ctx, accel::AccelType::kCmp, 1024), 0u);
+  EXPECT_EQ(svc.mean_op_cost(accel::AccelType::kDcmp), 0u);
+}
+
+TEST_F(ServiceMathTest, RemoteLatencyKindsDiffer) {
+  Service svc(social_network_specs()[4], lib_);  // Login.
+  core::ChainContext ctx;
+  ctx.env = &svc;
+  double cache = 0, db = 0;
+  const int n = 3000;
+  ctx.rng.reseed(4);
+  for (int i = 0; i < n; ++i) {
+    cache += static_cast<double>(
+        svc.remote_latency(ctx, core::RemoteKind::kDbCacheRead));
+  }
+  ctx.rng.reseed(4);
+  for (int i = 0; i < n; ++i) {
+    db += static_cast<double>(
+        svc.remote_latency(ctx, core::RemoteKind::kDbRead));
+  }
+  // DB reads are several times slower than cache reads.
+  EXPECT_GT(db / cache, 2.0);
+  EXPECT_EQ(svc.remote_latency(ctx, core::RemoteKind::kNone), 0u);
+}
+
+TEST_F(ServiceMathTest, ResponseSizesAreClamped) {
+  Service svc(media_services_specs()[0], lib_);
+  core::ChainContext ctx;
+  ctx.env = &svc;
+  ctx.rng.reseed(5);
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = svc.response_size(ctx, core::RemoteKind::kHttp);
+    EXPECT_GE(v, 64u);
+    EXPECT_LE(v, 256u * 1024u);
+  }
+}
+
+TEST_F(ServiceMathTest, FlagSamplingMatchesProbabilities) {
+  FlagProbs p;
+  p.compressed = 0.25;
+  p.hit = 0.75;
+  sim::Rng rng(6);
+  int compressed = 0, hit = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto f = p.sample(rng);
+    compressed += f.compressed;
+    hit += f.hit;
+  }
+  EXPECT_NEAR(compressed / static_cast<double>(n), 0.25, 0.02);
+  EXPECT_NEAR(hit / static_cast<double>(n), 0.75, 0.02);
+}
+
+TEST_F(ServiceMathTest, MostCommonFlagsRoundProbabilities) {
+  FlagProbs p;
+  p.compressed = 0.9;
+  p.hit = 0.1;
+  p.exception = 0.01;
+  const auto f = p.most_common();
+  EXPECT_TRUE(f.compressed);
+  EXPECT_FALSE(f.hit);
+  EXPECT_FALSE(f.exception);
+  EXPECT_TRUE(f.found);  // Default 0.97.
+}
+
+TEST_F(ServiceMathTest, TransformedSizeInvertsCompression) {
+  // Dcmp(Cmp(x)) ~ x for mid-size payloads.
+  const std::uint64_t x = 10000;
+  const auto compressed =
+      default_transformed_size(accel::AccelType::kCmp, x);
+  const auto restored =
+      default_transformed_size(accel::AccelType::kDcmp, compressed);
+  EXPECT_NEAR(static_cast<double>(restored), static_cast<double>(x),
+              static_cast<double>(x) * 0.01);
+}
+
+TEST_F(ServiceMathTest, GroupAddressesResolveToTemplates) {
+  const auto specs = social_network_specs();
+  Service cpost(specs[0], lib_);
+  // Stage 0 is the T1 chain group.
+  EXPECT_EQ(cpost.group_addr(0, 0), lib_.addr_of("T1"));
+  // Stage 2 is the first T9c fan-out.
+  EXPECT_EQ(cpost.group_addr(2, 0), lib_.addr_of("T9c"));
+}
+
+}  // namespace
+}  // namespace accelflow::workload

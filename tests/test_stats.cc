@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit + property tests for the statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace accelflow::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MergeMatchesCombined) {
+  sim::Rng rng(5);
+  Summary a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10, 2);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 64; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  h.add(100, 3);
+  h.add(200);
+  EXPECT_DOUBLE_EQ(h.mean(), 125.0);
+}
+
+/** Property: histogram quantiles stay within the relative error bound. */
+class HistogramQuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramQuantileProperty, WithinRelativeErrorOfExact) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Histogram h;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Heavy-tailed values spanning several decades, like latencies.
+    const auto v =
+        static_cast<std::uint64_t>(rng.lognormal_mean_cv(1e6, 2.0)) + 1;
+    values.push_back(v);
+    h.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const auto approx = h.quantile(q);
+    const double rel = std::abs(static_cast<double>(approx) -
+                                static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    EXPECT_LT(rel, 0.04) << "q=" << q << " exact=" << exact
+                         << " approx=" << approx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Histogram, FractionAbove) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v * 1000);
+  const double frac = h.fraction_above(50000);
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(10);
+  b.add(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.add(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LatencyRecorder, QuantilesOrdered) {
+  sim::Rng rng(99);
+  LatencyRecorder r;
+  for (int i = 0; i < 10000; ++i) {
+    r.record(static_cast<sim::TimePs>(rng.lognormal_mean_cv(1e7, 1.0)));
+  }
+  EXPECT_LE(r.p50(), r.p90());
+  EXPECT_LE(r.p90(), r.p99());
+  EXPECT_LE(r.p99(), r.p999());
+  EXPECT_GT(r.mean(), 0.0);
+}
+
+TEST(LatencyRecorder, ViolationRate) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.record(sim::microseconds(i));
+  EXPECT_NEAR(r.violation_rate(sim::microseconds(90)), 0.1, 0.03);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::fmt_us(45.67, 1), "45.7");
+}
+
+}  // namespace
+}  // namespace accelflow::stats

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the TraceBuilder API (seq / branch / trans), the library, and
+ * automatic subtrace splitting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trace_analysis.h"
+#include "core/trace_builder.h"
+#include "core/trace_library.h"
+
+namespace accelflow::core {
+namespace {
+
+using accel::AccelType;
+using accel::DataFormat;
+using accel::PayloadFlags;
+
+TEST(TraceLibrary, RegisterAndLookup) {
+  TraceLibrary lib;
+  Trace t;
+  append_invoke(t, AccelType::kTcp);
+  append_end_notify(t);
+  const AtmAddr a = lib.add("foo", t);
+  EXPECT_TRUE(lib.contains("foo"));
+  EXPECT_EQ(lib.addr_of("foo"), a);
+  EXPECT_EQ(lib.get("foo").word, t.word);
+  EXPECT_EQ(lib.name_of_addr(a), "foo");
+}
+
+TEST(TraceLibrary, ReserveAllowsForwardReferences) {
+  TraceLibrary lib;
+  const AtmAddr a = lib.reserve("later");
+  EXPECT_FALSE(lib.contains("later"));
+  Trace t;
+  append_invoke(t, AccelType::kSer);
+  append_end_notify(t);
+  EXPECT_EQ(lib.add("later", t), a);
+  EXPECT_TRUE(lib.contains("later"));
+}
+
+TEST(TraceLibrary, RejectsInvalidTrace) {
+  TraceLibrary lib;
+  Trace t;  // Empty: invalid.
+  EXPECT_THROW(lib.add("bad", t), std::runtime_error);
+}
+
+TEST(TraceLibrary, RemoteKindDefaultsToNone) {
+  TraceLibrary lib;
+  const AtmAddr a = lib.reserve("x");
+  EXPECT_EQ(lib.remote_of(a), RemoteKind::kNone);
+  lib.set_remote(a, RemoteKind::kNestedRpc);
+  EXPECT_EQ(lib.remote_of(a), RemoteKind::kNestedRpc);
+}
+
+TEST(TraceBuilder, LinearSequence) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  b.seq({AccelType::kSer, AccelType::kRpc, AccelType::kEncr,
+         AccelType::kTcp});
+  const AtmAddr a = b.end_notify("t2");
+  const auto ops = decode_all(lib.get(a));
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].accel, AccelType::kSer);
+  EXPECT_EQ(ops[3].accel, AccelType::kTcp);
+  EXPECT_EQ(ops[4].kind, TraceOp::Kind::kEndNotify);
+}
+
+TEST(TraceBuilder, BranchEncodesSkipOverBody) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  b.seq({AccelType::kDser});
+  b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+    then.trans(DataFormat::kJson, DataFormat::kString);
+    then.seq({AccelType::kDcmp});
+  });
+  b.seq({AccelType::kLdb});
+  const AtmAddr a = b.end_notify("t");
+
+  // Taken: Dser, XF, Dcmp, LdB. Not taken: Dser, LdB.
+  PayloadFlags f;
+  f.compressed = true;
+  auto taken = walk_chain(lib, a, f);
+  EXPECT_EQ(taken.invocations.size(), 3u);
+  EXPECT_EQ(taken.transforms, 1);
+  f.compressed = false;
+  auto skipped = walk_chain(lib, a, f);
+  EXPECT_EQ(skipped.invocations.size(), 2u);
+  EXPECT_EQ(skipped.transforms, 0);
+  EXPECT_EQ(skipped.invocations[1], AccelType::kLdb);
+}
+
+TEST(TraceBuilder, NestedBranches) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  b.seq({AccelType::kDser});
+  b.branch(BranchCond::kFound, [](TraceBuilder& then) {
+    then.branch(BranchCond::kCompressed,
+                [](TraceBuilder& inner) { inner.seq({AccelType::kDcmp}); });
+    then.seq({AccelType::kLdb});
+  });
+  const AtmAddr a = b.end_notify("nested");
+
+  PayloadFlags f;
+  f.found = true;
+  f.compressed = true;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 3u);
+  f.compressed = false;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 2u);
+  f.found = false;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 1u);
+}
+
+TEST(TraceBuilder, BranchElseGoto) {
+  TraceLibrary lib;
+  {
+    TraceBuilder e(lib);
+    e.seq({AccelType::kSer, AccelType::kTcp});
+    e.end_notify("errpath");
+  }
+  TraceBuilder b(lib);
+  b.seq({AccelType::kDser});
+  b.branch_else_goto(BranchCond::kNoException, "errpath");
+  b.seq({AccelType::kLdb});
+  const AtmAddr a = b.end_notify("main");
+
+  PayloadFlags f;  // No exception: inline path.
+  auto ok = walk_chain(lib, a, f);
+  ASSERT_EQ(ok.invocations.size(), 2u);
+  EXPECT_EQ(ok.invocations[1], AccelType::kLdb);
+
+  f.exception = true;  // Diverge to errpath.
+  auto err = walk_chain(lib, a, f);
+  ASSERT_EQ(err.invocations.size(), 3u);
+  EXPECT_EQ(err.invocations[1], AccelType::kSer);
+  EXPECT_EQ(err.traces_visited, 2);
+}
+
+TEST(TraceBuilder, TailChainsTraces) {
+  TraceLibrary lib;
+  {
+    TraceBuilder b2(lib);
+    b2.seq({AccelType::kTcp, AccelType::kDser});
+    b2.end_notify("recv");
+  }
+  TraceBuilder b(lib);
+  b.seq({AccelType::kSer, AccelType::kTcp});
+  const AtmAddr a = b.tail("send", "recv", RemoteKind::kDbCacheRead);
+
+  PayloadFlags f;
+  auto w = walk_chain(lib, a, f);
+  EXPECT_EQ(w.invocations.size(), 4u);
+  EXPECT_EQ(w.remote_waits, 1);
+  EXPECT_EQ(w.ops.size(), 5u);  // 4 invokes + 1 remote wait.
+  EXPECT_EQ(lib.remote_of(lib.addr_of("recv")), RemoteKind::kDbCacheRead);
+}
+
+TEST(TraceBuilder, AutoSplitsLongSequences) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  // 30 invocations cannot fit in one 16-nibble trace.
+  for (int i = 0; i < 30; ++i) b.seq({AccelType::kEncr});
+  const AtmAddr a = b.end_notify("long");
+
+  EXPECT_TRUE(lib.contains("long"));
+  EXPECT_TRUE(lib.contains("long#1"));
+
+  PayloadFlags f;
+  const auto w = walk_chain(lib, a, f);
+  EXPECT_EQ(w.invocations.size(), 30u);
+  EXPECT_GE(w.traces_visited, 2);
+  // Each word individually validates.
+  std::string err;
+  EXPECT_TRUE(validate(lib.get("long"), &err)) << err;
+  EXPECT_TRUE(validate(lib.get("long#1"), &err)) << err;
+}
+
+TEST(TraceBuilder, SplitKeepsBranchBodiesAtomic) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  for (int i = 0; i < 12; ++i) b.seq({AccelType::kTcp});
+  // This branch (3 + 2 body nibbles) cannot fit after 12 invokes with a
+  // reserved tail: it must move entirely to the next subtrace.
+  b.branch(BranchCond::kCompressed, [](TraceBuilder& then) {
+    then.seq({AccelType::kDcmp, AccelType::kLdb});
+  });
+  const AtmAddr a = b.end_notify("split-branch");
+  PayloadFlags f;
+  f.compressed = true;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 14u);
+  f.compressed = false;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 12u);
+}
+
+TEST(TraceBuilder, OversizedBranchBodyThrows) {
+  TraceLibrary lib;
+  TraceBuilder b(lib);
+  EXPECT_THROW(
+      b.branch(BranchCond::kCompressed,
+               [](TraceBuilder& then) {
+                 for (int i = 0; i < 15; ++i) then.seq({AccelType::kTcp});
+               }),
+      std::runtime_error);
+}
+
+TEST(TraceAnalysis, ChainHasConditional) {
+  TraceLibrary lib;
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kTcp});
+    b.end_notify("plain");
+  }
+  {
+    TraceBuilder b(lib);
+    b.seq({AccelType::kDser});
+    b.branch(BranchCond::kCompressed,
+             [](TraceBuilder& then) { then.seq({AccelType::kDcmp}); });
+    b.end_notify("cond");
+  }
+  {
+    // Conditional only via the tail-chained trace.
+    TraceBuilder b(lib);
+    b.seq({AccelType::kSer, AccelType::kTcp});
+    b.tail("chained", "cond");
+  }
+  EXPECT_FALSE(chain_has_conditional(lib, lib.addr_of("plain")));
+  EXPECT_TRUE(chain_has_conditional(lib, lib.addr_of("cond")));
+  EXPECT_TRUE(chain_has_conditional(lib, lib.addr_of("chained")));
+}
+
+}  // namespace
+}  // namespace accelflow::core

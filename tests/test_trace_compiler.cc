@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the annotation-language trace compiler (the paper's Section IX
+ * "automating trace generation" direction) and the AccelFlowRuntime facade
+ * (Listing 2's run_trace).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+#include "core/trace_analysis.h"
+#include "core/trace_compiler.h"
+#include "core/trace_templates.h"
+
+namespace accelflow::core {
+namespace {
+
+using accel::AccelType;
+using accel::PayloadFlags;
+
+TEST(TraceCompiler, LinearChain) {
+  TraceLibrary lib;
+  const AtmAddr a = compile_trace(lib, "t", "Ser > RPC > Encr > TCP !");
+  const auto ops = decode_all(lib.get(a));
+  ASSERT_EQ(ops.size(), 5u);
+  EXPECT_EQ(ops[0].accel, AccelType::kSer);
+  EXPECT_EQ(ops[3].accel, AccelType::kTcp);
+  EXPECT_EQ(ops[4].kind, TraceOp::Kind::kEndNotify);
+}
+
+TEST(TraceCompiler, CaseInsensitiveAndWhitespaceTolerant) {
+  TraceLibrary lib;
+  const AtmAddr a = compile_trace(lib, "t", "  ser>rpc >ENCR>  tcp!");
+  PayloadFlags f;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 4u);
+}
+
+TEST(TraceCompiler, CompilesThePaperListing1Trace) {
+  TraceLibrary lib;
+  const AtmAddr a = compile_trace(
+      lib, "func_req",
+      "TCP > Decr > RPC > Dser > compressed? [ XF(json,str) > Dcmp ] "
+      "> LdB !");
+  PayloadFlags f;
+  f.compressed = true;
+  auto w = walk_chain(lib, a, f);
+  EXPECT_EQ(w.invocations.size(), 6u);
+  EXPECT_EQ(w.transforms, 1);
+  f.compressed = false;
+  w = walk_chain(lib, a, f);
+  EXPECT_EQ(w.invocations.size(), 5u);
+
+  // Identical semantics to the hand-built T1 template.
+  TraceLibrary ref;
+  const auto t = register_templates(ref);
+  f.compressed = true;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations,
+            walk_chain(ref, t.t1, f).invocations);
+}
+
+TEST(TraceCompiler, BranchElseGoto) {
+  TraceLibrary lib;
+  compile_trace(lib, "err", "Ser > RPC > Encr > TCP !");
+  const AtmAddr a =
+      compile_trace(lib, "t", "TCP > Decr > Dser > ok?:err > LdB !");
+  PayloadFlags f;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 4u);
+  f.exception = true;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 7u);
+}
+
+TEST(TraceCompiler, TailWithRemoteKind) {
+  TraceLibrary lib;
+  compile_trace(lib, "recv", "TCP > Decr > Dser > LdB !");
+  const AtmAddr a =
+      compile_trace(lib, "send", "Ser > Encr > TCP @recv/cache_read");
+  EXPECT_EQ(lib.remote_of(lib.addr_of("recv")), RemoteKind::kDbCacheRead);
+  PayloadFlags f;
+  const auto w = walk_chain(lib, a, f);
+  EXPECT_EQ(w.invocations.size(), 7u);
+  EXPECT_EQ(w.remote_waits, 1);
+}
+
+TEST(TraceCompiler, ForwardReferencedTail) {
+  TraceLibrary lib;
+  const AtmAddr a = compile_trace(lib, "send", "Ser > TCP @later/rpc");
+  compile_trace(lib, "later", "TCP > Dser > LdB !");
+  PayloadFlags f;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 5u);
+}
+
+TEST(TraceCompiler, NotifyKeyword) {
+  TraceLibrary lib;
+  const AtmAddr a =
+      compile_trace(lib, "t", "TCP > Dser > NOTIFY > Ser > TCP !");
+  PayloadFlags f;
+  EXPECT_EQ(walk_chain(lib, a, f).notifies, 1);
+}
+
+TEST(TraceCompiler, AllConditionsParse) {
+  TraceLibrary lib;
+  const AtmAddr a = compile_trace(
+      lib, "t",
+      "Dser > compressed? [Dcmp] > hit? [LdB] > found? [Ser] "
+      "> ccompressed? [Cmp] > TCP !");
+  PayloadFlags f;
+  f.compressed = f.hit = f.found = f.c_compressed = true;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 6u);
+  EXPECT_EQ(walk_chain(lib, a, PayloadFlags{}).invocations.size(), 2u);
+}
+
+TEST(TraceCompiler, LongChainsAutoSplit) {
+  TraceLibrary lib;
+  std::string prog;
+  for (int i = 0; i < 24; ++i) prog += "Encr > ";
+  prog += "TCP !";
+  const AtmAddr a = compile_trace(lib, "long", prog);
+  PayloadFlags f;
+  EXPECT_EQ(walk_chain(lib, a, f).invocations.size(), 25u);
+  EXPECT_TRUE(lib.contains("long#1"));
+}
+
+TEST(TraceCompiler, SyntaxErrors) {
+  TraceLibrary lib;
+  EXPECT_THROW(compile_trace(lib, "t", "NotAnAccel !"), TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "TCP > Decr"), TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "TCP ! extra"), TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "compressed? Dcmp !"),
+               TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "XF(json) > TCP !"),
+               TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "TCP @"), TraceCompileError);
+  EXPECT_THROW(compile_trace(lib, "t", "TCP > $ !"), TraceCompileError);
+}
+
+TEST(TraceCompiler, ErrorsCarryPositions) {
+  TraceLibrary lib;
+  try {
+    compile_trace(lib, "t", "TCP > Oops !");
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.position(), 6u);
+  }
+}
+
+// --- Runtime facade -----------------------------------------------------
+
+TEST(Runtime, RegisterAndRunTrace) {
+  AccelFlowRuntime rt;
+  rt.register_trace("resp", "Ser > RPC > Encr > TCP !");
+  EXPECT_TRUE(rt.has_trace("resp"));
+
+  int done = 0;
+  RunTraceResult last;
+  AccelFlowRuntime::Request req;
+  req.payload_bytes = 2048;
+  rt.run_trace("resp", req, [&](const RunTraceResult& r) {
+    ++done;
+    last = r;
+  });
+  EXPECT_EQ(rt.inflight(), 1u);
+  rt.run_to_completion();
+  EXPECT_EQ(done, 1);
+  EXPECT_TRUE(last.ok);
+  EXPECT_GT(last.latency, 0u);
+  EXPECT_EQ(rt.inflight(), 0u);
+}
+
+TEST(Runtime, StandardTemplatesWork) {
+  AccelFlowRuntime rt;
+  rt.register_standard_templates();
+  EXPECT_TRUE(rt.has_trace("T1"));
+  EXPECT_TRUE(rt.has_trace("T10err"));
+  int done = 0;
+  AccelFlowRuntime::Request req;
+  req.flags.compressed = true;
+  rt.run_trace("T1", req, [&](const RunTraceResult& r) {
+    ++done;
+    EXPECT_TRUE(r.ok);
+  });
+  rt.run_to_completion();
+  EXPECT_EQ(done, 1);
+}
+
+TEST(Runtime, ChainedTracesWaitForRemotes) {
+  AccelFlowRuntime rt;
+  rt.register_standard_templates();
+  sim::TimePs latency = 0;
+  AccelFlowRuntime::Request req;
+  req.flags.hit = true;
+  rt.run_trace("T4", req,
+               [&](const RunTraceResult& r) { latency = r.latency; });
+  rt.run_to_completion();
+  // T4 arms T5 and waits for the DB-cache response (default env ~18us).
+  EXPECT_GT(latency, sim::microseconds(5));
+}
+
+TEST(Runtime, ManyConcurrentInvocations) {
+  AccelFlowRuntime rt;
+  rt.register_trace("resp", "Ser > RPC > Encr > TCP !");
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    AccelFlowRuntime::Request req;
+    req.core = i % 36;
+    req.seed = static_cast<std::uint64_t>(i + 1);
+    rt.run_trace("resp", req, [&](const RunTraceResult& r) {
+      done += r.ok ? 1 : 0;
+    });
+  }
+  rt.run_to_completion();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(Runtime, CompiledAndTemplateAgreeEndToEnd) {
+  // The compiled Listing-1 program and the built-in T1 must produce the
+  // same accelerator activity on identical machines.
+  auto run = [](bool compiled) {
+    AccelFlowRuntime rt;
+    rt.register_standard_templates();
+    if (compiled) {
+      rt.register_trace("my_t1",
+                        "TCP > Decr > RPC > Dser > compressed? "
+                        "[ XF(json,str) > Dcmp ] > LdB !");
+    }
+    AccelFlowRuntime::Request req;
+    req.flags.compressed = true;
+    req.seed = 99;
+    sim::TimePs latency = 0;
+    rt.run_trace(compiled ? "my_t1" : "T1", req,
+                 [&](const RunTraceResult& r) { latency = r.latency; });
+    rt.run_to_completion();
+    std::uint64_t jobs = 0;
+    for (const auto t : accel::kAllAccelTypes) {
+      jobs += rt.machine().accel(t).stats().jobs;
+    }
+    return std::pair{latency, jobs};
+  };
+  const auto a = run(true);
+  const auto b = run(false);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_EQ(a.first, b.first);
+}
+
+}  // namespace
+}  // namespace accelflow::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the Graphviz chain exporter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/trace_dot.h"
+#include "core/trace_templates.h"
+
+namespace accelflow::core {
+namespace {
+
+class TraceDotTest : public ::testing::Test {
+ protected:
+  TraceDotTest() : t_(register_templates(lib_)) {}
+  TraceLibrary lib_;
+  TraceTemplates t_;
+};
+
+TEST_F(TraceDotTest, LinearTraceRendersBoxes) {
+  const std::string dot = chain_to_dot(lib_, t_.t2);
+  EXPECT_NE(dot.find("digraph chain"), std::string::npos);
+  for (const char* label : {"Ser", "RPC", "Encr", "TCP", "notify CPU"}) {
+    EXPECT_NE(dot.find(label), std::string::npos) << label;
+  }
+  // One cluster per trace.
+  EXPECT_NE(dot.find("subgraph cluster_"), std::string::npos);
+}
+
+TEST_F(TraceDotTest, BranchRendersDiamondWithNoEdge) {
+  const std::string dot = chain_to_dot(lib_, t_.t1);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("Compressed?"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"no\""), std::string::npos);
+  EXPECT_NE(dot.find("XF JSON->string"), std::string::npos);
+}
+
+TEST_F(TraceDotTest, TailRendersWaitAnnotation) {
+  const std::string dot = chain_to_dot(lib_, t_.t4);
+  EXPECT_NE(dot.find("wait: db-cache-read"), std::string::npos);
+  // T5's subgraph is reachable and rendered.
+  EXPECT_NE(dot.find("\"T5\""), std::string::npos);
+}
+
+TEST_F(TraceDotTest, DivergentChainsRenderEveryTrace) {
+  const std::string dot = chain_to_dot(lib_, t_.t4);
+  // T4 -> T5 -> {T5miss -> T6 -> {T6err, T6wb -> T7 -> T7err}}.
+  for (const char* name :
+       {"\"T4\"", "\"T5\"", "\"T5miss\"", "\"T6\"", "\"T6wb\"",
+        "\"T6err\"", "\"T7\"", "\"T7err\""}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(TraceDotTest, SharedSubtracesEmittedOnce) {
+  // T8 and T6wb both tail into T7; the T7 cluster appears exactly once.
+  const std::string dot = chain_to_dot(lib_, t_.t4);
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("label=\"T7\""); pos != std::string::npos;
+       pos = dot.find("label=\"T7\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(TraceDotTest, OutputIsBalanced) {
+  for (const AtmAddr start : {t_.t1, t_.t4, t_.t9c, t_.t11c}) {
+    const std::string dot = chain_to_dot(lib_, start);
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+  }
+}
+
+}  // namespace
+}  // namespace accelflow::core

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit + property tests for the binary trace encoding (the core ISA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/types.h"
+#include "core/trace_encoding.h"
+#include "sim/random.h"
+
+namespace accelflow::core {
+namespace {
+
+using accel::AccelType;
+using accel::DataFormat;
+using accel::PayloadFlags;
+
+TEST(TraceEncoding, InvokeRoundTrip) {
+  Trace t;
+  ASSERT_TRUE(append_invoke(t, AccelType::kDser));
+  ASSERT_TRUE(append_end_notify(t));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kInvoke);
+  EXPECT_EQ(op.accel, AccelType::kDser);
+  EXPECT_EQ(op.next_pm, 1);
+  EXPECT_EQ(decode_op(t.word, 1).kind, TraceOp::Kind::kEndNotify);
+}
+
+TEST(TraceEncoding, BranchSkipRoundTrip) {
+  Trace t;
+  ASSERT_TRUE(append_branch_skip(t, BranchCond::kHit, 5));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kBranchSkip);
+  EXPECT_EQ(op.cond, BranchCond::kHit);
+  EXPECT_EQ(op.skip, 5);
+  EXPECT_EQ(op.next_pm, 3);
+}
+
+TEST(TraceEncoding, BranchAtmRoundTripFullAddressRange) {
+  for (int addr = 0; addr < 256; addr += 17) {
+    Trace t;
+    ASSERT_TRUE(append_branch_atm(t, BranchCond::kFound,
+                                  static_cast<AtmAddr>(addr)));
+    const TraceOp op = decode_op(t.word, 0);
+    EXPECT_EQ(op.kind, TraceOp::Kind::kBranchAtm);
+    EXPECT_EQ(op.cond, BranchCond::kFound);
+    EXPECT_EQ(op.atm, addr);
+    EXPECT_EQ(op.next_pm, 4);
+  }
+}
+
+TEST(TraceEncoding, TransformRoundTripAllFormatPairs) {
+  for (std::uint8_t f = 0; f < accel::kNumDataFormats; ++f) {
+    for (std::uint8_t g = 0; g < accel::kNumDataFormats; ++g) {
+      Trace t;
+      ASSERT_TRUE(append_transform(t, static_cast<DataFormat>(f),
+                                   static_cast<DataFormat>(g)));
+      const TraceOp op = decode_op(t.word, 0);
+      EXPECT_EQ(op.kind, TraceOp::Kind::kTransform);
+      EXPECT_EQ(op.from, static_cast<DataFormat>(f));
+      EXPECT_EQ(op.to, static_cast<DataFormat>(g));
+    }
+  }
+}
+
+TEST(TraceEncoding, TailRoundTrip) {
+  Trace t;
+  ASSERT_TRUE(append_tail(t, 200));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kTail);
+  EXPECT_EQ(op.atm, 200);
+}
+
+TEST(TraceEncoding, CapacityIsSixteenNibbles) {
+  Trace t;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(append_invoke(t, AccelType::kTcp));
+  }
+  EXPECT_FALSE(append_invoke(t, AccelType::kTcp));
+  EXPECT_FALSE(append_end_notify(t));
+  EXPECT_EQ(t.len, 16);
+}
+
+TEST(TraceEncoding, SixteenAccelInvocationsPerTrace) {
+  // The paper: "4 bits per accelerator ... up to 16 accelerator
+  // invocations per trace" of 8 bytes.
+  Trace t;
+  int fits = 0;
+  while (append_invoke(t, AccelType::kSer)) ++fits;
+  EXPECT_EQ(fits, 16);
+  EXPECT_EQ(sizeof(t.word), 8u);
+}
+
+TEST(TraceEncoding, DecodePastEndIsEndNotify) {
+  const TraceOp op = decode_op(0, 16);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kEndNotify);
+}
+
+TEST(TraceEncoding, ConditionEvaluation) {
+  PayloadFlags f;
+  f.compressed = true;
+  f.exception = true;
+  EXPECT_TRUE(eval_condition(BranchCond::kCompressed, f));
+  EXPECT_FALSE(eval_condition(BranchCond::kHit, f));
+  EXPECT_FALSE(eval_condition(BranchCond::kFound, f));
+  EXPECT_FALSE(eval_condition(BranchCond::kNoException, f));
+  f.exception = false;
+  EXPECT_TRUE(eval_condition(BranchCond::kNoException, f));
+  f.c_compressed = true;
+  EXPECT_TRUE(eval_condition(BranchCond::kCCompressed, f));
+}
+
+TEST(TraceEncoding, ValidateAcceptsWellFormed) {
+  Trace t;
+  append_invoke(t, AccelType::kTcp);
+  append_branch_skip(t, BranchCond::kCompressed, 1);
+  append_invoke(t, AccelType::kDcmp);
+  append_invoke(t, AccelType::kLdb);
+  append_end_notify(t);
+  std::string err;
+  EXPECT_TRUE(validate(t, &err)) << err;
+}
+
+TEST(TraceEncoding, ValidateRejectsEmptyTrace) {
+  const Trace t;
+  EXPECT_FALSE(validate(t));
+}
+
+TEST(TraceEncoding, ValidateRejectsMissingTerminator) {
+  Trace t;
+  append_invoke(t, AccelType::kTcp);
+  std::string err;
+  EXPECT_FALSE(validate(t, &err));
+  EXPECT_NE(err.find("terminator"), std::string::npos);
+}
+
+TEST(TraceEncoding, ValidateRejectsSkipOutOfRange) {
+  Trace t;
+  append_branch_skip(t, BranchCond::kCompressed, 9);
+  append_end_notify(t);
+  std::string err;
+  EXPECT_FALSE(validate(t, &err));
+  EXPECT_NE(err.find("BR_SKIP"), std::string::npos);
+}
+
+TEST(TraceEncoding, ValidateRejectsOpsAfterTerminator) {
+  Trace t;
+  append_invoke(t, AccelType::kTcp);
+  append_end_notify(t);
+  append_invoke(t, AccelType::kSer);  // Garbage after END.
+  EXPECT_FALSE(validate(t));
+}
+
+TEST(TraceEncoding, ValidateRejectsBadConditionCode) {
+  Trace t;
+  // Hand-encode a branch with condition code 9 (invalid).
+  t.word = with_nibble(t.word, 0, 0x9);
+  t.word = with_nibble(t.word, 1, 9);
+  t.word = with_nibble(t.word, 2, 0);
+  t.len = 3;
+  t.word = with_nibble(t.word, 3, 0xC);
+  t.len = 4;
+  std::string err;
+  EXPECT_FALSE(validate(t, &err));
+}
+
+TEST(TraceEncoding, DisassemblyIsReadable) {
+  Trace t;
+  append_invoke(t, AccelType::kTcp);
+  append_invoke(t, AccelType::kDecr);
+  append_branch_skip(t, BranchCond::kCompressed, 1);
+  append_invoke(t, AccelType::kDcmp);
+  append_tail(t, 7);
+  const std::string s = to_string(t);
+  EXPECT_NE(s.find("TCP"), std::string::npos);
+  EXPECT_NE(s.find("Decr"), std::string::npos);
+  EXPECT_NE(s.find("Compressed?"), std::string::npos);
+  EXPECT_NE(s.find("TAIL(@7)"), std::string::npos);
+}
+
+TEST(TraceEncoding, NibbleHelpers) {
+  std::uint64_t w = 0;
+  w = with_nibble(w, 0, 0xA);
+  w = with_nibble(w, 15, 0x5);
+  EXPECT_EQ(nibble_at(w, 0), 0xA);
+  EXPECT_EQ(nibble_at(w, 15), 0x5);
+  EXPECT_EQ(nibble_at(w, 7), 0x0);
+  w = with_nibble(w, 0, 0x1);  // Overwrite.
+  EXPECT_EQ(nibble_at(w, 0), 0x1);
+}
+
+/** Property: randomly built valid traces always decode to their op list. */
+class TraceRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceRoundTripProperty, EncodeDecodeIdentity) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    Trace t;
+    struct Expect {
+      TraceOp::Kind kind;
+      int a = 0, b = 0;
+    };
+    std::vector<Expect> expected;
+    // Randomly append ops while they fit, reserving one nibble for END.
+    while (t.len < kMaxNibbles - 1) {
+      const int choice = static_cast<int>(rng.next_below(4));
+      bool ok = true;
+      if (choice == 0) {
+        const auto a = static_cast<AccelType>(rng.next_below(9));
+        ok = append_invoke(t, a);
+        if (ok) expected.push_back({TraceOp::Kind::kInvoke,
+                                    static_cast<int>(accel::index_of(a))});
+      } else if (choice == 1 && t.len + 3 < kMaxNibbles) {
+        const auto c = static_cast<BranchCond>(rng.next_below(5));
+        ok = append_branch_skip(t, c, 0);
+        if (ok) expected.push_back({TraceOp::Kind::kBranchSkip,
+                                    static_cast<int>(c)});
+      } else if (choice == 2 && t.len + 2 < kMaxNibbles) {
+        const auto f = static_cast<DataFormat>(rng.next_below(4));
+        const auto g = static_cast<DataFormat>(rng.next_below(4));
+        ok = append_transform(t, f, g);
+        if (ok) expected.push_back({TraceOp::Kind::kTransform,
+                                    static_cast<int>(f), static_cast<int>(g)});
+      } else {
+        continue;
+      }
+      if (!ok) break;
+    }
+    if (!append_end_notify(t)) continue;
+    expected.push_back({TraceOp::Kind::kEndNotify});
+
+    std::string err;
+    ASSERT_TRUE(validate(t, &err)) << err << " :: " << to_string(t);
+    const auto ops = decode_all(t);
+    ASSERT_EQ(ops.size(), expected.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      EXPECT_EQ(ops[i].kind, expected[i].kind);
+      if (ops[i].kind == TraceOp::Kind::kInvoke) {
+        EXPECT_EQ(static_cast<int>(accel::index_of(ops[i].accel)),
+                  expected[i].a);
+      }
+      if (ops[i].kind == TraceOp::Kind::kTransform) {
+        EXPECT_EQ(static_cast<int>(ops[i].from), expected[i].a);
+        EXPECT_EQ(static_cast<int>(ops[i].to), expected[i].b);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTripProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace accelflow::core
