@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_char_events"
+  "../bench/bench_char_events.pdb"
+  "CMakeFiles/bench_char_events.dir/bench_char_events.cc.o"
+  "CMakeFiles/bench_char_events.dir/bench_char_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_char_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

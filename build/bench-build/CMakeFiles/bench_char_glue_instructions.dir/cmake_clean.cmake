@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_char_glue_instructions"
+  "../bench/bench_char_glue_instructions.pdb"
+  "CMakeFiles/bench_char_glue_instructions.dir/bench_char_glue_instructions.cc.o"
+  "CMakeFiles/bench_char_glue_instructions.dir/bench_char_glue_instructions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_char_glue_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

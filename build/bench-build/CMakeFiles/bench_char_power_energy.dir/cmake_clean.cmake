@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_char_power_energy"
+  "../bench/bench_char_power_energy.pdb"
+  "CMakeFiles/bench_char_power_energy.dir/bench_char_power_energy.cc.o"
+  "CMakeFiles/bench_char_power_energy.dir/bench_char_power_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_char_power_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

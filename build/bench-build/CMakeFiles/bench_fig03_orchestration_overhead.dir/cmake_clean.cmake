@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_orchestration_overhead"
+  "../bench/bench_fig03_orchestration_overhead.pdb"
+  "CMakeFiles/bench_fig03_orchestration_overhead.dir/bench_fig03_orchestration_overhead.cc.o"
+  "CMakeFiles/bench_fig03_orchestration_overhead.dir/bench_fig03_orchestration_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_orchestration_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_gem5_suite"
+  "../bench/bench_fig15_gem5_suite.pdb"
+  "CMakeFiles/bench_fig15_gem5_suite.dir/bench_fig15_gem5_suite.cc.o"
+  "CMakeFiles/bench_fig15_gem5_suite.dir/bench_fig15_gem5_suite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_gem5_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_serverless"
+  "../bench/bench_fig16_serverless.pdb"
+  "CMakeFiles/bench_fig16_serverless.dir/bench_fig16_serverless.cc.o"
+  "CMakeFiles/bench_fig16_serverless.dir/bench_fig16_serverless.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_chiplets"
+  "../bench/bench_fig18_chiplets.pdb"
+  "CMakeFiles/bench_fig18_chiplets.dir/bench_fig18_chiplets.cc.o"
+  "CMakeFiles/bench_fig18_chiplets.dir/bench_fig18_chiplets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_chiplets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

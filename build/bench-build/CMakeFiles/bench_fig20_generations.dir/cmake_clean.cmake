@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig20_generations"
+  "../bench/bench_fig20_generations.pdb"
+  "CMakeFiles/bench_fig20_generations.dir/bench_fig20_generations.cc.o"
+  "CMakeFiles/bench_fig20_generations.dir/bench_fig20_generations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_trace"
+  "../bench/bench_micro_trace.pdb"
+  "CMakeFiles/bench_micro_trace.dir/bench_micro_trace.cc.o"
+  "CMakeFiles/bench_micro_trace.dir/bench_micro_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_connectivity"
+  "../bench/bench_table1_connectivity.pdb"
+  "CMakeFiles/bench_table1_connectivity.dir/bench_table1_connectivity.cc.o"
+  "CMakeFiles/bench_table1_connectivity.dir/bench_table1_connectivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_paths.cc" "bench-build/CMakeFiles/bench_table4_paths.dir/bench_table4_paths.cc.o" "gcc" "bench-build/CMakeFiles/bench_table4_paths.dir/bench_table4_paths.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/af_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/af_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/af_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/af_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/af_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/af_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_paths"
+  "../bench/bench_table4_paths.pdb"
+  "CMakeFiles/bench_table4_paths.dir/bench_table4_paths.cc.o"
+  "CMakeFiles/bench_table4_paths.dir/bench_table4_paths.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

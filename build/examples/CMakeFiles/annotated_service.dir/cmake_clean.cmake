@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_service.dir/annotated_service.cpp.o"
+  "CMakeFiles/annotated_service.dir/annotated_service.cpp.o.d"
+  "annotated_service"
+  "annotated_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_service.dir/custom_service.cpp.o"
+  "CMakeFiles/custom_service.dir/custom_service.cpp.o.d"
+  "custom_service"
+  "custom_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_scheduling.dir/slo_scheduling.cpp.o"
+  "CMakeFiles/slo_scheduling.dir/slo_scheduling.cpp.o.d"
+  "slo_scheduling"
+  "slo_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/af_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/af_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/dma.cc" "src/accel/CMakeFiles/af_accel.dir/dma.cc.o" "gcc" "src/accel/CMakeFiles/af_accel.dir/dma.cc.o.d"
+  "/root/repo/src/accel/sram_queue.cc" "src/accel/CMakeFiles/af_accel.dir/sram_queue.cc.o" "gcc" "src/accel/CMakeFiles/af_accel.dir/sram_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/af_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/af_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_accel.dir/accelerator.cc.o"
+  "CMakeFiles/af_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/af_accel.dir/dma.cc.o"
+  "CMakeFiles/af_accel.dir/dma.cc.o.d"
+  "CMakeFiles/af_accel.dir/sram_queue.cc.o"
+  "CMakeFiles/af_accel.dir/sram_queue.cc.o.d"
+  "libaf_accel.a"
+  "libaf_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu_executor.cc" "src/core/CMakeFiles/af_core.dir/cpu_executor.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/cpu_executor.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/af_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/af_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/machine.cc.o.d"
+  "/root/repo/src/core/orch_baselines.cc" "src/core/CMakeFiles/af_core.dir/orch_baselines.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/orch_baselines.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/af_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/af_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/tenant_mba.cc" "src/core/CMakeFiles/af_core.dir/tenant_mba.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/tenant_mba.cc.o.d"
+  "/root/repo/src/core/trace_analysis.cc" "src/core/CMakeFiles/af_core.dir/trace_analysis.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_analysis.cc.o.d"
+  "/root/repo/src/core/trace_builder.cc" "src/core/CMakeFiles/af_core.dir/trace_builder.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_builder.cc.o.d"
+  "/root/repo/src/core/trace_compiler.cc" "src/core/CMakeFiles/af_core.dir/trace_compiler.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_compiler.cc.o.d"
+  "/root/repo/src/core/trace_dot.cc" "src/core/CMakeFiles/af_core.dir/trace_dot.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_dot.cc.o.d"
+  "/root/repo/src/core/trace_encoding.cc" "src/core/CMakeFiles/af_core.dir/trace_encoding.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_encoding.cc.o.d"
+  "/root/repo/src/core/trace_library.cc" "src/core/CMakeFiles/af_core.dir/trace_library.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_library.cc.o.d"
+  "/root/repo/src/core/trace_templates.cc" "src/core/CMakeFiles/af_core.dir/trace_templates.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/trace_templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/af_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/af_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/af_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/af_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_core.dir/cpu_executor.cc.o"
+  "CMakeFiles/af_core.dir/cpu_executor.cc.o.d"
+  "CMakeFiles/af_core.dir/engine.cc.o"
+  "CMakeFiles/af_core.dir/engine.cc.o.d"
+  "CMakeFiles/af_core.dir/machine.cc.o"
+  "CMakeFiles/af_core.dir/machine.cc.o.d"
+  "CMakeFiles/af_core.dir/orch_baselines.cc.o"
+  "CMakeFiles/af_core.dir/orch_baselines.cc.o.d"
+  "CMakeFiles/af_core.dir/orchestrator.cc.o"
+  "CMakeFiles/af_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/af_core.dir/runtime.cc.o"
+  "CMakeFiles/af_core.dir/runtime.cc.o.d"
+  "CMakeFiles/af_core.dir/tenant_mba.cc.o"
+  "CMakeFiles/af_core.dir/tenant_mba.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_analysis.cc.o"
+  "CMakeFiles/af_core.dir/trace_analysis.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_builder.cc.o"
+  "CMakeFiles/af_core.dir/trace_builder.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_compiler.cc.o"
+  "CMakeFiles/af_core.dir/trace_compiler.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_dot.cc.o"
+  "CMakeFiles/af_core.dir/trace_dot.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_encoding.cc.o"
+  "CMakeFiles/af_core.dir/trace_encoding.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_library.cc.o"
+  "CMakeFiles/af_core.dir/trace_library.cc.o.d"
+  "CMakeFiles/af_core.dir/trace_templates.cc.o"
+  "CMakeFiles/af_core.dir/trace_templates.cc.o.d"
+  "libaf_core.a"
+  "libaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

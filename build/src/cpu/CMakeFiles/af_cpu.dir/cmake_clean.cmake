@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_cpu.dir/core_cluster.cc.o"
+  "CMakeFiles/af_cpu.dir/core_cluster.cc.o.d"
+  "libaf_cpu.a"
+  "libaf_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_energy.dir/model.cc.o"
+  "CMakeFiles/af_energy.dir/model.cc.o.d"
+  "libaf_energy.a"
+  "libaf_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_mem.dir/iommu.cc.o"
+  "CMakeFiles/af_mem.dir/iommu.cc.o.d"
+  "CMakeFiles/af_mem.dir/memory_system.cc.o"
+  "CMakeFiles/af_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/af_mem.dir/tlb.cc.o"
+  "CMakeFiles/af_mem.dir/tlb.cc.o.d"
+  "libaf_mem.a"
+  "libaf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

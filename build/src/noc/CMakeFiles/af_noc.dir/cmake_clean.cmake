@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_noc.dir/interconnect.cc.o"
+  "CMakeFiles/af_noc.dir/interconnect.cc.o.d"
+  "CMakeFiles/af_noc.dir/mesh.cc.o"
+  "CMakeFiles/af_noc.dir/mesh.cc.o.d"
+  "libaf_noc.a"
+  "libaf_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_sim.dir/random.cc.o"
+  "CMakeFiles/af_sim.dir/random.cc.o.d"
+  "CMakeFiles/af_sim.dir/server.cc.o"
+  "CMakeFiles/af_sim.dir/server.cc.o.d"
+  "CMakeFiles/af_sim.dir/simulator.cc.o"
+  "CMakeFiles/af_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/af_sim.dir/time.cc.o"
+  "CMakeFiles/af_sim.dir/time.cc.o.d"
+  "libaf_sim.a"
+  "libaf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

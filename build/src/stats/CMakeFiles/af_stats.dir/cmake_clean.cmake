@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_stats.dir/histogram.cc.o"
+  "CMakeFiles/af_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/af_stats.dir/table.cc.o"
+  "CMakeFiles/af_stats.dir/table.cc.o.d"
+  "libaf_stats.a"
+  "libaf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_workload.dir/experiment.cc.o"
+  "CMakeFiles/af_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/af_workload.dir/load_generator.cc.o"
+  "CMakeFiles/af_workload.dir/load_generator.cc.o.d"
+  "CMakeFiles/af_workload.dir/request_engine.cc.o"
+  "CMakeFiles/af_workload.dir/request_engine.cc.o.d"
+  "CMakeFiles/af_workload.dir/service.cc.o"
+  "CMakeFiles/af_workload.dir/service.cc.o.d"
+  "CMakeFiles/af_workload.dir/suites.cc.o"
+  "CMakeFiles/af_workload.dir/suites.cc.o.d"
+  "libaf_workload.a"
+  "libaf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orchestrators.dir/test_orchestrators.cc.o"
+  "CMakeFiles/test_orchestrators.dir/test_orchestrators.cc.o.d"
+  "test_orchestrators"
+  "test_orchestrators.pdb"
+  "test_orchestrators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orchestrators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

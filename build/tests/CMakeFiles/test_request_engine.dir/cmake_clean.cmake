@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_engine.dir/test_request_engine.cc.o"
+  "CMakeFiles/test_request_engine.dir/test_request_engine.cc.o.d"
+  "test_request_engine"
+  "test_request_engine.pdb"
+  "test_request_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tenant_mba.dir/test_tenant_mba.cc.o"
+  "CMakeFiles/test_tenant_mba.dir/test_tenant_mba.cc.o.d"
+  "test_tenant_mba"
+  "test_tenant_mba.pdb"
+  "test_tenant_mba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tenant_mba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

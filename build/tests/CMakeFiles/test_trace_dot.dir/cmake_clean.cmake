@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_dot.dir/test_trace_dot.cc.o"
+  "CMakeFiles/test_trace_dot.dir/test_trace_dot.cc.o.d"
+  "test_trace_dot"
+  "test_trace_dot.pdb"
+  "test_trace_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_encoding.dir/test_trace_encoding.cc.o"
+  "CMakeFiles/test_trace_encoding.dir/test_trace_encoding.cc.o.d"
+  "test_trace_encoding"
+  "test_trace_encoding.pdb"
+  "test_trace_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

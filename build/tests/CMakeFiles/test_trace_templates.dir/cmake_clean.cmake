@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_templates.dir/test_trace_templates.cc.o"
+  "CMakeFiles/test_trace_templates.dir/test_trace_templates.cc.o.d"
+  "test_trace_templates"
+  "test_trace_templates.pdb"
+  "test_trace_templates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
