@@ -7,13 +7,15 @@
 #include <vector>
 
 #include "workload/experiment.h"
+#include "workload/parallel_runner.h"
 
 /**
  * @file
  * Shared helpers for the experiment binaries: the default SocialNetwork
  * configuration driven by production-like rates, the architecture roster,
- * and a fast-mode switch (AF_BENCH_FAST=1 shortens the simulated window
- * for smoke runs).
+ * a fast-mode switch (AF_BENCH_FAST=1 shortens the simulated window for
+ * smoke runs), and the parallel sweep helper (AF_BENCH_THREADS controls
+ * the pool; =1 forces the serial path).
  */
 
 namespace accelflow::bench {
@@ -26,6 +28,16 @@ inline bool fast_mode() {
 
 /** Measurement window scaling. */
 inline double time_scale() { return fast_mode() ? 0.25 : 1.0; }
+
+/**
+ * Runs a sweep of independent experiment points on the shared thread pool,
+ * returning results in input order. Deterministic: identical to running
+ * the points serially (see ParallelRunner's contract).
+ */
+inline std::vector<workload::ExperimentResult> run_all(
+    const std::vector<workload::ExperimentConfig>& configs) {
+  return workload::ParallelRunner().run(configs);
+}
 
 /** The five evaluated architectures of Figures 11/12/14. */
 inline std::vector<core::OrchKind> paper_architectures() {

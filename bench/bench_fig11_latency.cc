@@ -13,12 +13,13 @@
 int main() {
   using namespace accelflow;
 
-  std::vector<workload::ExperimentResult> results;
   const auto archs = bench::paper_architectures();
+  std::vector<workload::ExperimentConfig> configs;
   for (const core::OrchKind kind : archs) {
-    results.push_back(
-        workload::run_experiment(bench::social_network_config(kind)));
+    configs.push_back(bench::social_network_config(kind));
   }
+  // All five architectures simulate concurrently; results keep input order.
+  const auto results = bench::run_all(configs);
 
   {
     stats::Table t(

@@ -22,9 +22,26 @@ int main() {
   const std::vector<double> loads = {5000.0, 10000.0, 15000.0};
   const auto archs = bench::paper_architectures();
 
+  // All (suite x load x arch) points are independent: build the whole
+  // sweep up front and fan it across the thread pool.
+  std::vector<workload::ExperimentConfig> configs;
+  for (const auto& [suite_name, specs] : suites) {
+    for (const double load : loads) {
+      for (const auto arch : archs) {
+        auto cfg = bench::social_network_config(arch);
+        cfg.specs = specs;
+        cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+        cfg.per_service_rps.assign(specs.size(), load);
+        configs.push_back(std::move(cfg));
+      }
+    }
+  }
+  const auto results = bench::run_all(configs);
+
   // avg P99 per (load, arch) across suites.
   std::vector<std::vector<double>> p99(loads.size(),
                                        std::vector<double>(archs.size(), 0));
+  std::size_t point = 0;
   for (const auto& [suite_name, specs] : suites) {
     stats::Table t("Figure 12 [" + suite_name + "]: avg P99 (us) vs load");
     std::vector<std::string> header = {"RPS/service"};
@@ -34,11 +51,7 @@ int main() {
       std::vector<std::string> row = {
           stats::Table::fmt(loads[li] / 1000.0, 0) + "K"};
       for (std::size_t a = 0; a < archs.size(); ++a) {
-        auto cfg = bench::social_network_config(archs[a]);
-        cfg.specs = specs;
-        cfg.load_model = workload::LoadGenerator::Model::kPoisson;
-        cfg.per_service_rps.assign(specs.size(), loads[li]);
-        const auto res = workload::run_experiment(cfg);
+        const auto& res = results[point++];
         row.push_back(stats::Table::fmt_us(res.avg_p99_us));
         p99[li][a] += res.avg_p99_us / static_cast<double>(suites.size());
       }

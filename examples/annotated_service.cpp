@@ -45,10 +45,11 @@ int main() {
   stats::LatencyRecorder hit_latency, miss_latency;
   sim::Rng rng(2026);
   int pending = 0;
-  for (int i = 0; i < 2000; ++i) {
+  std::vector<core::AccelFlowRuntime::Request> reqs(2000);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
     const bool hit = rng.bernoulli(0.7);
-    core::AccelFlowRuntime::Request req;
-    req.core = i % 36;
+    core::AccelFlowRuntime::Request& req = reqs[i];
+    req.core = static_cast<int>(i % 36);
     req.payload_bytes = 512 + rng.next_below(4096);
     req.flags.hit = hit;
     req.flags.found = true;
@@ -56,9 +57,10 @@ int main() {
     req.seed = static_cast<std::uint64_t>(i + 1);
     ++pending;
     rt.machine().sim().schedule_at(
-        sim::microseconds(i * 3), [&rt, req, hit, &hit_latency,
-                                   &miss_latency, &pending] {
-          rt.run_trace("kv_lookup", req,
+        sim::microseconds(i * 3),
+        [&rt, &reqs, i, &hit_latency, &miss_latency, &pending] {
+          const bool hit = reqs[i].flags.hit;
+          rt.run_trace("kv_lookup", reqs[i],
                        [hit, &hit_latency, &miss_latency,
                         &pending](const core::RunTraceResult& r) {
                          (hit ? hit_latency : miss_latency)

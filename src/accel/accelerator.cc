@@ -184,21 +184,20 @@ void Accelerator::try_dispatch() {
     ++stats_.jobs;
     stats_.pe_busy_time += t - sim_.now();
     p.free_at = t;
-    sim_.schedule_at(t, [this, pe, entry = std::move(entry)]() mutable {
-      on_pe_done(pe, std::move(entry));
-    });
+    p.inflight = std::move(entry);
+    sim_.schedule_at(t, [this, pe] { on_pe_done(pe); });
   }
 }
 
-void Accelerator::on_pe_done(int pe, QueueEntry entry) {
+void Accelerator::on_pe_done(int pe) {
+  Pe& p = pes_[static_cast<std::size_t>(pe)];
   if (output_.full()) {
     // PE is non-preemptible and has nowhere to put its result: it blocks
     // until the output dispatcher frees a slot.
-    blocked_.push_back(BlockedDeposit{pe, std::move(entry), sim_.now()});
+    blocked_.push_back(BlockedDeposit{pe, std::move(p.inflight), sim_.now()});
     return;
   }
-  deposit_output(std::move(entry));
-  Pe& p = pes_[static_cast<std::size_t>(pe)];
+  deposit_output(std::move(p.inflight));
   p.busy = false;
   try_dispatch();
 }

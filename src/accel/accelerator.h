@@ -179,6 +179,9 @@ class Accelerator {
     bool busy = false;
     bool has_tenant = false;
     TenantId last_tenant = 0;
+    /** The entry this PE is computing on. Held here (not in the completion
+     *  callback) so the kernel callback captures only the PE index. */
+    QueueEntry inflight;
   };
   struct BlockedDeposit {
     int pe = 0;
@@ -192,8 +195,9 @@ class Accelerator {
   /** Chooses the next ready input slot per the scheduling policy. */
   SlotId pick_ready_entry();
 
-  /** PE finished computing: deposit into the output queue (or block). */
-  void on_pe_done(int pe, QueueEntry entry);
+  /** PE finished computing: deposit its entry (or block on a full output
+   *  queue). */
+  void on_pe_done(int pe);
 
   /** Deposits into the output queue and invokes the handler. */
   void deposit_output(QueueEntry entry);

@@ -113,7 +113,17 @@ struct ChainContext {
   void finish(const ChainResult& r) {
     if (done) return;
     done = true;
-    if (on_done) on_done(r);
+    if (on_done) {
+      // Move the callback out before invoking: when the closure owns the
+      // context (AccelFlowRuntime parks the Invocation shared_ptr inside
+      // it), leaving it stored would form a reference cycle and leak. This
+      // way the closure — possibly along with *this — is destroyed when
+      // the local goes out of scope, so finish() must be the caller's last
+      // touch of the context.
+      auto done_cb = std::move(on_done);
+      on_done = nullptr;
+      done_cb(r);
+    }
   }
 };
 

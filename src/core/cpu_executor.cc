@@ -104,9 +104,8 @@ void CpuChainExecutor::step(std::shared_ptr<Run> r) {
     const sim::TimePs latency = ctx->env->remote_latency(*ctx, op.remote);
     if (latency > timeout_) {
       ++stats_.timeouts;
-      const auto done = std::move(r->done);
-      machine_.sim().schedule_after(timeout_, [done] {
-        if (done) done(true);
+      machine_.sim().schedule_after(timeout_, [r] {
+        if (r->done) r->done(true);
       });
       return;
     }

@@ -102,11 +102,12 @@ void AccelFlowEngine::enqueue_with_retry(ChainContext* ctx, QueueEntry entry,
                             entry.payload.size_bytes, target);
       return;
     }
+    const auto parked = parked_.park(std::move(entry));
     machine_.sim().schedule_after(
         sim::nanoseconds(config_.enqueue_retry_delay_ns),
-        [this, ctx, entry = std::move(entry), target, attempt]() mutable {
+        [this, ctx, parked, target, attempt] {
           machine_.cores().charge_enqueue(ctx->core);
-          enqueue_with_retry(ctx, std::move(entry), target, attempt + 1);
+          enqueue_with_retry(ctx, parked_.take(parked), target, attempt + 1);
         });
     return;
   }
@@ -321,9 +322,10 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
 
   e.ready = false;
   e.pending_inputs = 1;
+  const auto parked = parked_.park(std::move(e));
   machine_.sim().schedule_at(
-      arrive, [this, &dst, e = std::move(e), armed_wait,
-               wait_kind]() mutable {
+      arrive, [this, &dst, parked, armed_wait, wait_kind] {
+        accel::QueueEntry e = parked_.take(parked);
         ChainContext* ctx = e.ctx;
         const AccelType target = dst.type();
         ++stats_.attempts_by_type[accel::index_of(target)];
@@ -335,8 +337,12 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
             // carries no data yet, so the overflow area cannot hold it).
             ++stats_.deferred_arms;
             ++ctx->remote_calls;
-            auto deliver_deferred = [this, e, &dst](std::uint64_t bytes) {
-              accel::QueueEntry le = e;
+            // The deferred entry parks again until the response arrives;
+            // every exit below either redeems or drops the ticket.
+            const auto deferred = parked_.park(std::move(e));
+            auto deliver_deferred = [this, deferred,
+                                     &dst](std::uint64_t bytes) {
+              accel::QueueEntry le = parked_.take(deferred);
               ChainContext* lctx = le.ctx;
               le.payload.size_bytes = bytes;
               le.payload.flags = lctx->flags;
@@ -353,6 +359,7 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
                   sim::milliseconds(config_.response_timeout_ms);
               if (latency > timeout) {
                 ++stats_.timeouts;
+                parked_.drop(deferred);  // The timeout path never delivers.
                 machine_.sim().schedule_after(timeout, [this, ctx] {
                   ChainResult r;
                   r.ok = false;
@@ -485,10 +492,10 @@ void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
         e.ready = false;
         e.pending_inputs = 1;
         accel::Accelerator& dst = machine_.accel(op.accel);
-        cores.run_on(ctx->core, segment,
-                     [this, &dst, e = std::move(e)]() mutable {
-                       forward_into_queue(dst, std::move(e));
-                     });
+        const auto parked = parked_.park(std::move(e));
+        cores.run_on(ctx->core, segment, [this, &dst, parked] {
+          forward_into_queue(dst, parked_.take(parked));
+        });
         return;
       }
       case TraceOp::Kind::kBranchSkip:

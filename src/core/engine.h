@@ -14,6 +14,7 @@
 #include "core/trace_analysis.h"
 #include "core/tenant_mba.h"
 #include "core/trace_library.h"
+#include "sim/pool.h"
 #include "stats/summary.h"
 
 /**
@@ -174,6 +175,10 @@ class AccelFlowEngine : public accel::OutputHandler {
   };
   std::deque<PendingStart> throttled_;
   TenantBandwidthLimiter mba_;
+  /** Entries in flight between kernel callbacks (DMA arrivals, enqueue
+   *  retries, deferred wait-arms): callbacks capture the 4-byte ticket,
+   *  not the ~100-byte entry (see sim/callback.h's capture budget). */
+  sim::TicketPool<accel::QueueEntry> parked_;
 };
 
 }  // namespace accelflow::core

@@ -2,7 +2,6 @@
 #define ACCELFLOW_CPU_CORE_CLUSTER_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -54,7 +53,7 @@ struct CpuStats {
 /** The 36-core cluster. */
 class CoreCluster {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Simulator::Callback;
 
   CoreCluster(sim::Simulator& sim, const CpuParams& params);
 

@@ -1,0 +1,81 @@
+#ifndef ACCELFLOW_SIM_POOL_H_
+#define ACCELFLOW_SIM_POOL_H_
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/**
+ * @file
+ * A slab-backed parking pool for values carried across kernel callbacks.
+ *
+ * InlineCallback (sim/callback.h) imposes a hard capture budget, so event
+ * callbacks cannot capture large payloads (e.g. a ~100-byte QueueEntry) by
+ * value. Instead the payload is parked here and the 4-byte ticket is
+ * captured; the callback redeems the ticket when it fires. Slots recycle
+ * through a free list, so steady state allocates nothing.
+ */
+
+namespace accelflow::sim {
+
+/**
+ * Parks values of type T against 4-byte tickets.
+ *
+ * Every park() must be balanced by exactly one take() (or drop(), for
+ * paths that abandon the value). Single-threaded, like the simulator.
+ */
+template <typename T>
+class TicketPool {
+ public:
+  using Ticket = std::uint32_t;
+
+  /** Parks `value`; the returned ticket redeems it exactly once. */
+  Ticket park(T value) {
+    Ticket t;
+    if (!free_.empty()) {
+      t = free_.back();
+      free_.pop_back();
+      slab_[t] = std::move(value);
+    } else {
+      t = static_cast<Ticket>(slab_.size());
+      slab_.push_back(std::move(value));
+    }
+    ++parked_;
+    return t;
+  }
+
+  /** Redeems a ticket, moving the value out and freeing the slot. */
+  T take(Ticket t) {
+    assert(t < slab_.size());
+    T out = std::move(slab_[t]);
+    release(t);
+    return out;
+  }
+
+  /** Abandons a parked value (e.g. a timed-out path that no longer needs
+   *  the payload). */
+  void drop(Ticket t) {
+    assert(t < slab_.size());
+    slab_[t] = T{};  // Release any resources the value held.
+    release(t);
+  }
+
+  /** Values currently parked (for leak checks in tests). */
+  std::size_t parked() const { return parked_; }
+
+ private:
+  void release(Ticket t) {
+    assert(parked_ > 0);
+    --parked_;
+    free_.push_back(t);
+  }
+
+  std::vector<T> slab_;
+  std::vector<Ticket> free_;
+  std::size_t parked_ = 0;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_POOL_H_

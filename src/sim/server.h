@@ -2,7 +2,6 @@
 #define ACCELFLOW_SIM_SERVER_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -28,7 +27,7 @@ namespace accelflow::sim {
  */
 class FifoServer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Simulator::Callback;
 
   FifoServer(Simulator& sim, std::size_t num_servers)
       : sim_(sim), free_at_(num_servers, 0) {}

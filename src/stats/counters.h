@@ -1,0 +1,75 @@
+#ifndef ACCELFLOW_STATS_COUNTERS_H_
+#define ACCELFLOW_STATS_COUNTERS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+/**
+ * @file
+ * An ordered name -> value counter set with machine-readable JSON output.
+ *
+ * Benchmarks use this to persist their headline numbers (e.g.
+ * bench_kernel_events writes BENCH_kernel.json) so the performance
+ * trajectory across commits is diffable by tooling, not just eyeballable
+ * in stdout tables.
+ */
+
+namespace accelflow::stats {
+
+/** Insertion-ordered counters; values are doubles (integers print exact). */
+class CounterSet {
+ public:
+  void set(std::string name, double value) {
+    for (auto& [n, v] : items_) {
+      if (n == name) {
+        v = value;
+        return;
+      }
+    }
+    items_.emplace_back(std::move(name), value);
+  }
+
+  double get(const std::string& name, double fallback = 0) const {
+    for (const auto& [n, v] : items_) {
+      if (n == name) return v;
+    }
+    return fallback;
+  }
+
+  const std::vector<std::pair<std::string, double>>& items() const {
+    return items_;
+  }
+
+  /** Writes `{"a": 1, "b": 2.5}` (flat object, one line per key). */
+  void write_json(std::ostream& os) const {
+    os << "{\n";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      os << "  \"" << items_[i].first << "\": ";
+      write_number(os, items_[i].second);
+      if (i + 1 < items_.size()) os << ",";
+      os << "\n";
+    }
+    os << "}\n";
+  }
+
+ private:
+  static void write_number(std::ostream& os, double v) {
+    // Integers (counter values, rates rounded by the caller) print without
+    // a fractional part so the JSON diffs cleanly.
+    const auto as_int = static_cast<std::int64_t>(v);
+    if (static_cast<double>(as_int) == v) {
+      os << as_int;
+    } else {
+      os << v;
+    }
+  }
+
+  std::vector<std::pair<std::string, double>> items_;
+};
+
+}  // namespace accelflow::stats
+
+#endif  // ACCELFLOW_STATS_COUNTERS_H_

@@ -1,0 +1,31 @@
+#include "workload/parallel_runner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace accelflow::workload {
+
+ParallelRunner::ParallelRunner(unsigned threads)
+    : threads_(threads == 0 ? default_threads() : threads) {}
+
+unsigned ParallelRunner::default_threads() {
+  if (const char* v = std::getenv("AF_BENCH_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned ParallelRunner::worker_count(std::size_t items) const {
+  return static_cast<unsigned>(
+      std::min<std::size_t>(threads_, std::max<std::size_t>(items, 1)));
+}
+
+std::vector<ExperimentResult> ParallelRunner::run(
+    const std::vector<ExperimentConfig>& configs) const {
+  return map(configs, [](const ExperimentConfig& cfg) {
+    return run_experiment(cfg);
+  });
+}
+
+}  // namespace accelflow::workload

@@ -113,8 +113,14 @@ class CountingHandler : public OutputHandler {
     acc.release_output(slot);
   }
   void release_all() {
-    for (auto& [acc, slot] : held) acc->release_output(slot);
-    held.clear();
+    // Releasing a slot can re-enter handle_output (an unblocked PE deposits
+    // its pending result) and grow `held` mid-iteration; drain in batches
+    // instead of iterating the live vector.
+    while (!held.empty()) {
+      std::vector<std::pair<Accelerator*, SlotId>> batch;
+      batch.swap(held);
+      for (auto& [acc, slot] : batch) acc->release_output(slot);
+    }
   }
   int outputs = 0;
   bool hold = false;

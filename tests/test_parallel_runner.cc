@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for workload::ParallelRunner: determinism (parallel == serial,
+ * byte for byte), result ordering, and error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "workload/experiment.h"
+#include "workload/parallel_runner.h"
+#include "workload/suites.h"
+
+namespace accelflow::workload {
+namespace {
+
+ExperimentConfig tiny_config(core::OrchKind kind, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.specs = social_network_specs();
+  cfg.load_model = LoadGenerator::Model::kPoisson;
+  cfg.per_service_rps.assign(cfg.specs.size(), 4000.0);
+  cfg.warmup = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(8);
+  cfg.drain = sim::milliseconds(5);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ParallelRunner, MapPreservesSubmissionOrder) {
+  ParallelRunner runner(4);
+  std::vector<int> items;
+  for (int i = 0; i < 100; ++i) items.push_back(i);
+  const auto out = runner.map(items, [](int v) { return v * v; });
+  ASSERT_EQ(out.size(), items.size());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelRunner, SingleThreadRunsInline) {
+  ParallelRunner runner(1);
+  EXPECT_EQ(runner.threads(), 1u);
+  const auto out =
+      runner.map(std::vector<int>{1, 2, 3}, [](int v) { return v + 1; });
+  EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(ParallelRunner, PropagatesWorkerExceptions) {
+  ParallelRunner runner(4);
+  std::vector<int> items(16, 0);
+  items[7] = 1;
+  EXPECT_THROW(runner.map(items,
+                          [](int v) {
+                            if (v != 0) throw std::runtime_error("boom");
+                            return v;
+                          }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, MatchesSerialExperimentBitForBit) {
+  // The acceptance bar for the whole sweep-parallelization: for a fixed
+  // seed, per-point stats must be identical whether points run on one
+  // thread or many. Each point owns its Machine/Simulator/Rng, so this
+  // holds by construction; the test guards against anyone adding shared
+  // mutable state to the model.
+  std::vector<ExperimentConfig> configs;
+  configs.push_back(tiny_config(core::OrchKind::kNonAcc, 7));
+  configs.push_back(tiny_config(core::OrchKind::kAccelFlow, 7));
+  configs.push_back(tiny_config(core::OrchKind::kAccelFlow, 8));
+
+  const auto serial = ParallelRunner(1).run(configs);
+  const auto parallel = ParallelRunner(3).run(configs);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    const auto& s = serial[p];
+    const auto& q = parallel[p];
+    EXPECT_EQ(s.total_completed(), q.total_completed());
+    EXPECT_EQ(s.accel_invocations, q.accel_invocations);
+    ASSERT_EQ(s.services.size(), q.services.size());
+    for (std::size_t i = 0; i < s.services.size(); ++i) {
+      EXPECT_EQ(s.services[i].name, q.services[i].name);
+      EXPECT_EQ(s.services[i].completed, q.services[i].completed);
+      // Bitwise equality, not EXPECT_DOUBLE_EQ: determinism means the
+      // exact same arithmetic happened in the exact same order.
+      EXPECT_EQ(s.services[i].p99_us, q.services[i].p99_us);
+      EXPECT_EQ(s.services[i].mean_us, q.services[i].mean_us);
+    }
+  }
+}
+
+TEST(ParallelRunner, DefaultThreadsRespectsEnvOverride) {
+  // AF_BENCH_THREADS pins the pool size (1 = force serial sweeps).
+  ASSERT_EQ(setenv("AF_BENCH_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ParallelRunner::default_threads(), 3u);
+  ASSERT_EQ(setenv("AF_BENCH_THREADS", "1", 1), 0);
+  EXPECT_EQ(ParallelRunner::default_threads(), 1u);
+  unsetenv("AF_BENCH_THREADS");
+  EXPECT_GE(ParallelRunner::default_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace accelflow::workload
