@@ -2,10 +2,13 @@
 #define ACCELFLOW_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "workload/experiment.h"
 #include "workload/parallel_runner.h"
 
@@ -14,11 +17,71 @@
  * Shared helpers for the experiment binaries: the default SocialNetwork
  * configuration driven by production-like rates, the architecture roster,
  * a fast-mode switch (AF_BENCH_FAST=1 shortens the simulated window for
- * smoke runs), and the parallel sweep helper (AF_BENCH_THREADS controls
- * the pool; =1 forces the serial path).
+ * smoke runs), the parallel sweep helper (AF_BENCH_THREADS controls
+ * the pool; =1 forces the serial path), and the --trace=/--metrics=
+ * observability flags (see OBSERVABILITY.md).
  */
 
 namespace accelflow::bench {
+
+/** Observability command-line flags accepted by the bench binaries. */
+struct ObsOptions {
+  std::string trace_path;    ///< --trace=FILE: Chrome trace-event JSON.
+  std::string metrics_path;  ///< --metrics=FILE: metrics-registry JSON.
+
+  /** True when either output was requested. */
+  bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+/**
+ * Parses --trace=FILE / --metrics=FILE from the command line; any other
+ * argument prints usage and exits (the bench binaries take no positional
+ * arguments).
+ */
+inline ObsOptions parse_obs_options(int argc, char** argv) {
+  ObsOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      o.trace_path = a.substr(8);
+    } else if (a.rfind("--metrics=", 0) == 0) {
+      o.metrics_path = a.substr(10);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--trace=FILE.json] [--metrics=FILE.json]\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/** Writes the tracer's ring as Chrome trace-event JSON to `path`. */
+inline void write_trace(const obs::Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot open trace output: " << path << "\n";
+    std::exit(1);
+  }
+  tracer.export_chrome_json(f);
+  std::cout << "\nWrote " << tracer.size() << " trace events to " << path
+            << " (" << tracer.dropped()
+            << " older events dropped by the ring; load in "
+               "https://ui.perfetto.dev)\n";
+}
+
+/** Writes the metrics registry as flat JSON to `path`. */
+inline void write_metrics(const obs::MetricsRegistry& reg,
+                          const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot open metrics output: " << path << "\n";
+    std::exit(1);
+  }
+  reg.write_json(f);
+  std::cout << "Wrote " << reg.size() << " metrics to " << path << "\n";
+}
 
 /** True when AF_BENCH_FAST=1: shorter simulated windows. */
 inline bool fast_mode() {

@@ -5,18 +5,34 @@
  * architectures. The paper reports: AccelFlow reduces P99 over Non-acc /
  * CPU-Centric / RELIEF / Cohort by 90.7% / 81.2% / 68.8% / 70.1% and
  * average latency by 77.2% / 53.9% / 40.7% / 37.9%.
+ *
+ * --trace=FILE.json attaches a span tracer to the AccelFlow run and writes
+ * Chrome trace-event JSON (open in Perfetto); --metrics=FILE.json writes
+ * the end-of-run metrics registry. See OBSERVABILITY.md.
  */
 
 #include "bench_common.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accelflow;
+
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
+  // A generous ring so a fast-mode run fits without wrapping; a full-length
+  // run keeps its most recent window (the interesting steady state).
+  obs::Tracer tracer(1u << 18);
+  obs::MetricsRegistry metrics;
 
   const auto archs = bench::paper_architectures();
   std::vector<workload::ExperimentConfig> configs;
   for (const core::OrchKind kind : archs) {
     configs.push_back(bench::social_network_config(kind));
+  }
+  if (obs_opts.enabled()) {
+    // Observe the AccelFlow run (the last config). One tracer can watch
+    // one experiment point, so the others stay untraced.
+    if (!obs_opts.trace_path.empty()) configs.back().tracer = &tracer;
+    if (!obs_opts.metrics_path.empty()) configs.back().metrics = &metrics;
   }
   // All five architectures simulate concurrently; results keep input order.
   const auto results = bench::run_all(configs);
@@ -73,6 +89,12 @@ int main() {
                                                  results[i].avg_mean_us)});
     }
     t.print(std::cout);
+  }
+  if (!obs_opts.trace_path.empty()) {
+    bench::write_trace(tracer, obs_opts.trace_path);
+  }
+  if (!obs_opts.metrics_path.empty()) {
+    bench::write_metrics(metrics, obs_opts.metrics_path);
   }
   return 0;
 }

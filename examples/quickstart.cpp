@@ -5,13 +5,20 @@
  * simulated machine.
  *
  *   $ ./examples/quickstart
+ *
+ * With --trace=FILE.json the run records invocation-level spans and writes
+ * a Chrome trace-event file — open it in https://ui.perfetto.dev to see
+ * this one request walk through the ensemble (see OBSERVABILITY.md).
  */
 
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/machine.h"
 #include "core/trace_builder.h"
+#include "obs/tracer.h"
 
 using namespace accelflow;
 
@@ -40,7 +47,18 @@ class DemoEnv : public core::ChainEnv {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace=FILE.json]\n";
+      return 2;
+    }
+  }
+
   // 1. Construct the paper's Figure 4a trace: receive a function request.
   //    TCP -> Decr -> RPC -> Dser, then — only if the payload turns out to
   //    be compressed — transform JSON->string and decompress, then LdB.
@@ -65,6 +83,11 @@ int main() {
   //    accelerator and loads the trace library into the ATM.
   core::Machine machine{core::MachineConfig{}};
   core::AccelFlowEngine engine(machine, lib, core::EngineConfig{});
+
+  // Optional: record every span of the request (queueing, PE execution,
+  // DMA, NoC, translation) for Perfetto. Off = a null pointer, no cost.
+  obs::Tracer tracer;
+  if (!trace_path.empty()) machine.set_tracer(&tracer);
 
   // 3. run_trace(): execute the chain for a compressed 4KB request.
   DemoEnv env;
@@ -91,5 +114,16 @@ int main() {
             << engine.stats().glue_instrs.mean() << "\n"
             << "Simulated events: " << machine.sim().executed_events()
             << "\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path, std::ios::binary);
+    if (!f) {
+      std::cerr << "cannot open " << trace_path << "\n";
+      return 1;
+    }
+    tracer.export_chrome_json(f);
+    std::cout << "Wrote " << tracer.size() << " spans to " << trace_path
+              << " — open in https://ui.perfetto.dev\n";
+  }
   return 0;
 }

@@ -19,6 +19,13 @@ Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
       output_(params.output_queue_entries),
       pes_(static_cast<std::size_t>(params.num_pes)) {}
 
+void Accelerator::set_tracer(obs::Tracer* tracer, std::uint32_t accel_index) {
+  tracer_ = tracer;
+  tid_base_ = accel_index * kTidStride;
+  // Mem-process tracks: tid 0 is the IOMMU, tids 1.. are per-accel TLBs.
+  tlb_.set_tracer(tracer, &sim_, accel_index + 1);
+}
+
 SlotId Accelerator::try_enqueue(QueueEntry e) {
   e.enqueued_at = sim_.now();
   return input_.allocate(std::move(e));
@@ -40,6 +47,11 @@ void Accelerator::release_input(SlotId slot) {
 
 bool Accelerator::overflow_enqueue(QueueEntry e) {
   ++stats_.overflow_enqueues;
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::Subsys::kAccel, obs::SpanKind::kOverflow,
+                     tid_base_ + kQueueTid, sim_.now(), overflow_.size(),
+                     obs::flow_id(e.request, e.chain));
+  }
   if (overflow_.size() >= params_.overflow_capacity) {
     ++stats_.overflow_rejections;
     return false;
@@ -183,6 +195,19 @@ void Accelerator::try_dispatch() {
 
     ++stats_.jobs;
     stats_.pe_busy_time += t - sim_.now();
+    if (tracer_ != nullptr) {
+      const obs::FlowId flow = obs::flow_id(entry.request, entry.chain);
+      tracer_->complete(obs::Subsys::kAccel, obs::SpanKind::kQueueWait,
+                        tid_base_ + kQueueTid, entry.enqueued_at, sim_.now(),
+                        entry.payload.size_bytes, flow);
+      tracer_->complete(obs::Subsys::kAccel, obs::SpanKind::kPeExecute,
+                        tid_base_ + static_cast<std::uint32_t>(pe), sim_.now(),
+                        t, entry.payload.size_bytes, flow);
+      // The chain arrow lands on this PE-execute slice.
+      tracer_->flow(obs::Phase::kFlowStep, obs::Subsys::kAccel,
+                    tid_base_ + static_cast<std::uint32_t>(pe), sim_.now(),
+                    flow);
+    }
     p.free_at = t;
     p.inflight = std::move(entry);
     sim_.schedule_at(t, [this, pe] { on_pe_done(pe); });
@@ -216,6 +241,11 @@ sim::TimePs Accelerator::occupy_dispatcher(sim::TimePs duration) {
   const sim::TimePs start = std::max(sim_.now(), dispatcher_busy_until_);
   dispatcher_busy_until_ = start + duration;
   dispatcher_busy_accum_ += duration;
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::Subsys::kAccel, obs::SpanKind::kDispatcherFsm,
+                      tid_base_ + kDispatcherTid, start,
+                      dispatcher_busy_until_);
+  }
   return dispatcher_busy_until_;
 }
 

@@ -12,6 +12,7 @@
 #include "mem/memory_system.h"
 #include "mem/tlb.h"
 #include "noc/interconnect.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "stats/latency_recorder.h"
@@ -173,6 +174,26 @@ class Accelerator {
   sim::TimePs translate(TenantId tenant, mem::VirtAddr va,
                         std::uint64_t bytes);
 
+  /** Width of the per-accelerator trace-track block: accelerator `i` owns
+   *  tids [i*kTidStride, (i+1)*kTidStride). */
+  static constexpr std::uint32_t kTidStride = 32;
+  /** Track (within the block) carrying queue-wait spans and overflow
+   *  instants. */
+  static constexpr std::uint32_t kQueueTid = kTidStride - 2;
+  /** Track (within the block) carrying output-dispatcher FSM spans. */
+  static constexpr std::uint32_t kDispatcherTid = kTidStride - 1;
+
+  /**
+   * Attaches the span tracer. `accel_index` is this accelerator's index in
+   * the machine; its trace tracks are tid accel_index*kTidStride + pe for
+   * PE-execute spans, + kQueueTid for queue waits, + kDispatcherTid for the
+   * output-dispatcher FSM. Also attaches the private TLB (miss instants on
+   * the mem process, tid = accel_index + 1; tid 0 there is the IOMMU).
+   * Pass nullptr to detach. Recording
+   * never perturbs scheduling or timing (see obs/tracer.h).
+   */
+  void set_tracer(obs::Tracer* tracer, std::uint32_t accel_index);
+
  private:
   struct Pe {
     sim::TimePs free_at = 0;
@@ -223,6 +244,8 @@ class Accelerator {
   sim::TimePs dispatcher_busy_accum_ = 0;
   std::uint64_t last_dispatched_seq_ = 0;
   AccelStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t tid_base_ = 0;  ///< First trace track of this accelerator.
 };
 
 }  // namespace accelflow::accel

@@ -28,6 +28,11 @@ sim::TimePs DmaPool::transfer(noc::Location src, noc::Location dst,
   const sim::TimePs engine_done = start + latency_ + ser;
   *it = engine_done;
   stats_.busy_time += latency_ + ser;
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::Subsys::kDma, obs::SpanKind::kDmaTransfer,
+                      static_cast<std::uint32_t>(it - engine_free_at_.begin()),
+                      start, engine_done, bytes);
+  }
 
   // The engine streams the data through the package network; the network
   // transfer starts as soon as the engine starts pushing.

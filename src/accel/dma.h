@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "noc/interconnect.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -55,8 +56,19 @@ class DmaPool {
   /** Engine-pool utilization over [0, now]. */
   double utilization() const;
 
+  /** Transfer counters. */
   const DmaStats& stats() const { return stats_; }
+  /** Number of engines in the pool. */
   int num_engines() const { return static_cast<int>(engine_free_at_.size()); }
+
+  /**
+   * Attaches the span tracer: each transfer emits an
+   * obs::SpanKind::kDmaTransfer span on the occupied engine's track
+   * (engine index = tid), attributed to the tracer's current flow. Pass
+   * nullptr to detach. Recording never perturbs engine selection or
+   * timing (see obs/tracer.h).
+   */
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   sim::Simulator& sim_;
@@ -66,6 +78,7 @@ class DmaPool {
   double bytes_per_ps_;
   std::vector<sim::TimePs> engine_free_at_;
   DmaStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace accelflow::accel

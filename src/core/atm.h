@@ -21,8 +21,8 @@ namespace accelflow::core {
 
 /** ATM counters. */
 struct AtmStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;   ///< Dispatcher-side trace loads.
+  std::uint64_t writes = 0;  ///< Core-side trace stores.
 };
 
 /**
@@ -35,7 +35,11 @@ struct AtmStats {
 class Atm {
  public:
   /**
+   * Creates an empty trace memory.
+   *
+   * @param clock_ghz clock domain the latency is expressed in.
    * @param read_latency_cycles SRAM access time in core-clock cycles.
+   * @param location mesh position of the SRAM (for transfer modeling).
    */
   Atm(double clock_ghz, double read_latency_cycles, noc::Location location)
       : read_latency_(sim::Clock(clock_ghz).cycles_to_ps(read_latency_cycles)),
@@ -53,10 +57,14 @@ class Atm {
     return slots_[addr].value();
   }
 
+  /** True when `addr` holds a stored trace. */
   bool contains(AtmAddr addr) const { return slots_[addr].has_value(); }
 
+  /** SRAM access time of one dispatcher-side read. */
   sim::TimePs read_latency() const { return read_latency_; }
+  /** Mesh position of the SRAM. */
   noc::Location location() const { return location_; }
+  /** Read/write counters. */
   const AtmStats& stats() const { return stats_; }
 
  private:

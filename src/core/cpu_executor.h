@@ -21,10 +21,10 @@ namespace accelflow::core {
 
 /** Counters for CPU-executed chains. */
 struct CpuExecStats {
-  std::uint64_t chains = 0;
-  std::uint64_t ops = 0;
-  sim::TimePs cpu_time = 0;
-  std::uint64_t timeouts = 0;
+  std::uint64_t chains = 0;    ///< Chains started on a core.
+  std::uint64_t ops = 0;       ///< Logical operations executed.
+  sim::TimePs cpu_time = 0;    ///< Core busy time consumed.
+  std::uint64_t timeouts = 0;  ///< Chains aborted on a network timeout.
 };
 
 /** Runs logical op sequences on CPU cores. */
@@ -48,6 +48,7 @@ class CpuChainExecutor {
   /** CPU time for one transform executed in software. */
   sim::TimePs cpu_transform_time(std::uint64_t bytes) const;
 
+  /** Execution counters. */
   const CpuExecStats& stats() const { return stats_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 
 namespace accelflow::core {
@@ -84,11 +85,22 @@ void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
 
   // The user-mode Enqueue instruction plus A-DMA programming.
   machine_.cores().charge_enqueue(ctx->core);
+  if (obs::Tracer* t = trc()) {
+    // The chain's flow begins on the enqueue slice of the initiating core.
+    const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
+    const sim::TimePs now = machine_.sim().now();
+    const auto tid = static_cast<std::uint32_t>(ctx->core);
+    t->complete(obs::Subsys::kEngine, obs::SpanKind::kEnqueue, tid, now, now,
+                e.payload.size_bytes, flow);
+    t->flow(obs::Phase::kFlowBegin, obs::Subsys::kEngine, tid, now, flow);
+  }
   enqueue_with_retry(ctx, std::move(e), op0.accel, 0);
 }
 
 void AccelFlowEngine::enqueue_with_retry(ChainContext* ctx, QueueEntry entry,
                                          AccelType target, int attempt) {
+  // Attribute the initial-payload DMA (and its NoC legs) to this chain.
+  obs::FlowScope flow_scope(trc(), obs::flow_id(entry.request, entry.chain));
   accel::Accelerator& dst = machine_.accel(target);
   if (attempt == 0) ++stats_.attempts_by_type[accel::index_of(target)];
   const SlotId slot = dst.try_enqueue(entry);
@@ -134,6 +146,9 @@ void AccelFlowEngine::run_dispatcher_fsm(accel::Accelerator& acc,
   ChainContext* ctx = e.ctx;
   assert(ctx != nullptr);
   ++ctx->accel_invocations;
+  // Everything the FSM touches synchronously below (dispatcher occupancy,
+  // forwarding DMA, manager round trips) belongs to this chain.
+  obs::FlowScope flow_scope(trc(), obs::flow_id(e.request, e.chain));
 
   // The PE's result replaces the payload.
   e.payload.size_bytes =
@@ -293,6 +308,7 @@ void AccelFlowEngine::run_dispatcher_fsm(accel::Accelerator& acc,
 void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
                               AccelType target, sim::TimePs ready,
                               bool armed_wait, RemoteKind wait_kind) {
+  obs::FlowScope flow_scope(trc(), obs::flow_id(e.request, e.chain));
   accel::Accelerator& dst = machine_.accel(target);
   ChainContext* ctx = e.ctx;
 
@@ -459,6 +475,11 @@ void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
                                             std::uint8_t pm,
                                             std::uint64_t payload_bytes,
                                             AccelType pending) {
+  if (obs::Tracer* t = trc()) {
+    t->instant(obs::Subsys::kCpu, obs::SpanKind::kCpuFallback,
+               static_cast<std::uint32_t>(ctx->core), machine_.sim().now(),
+               payload_bytes, obs::flow_id(ctx->request, ctx->chain));
+  }
   // The denied operation executes unaccelerated on the initiating core.
   auto& cores = machine_.cores();
   const double tax_speed = cores.params().tax_speed;
@@ -609,6 +630,11 @@ void AccelFlowEngine::finish_to_cpu(accel::Accelerator& from, QueueEntry e,
     }
   }
   ++stats_.notifications;
+  if (obs::Tracer* t = trc()) {
+    t->complete(obs::Subsys::kEngine, obs::SpanKind::kNotify,
+                static_cast<std::uint32_t>(ctx->core), ready, arrive,
+                e.payload.size_bytes, obs::flow_id(e.request, e.chain));
+  }
   machine_.sim().schedule_at(arrive, [this, ctx] {
     machine_.cores().notify(ctx->core, [this, ctx] {
       ChainResult r;
@@ -627,13 +653,54 @@ sim::TimePs AccelFlowEngine::manager_round_trip(
   const sim::TimePs handled = machine_.manager().submit_at(
       go, sim::microseconds(machine_.config().manager_event_us *
                             config_.manager_fallback_events));
+  if (obs::Tracer* t = trc()) {
+    t->complete(obs::Subsys::kEngine, obs::SpanKind::kManagerEvent,
+                obs::kManagerTid, go, handled);
+  }
   return machine_.net().transfer(machine_.manager_location(), at.location(),
                                  64, handled);
+}
+
+void AccelFlowEngine::snapshot_metrics(obs::MetricsRegistry& reg) const {
+  using Kind = obs::MetricsRegistry::Kind;
+  reg.set("engine.chains_started", static_cast<double>(stats_.chains_started));
+  reg.set("engine.chains_completed",
+          static_cast<double>(stats_.chains_completed));
+  reg.set("engine.enqueue_fallbacks",
+          static_cast<double>(stats_.enqueue_fallbacks));
+  reg.set("engine.overflow_fallbacks",
+          static_cast<double>(stats_.overflow_fallbacks));
+  reg.set("engine.timeouts", static_cast<double>(stats_.timeouts));
+  reg.set("engine.deferred_arms", static_cast<double>(stats_.deferred_arms));
+  reg.set("engine.manager_fallbacks",
+          static_cast<double>(stats_.manager_fallbacks));
+  reg.set("engine.atm_loads", static_cast<double>(stats_.atm_loads));
+  reg.set("engine.notifications", static_cast<double>(stats_.notifications));
+  reg.set("engine.tenant_throttled",
+          static_cast<double>(stats_.tenant_throttled));
+  reg.set("engine.glue.mean_instrs", stats_.glue_instrs.mean(), Kind::kGauge);
+  reg.set("engine.glue.ops", static_cast<double>(stats_.glue_instrs.count()));
+  for (const AccelType t : accel::kAllAccelTypes) {
+    const std::size_t i = accel::index_of(t);
+    const std::string p = obs::metric_path("engine.fallbacks",
+                                           accel::name_of(t));
+    reg.set(p, static_cast<double>(stats_.fallbacks_by_type[i]));
+  }
 }
 
 void AccelFlowEngine::complete_chain(ChainContext* ctx,
                                      const ChainResult& result) {
   ++stats_.chains_completed;
+  if (obs::Tracer* t = trc()) {
+    const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
+    const sim::TimePs now = machine_.sim().now();
+    const auto tid = static_cast<std::uint32_t>(ctx->core);
+    t->instant(obs::Subsys::kEngine,
+               result.timeout ? obs::SpanKind::kTimeout
+                              : obs::SpanKind::kChainDone,
+               tid, now, 0, flow);
+    t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
+  }
   auto it = tenant_active_.find(ctx->tenant);
   if (it != tenant_active_.end() && it->second > 0) --it->second;
   ctx->finish(result);

@@ -117,7 +117,17 @@ class AccelFlowEngine : public accel::OutputHandler {
   /** The MBA-style per-tenant bandwidth limiter. */
   TenantBandwidthLimiter& bandwidth_limiter() { return mba_; }
 
+  /**
+   * Exports the orchestration-level counters under "engine.*" dotted names
+   * (chains, fallbacks, timeouts, glue-instruction totals); pairs with
+   * Machine::snapshot_metrics() for the hardware side.
+   */
+  void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
  private:
+  /** The machine's tracer, or nullptr when tracing is off. Fetched per
+   *  call so attaching after engine construction works. */
+  obs::Tracer* trc() const { return machine_.tracer(); }
   /** Enqueue with retry; falls back to the CPU when the queue stays full. */
   void enqueue_with_retry(ChainContext* ctx, accel::QueueEntry entry,
                           accel::AccelType target, int attempt);

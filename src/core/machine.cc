@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace accelflow::core {
 
@@ -121,6 +122,102 @@ void Machine::install_output_handler(accel::OutputHandler* handler) {
   for (const AccelType t : accel::kAllAccelTypes) {
     accel(t).set_output_handler(handler);
   }
+}
+
+void Machine::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  net_->set_tracer(tracer);
+  dma_->set_tracer(tracer);
+  iommu_->set_tracer(tracer);
+  for (const AccelType t : accel::kAllAccelTypes) {
+    const auto i = static_cast<std::uint32_t>(accel::index_of(t));
+    accel(t).set_tracer(tracer, i);
+  }
+  if (tracer == nullptr) return;
+
+  // Name the Perfetto tracks so the export is readable without a legend.
+  using obs::Subsys;
+  for (const AccelType t : accel::kAllAccelTypes) {
+    const auto i = static_cast<std::uint32_t>(accel::index_of(t));
+    const std::uint32_t base = i * accel::Accelerator::kTidStride;
+    const std::string name(accel::name_of(t));
+    for (int pe = 0; pe < config_.pes_per_accel; ++pe) {
+      tracer->name_thread(Subsys::kAccel,
+                          base + static_cast<std::uint32_t>(pe),
+                          name + ".pe" + std::to_string(pe));
+    }
+    tracer->name_thread(Subsys::kAccel, base + accel::Accelerator::kQueueTid,
+                        name + ".queue");
+    tracer->name_thread(Subsys::kAccel,
+                        base + accel::Accelerator::kDispatcherTid,
+                        name + ".dispatcher");
+    tracer->name_thread(Subsys::kMem, i + 1, "tlb." + name);
+  }
+  tracer->name_thread(Subsys::kMem, 0, "iommu");
+  for (int e = 0; e < dma_->num_engines(); ++e) {
+    tracer->name_thread(Subsys::kDma, static_cast<std::uint32_t>(e),
+                        "dma" + std::to_string(e));
+  }
+  for (int c = 0; c < net_->num_chiplets(); ++c) {
+    tracer->name_thread(Subsys::kNoc, static_cast<std::uint32_t>(c),
+                        "chiplet" + std::to_string(c));
+  }
+  tracer->name_thread(Subsys::kNoc, noc::Interconnect::kLinkTid,
+                      "package-links");
+  for (int c = 0; c < config_.cpu.num_cores; ++c) {
+    tracer->name_thread(Subsys::kEngine, static_cast<std::uint32_t>(c),
+                        "core" + std::to_string(c));
+    tracer->name_thread(Subsys::kCpu, static_cast<std::uint32_t>(c),
+                        "core" + std::to_string(c));
+  }
+  tracer->name_thread(Subsys::kEngine, obs::kManagerTid, "manager");
+}
+
+void Machine::snapshot_metrics(obs::MetricsRegistry& reg) const {
+  using Kind = obs::MetricsRegistry::Kind;
+  std::uint64_t tlb_lookups = 0;
+  std::uint64_t tlb_misses = 0;
+  for (const AccelType t : accel::kAllAccelTypes) {
+    const accel::Accelerator& a = accel(t);
+    const accel::AccelStats& s = a.stats();
+    const std::string p = obs::metric_path("accel", accel::name_of(t));
+    reg.set(p + ".jobs", static_cast<double>(s.jobs));
+    reg.set(p + ".queue_depth", static_cast<double>(a.input_occupancy()),
+            Kind::kGauge);
+    reg.set(p + ".overflow_enqueues",
+            static_cast<double>(s.overflow_enqueues));
+    reg.set(p + ".overflow_rejections",
+            static_cast<double>(s.overflow_rejections));
+    reg.set(p + ".deadline_misses", static_cast<double>(s.deadline_misses));
+    reg.set(p + ".tenant_wipes", static_cast<double>(s.tenant_wipes));
+    reg.set(p + ".faults", static_cast<double>(s.faults));
+    reg.set(p + ".pe_utilization", a.pe_utilization(), Kind::kGauge);
+    reg.set(p + ".mean_queue_delay_ps", s.input_queue_delay.mean(),
+            Kind::kGauge);
+    tlb_lookups += a.tlb_stats().lookups;
+    tlb_misses += a.tlb_stats().misses();
+  }
+  reg.set("noc.intra_transfers",
+          static_cast<double>(net_->stats().intra_transfers));
+  reg.set("noc.inter_transfers",
+          static_cast<double>(net_->stats().inter_transfers));
+  reg.set("noc.inter_bytes", static_cast<double>(net_->stats().inter_bytes));
+  reg.set("noc.hops", static_cast<double>(net_->stats().hops));
+  reg.set("dma.transfers", static_cast<double>(dma_->stats().transfers));
+  reg.set("dma.bytes", static_cast<double>(dma_->stats().bytes));
+  reg.set("dma.engine_wait_ps",
+          static_cast<double>(dma_->stats().engine_wait));
+  reg.set("dma.utilization", dma_->utilization(), Kind::kGauge);
+  reg.set("mem.tlb.lookups", static_cast<double>(tlb_lookups));
+  reg.set("mem.tlb.miss_rate",
+          tlb_lookups ? static_cast<double>(tlb_misses) /
+                            static_cast<double>(tlb_lookups)
+                      : 0.0,
+          Kind::kGauge);
+  reg.set("mem.iommu.walks", static_cast<double>(iommu_->stats().walks));
+  reg.set("mem.iommu.faults", static_cast<double>(iommu_->stats().faults));
+  reg.set("sim.events", static_cast<double>(sim_.executed_events()));
+  reg.set("sim.now_ps", static_cast<double>(sim_.now()), Kind::kGauge);
 }
 
 }  // namespace accelflow::core

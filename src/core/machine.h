@@ -13,6 +13,8 @@
 #include "mem/iommu.h"
 #include "mem/memory_system.h"
 #include "noc/interconnect.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 
@@ -147,6 +149,26 @@ class Machine {
   /** Installs `handler` as the output handler of all nine accelerators. */
   void install_output_handler(accel::OutputHandler* handler);
 
+  /**
+   * Attaches (or, with nullptr, detaches) the span tracer to every
+   * instrumented component — accelerators (PEs, queues, dispatcher FSMs,
+   * TLBs), the A-DMA pool, the interconnect and the IOMMU — and registers
+   * human-readable Perfetto track names ("TCP.pe0", "dma3", "tlb.RPC").
+   * The machine does not own the tracer; it must outlive the run.
+   */
+  void set_tracer(obs::Tracer* tracer);
+
+  /** The attached tracer, or nullptr when tracing is off. */
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /**
+   * Exports the hardware-side counters under the conventional dotted
+   * names ("accel.tcp.jobs", "noc.hops", "mem.tlb.miss_rate", ...) —
+   * see OBSERVABILITY.md for the full taxonomy. Orchestration-level
+   * metrics are added separately by the engine.
+   */
+  void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
  private:
   MachineConfig config_;
   sim::Simulator sim_;
@@ -160,6 +182,7 @@ class Machine {
   noc::Location manager_loc_;
   std::array<std::unique_ptr<accel::Accelerator>, accel::kNumAccelTypes>
       accels_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace accelflow::core

@@ -83,6 +83,13 @@ void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
 
   sim::TimePs ready = machine_.sim().now();
   machine_.cores().charge_enqueue(ctx->core);
+  if (obs::Tracer* t = machine_.tracer()) {
+    const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
+    const auto tid = static_cast<std::uint32_t>(ctx->core);
+    t->complete(obs::Subsys::kEngine, obs::SpanKind::kEnqueue, tid, ready,
+                ready, ctx->initial_bytes, flow);
+    t->flow(obs::Phase::kFlowBegin, obs::Subsys::kEngine, tid, ready, flow);
+  }
   if (mode_ == BaselineMode::kRelief) {
     // The core submits the whole op list to the hardware manager.
     ready = machine_.net().transfer(machine_.core_location(ctx->core),
@@ -292,6 +299,9 @@ void BaselineOrchestrator::pump_central_queue() {
     }
     --central_tokens_;  // Returned when the op's result is handled.
     accel::Accelerator& dst = *head->dst;
+    obs::FlowScope flow_scope(
+        machine_.tracer(),
+        obs::flow_id(head->entry.request, head->entry.chain));
     const sim::TimePs arrive = machine_.dma().transfer(
         head->src, dst.location(), head->dma_bytes, machine_.sim().now());
     machine_.sim().schedule_at(arrive,
@@ -323,6 +333,8 @@ void BaselineOrchestrator::try_issue(std::shared_ptr<Issue> issue,
         });
     return;
   }
+  obs::FlowScope flow_scope(
+      machine_.tracer(), obs::flow_id(issue->entry.request, issue->entry.chain));
   const sim::TimePs arrive = machine_.dma().transfer(
       issue->src, dst.location(), issue->dma_bytes, when);
   machine_.sim().schedule_at(arrive,
@@ -336,6 +348,8 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
   const auto it = chains_.find(ctx);
   assert(it != chains_.end());
   Chain* c = it->second.get();
+  obs::FlowScope flow_scope(machine_.tracer(),
+                            obs::flow_id(e.request, e.chain));
 
   // Minimal output-dispatcher work: no trace logic in the baselines.
   const sim::TimePs fsm_done = acc.occupy_dispatcher(
@@ -369,6 +383,11 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
           machine_.cores().interrupt(ctx->core, handler, [this, c] {
             step(c, machine_.sim().now());
           });
+      if (obs::Tracer* t = machine_.tracer()) {
+        t->complete(obs::Subsys::kCpu, obs::SpanKind::kInterrupt,
+                    static_cast<std::uint32_t>(ctx->core),
+                    machine_.sim().now(), done);
+      }
       // Includes the wait for the busy core: orchestration contention
       // grows with load (Figure 3).
       stats_.orchestration_time += done - machine_.sim().now();
@@ -384,6 +403,10 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
             step(c, machine_.sim().now());
           });
       stats_.orchestration_time += done - fsm_done;
+      if (obs::Tracer* t = machine_.tracer()) {
+        t->complete(obs::Subsys::kEngine, obs::SpanKind::kManagerEvent,
+                    obs::kManagerTid, fsm_done, done);
+      }
       break;
     }
     case BaselineMode::kCohort: {
@@ -428,6 +451,15 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
 void BaselineOrchestrator::finish(Chain* c, bool timed_out, bool fell_back) {
   ++stats_.completed;
   ChainContext* ctx = c->ctx;
+  if (obs::Tracer* t = machine_.tracer()) {
+    const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
+    const sim::TimePs now = machine_.sim().now();
+    const auto tid = static_cast<std::uint32_t>(ctx->core);
+    t->instant(obs::Subsys::kEngine,
+               timed_out ? obs::SpanKind::kTimeout : obs::SpanKind::kChainDone,
+               tid, now, 0, flow);
+    t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
+  }
   ChainResult r;
   r.ok = !timed_out;
   r.timeout = timed_out;

@@ -32,14 +32,15 @@ struct MbaConfig {
 
 /** Per-tenant accounting. */
 struct MbaTenantStats {
-  std::uint64_t transfers = 0;
-  std::uint64_t bytes = 0;
-  sim::TimePs throttle_delay = 0;
+  std::uint64_t transfers = 0;     ///< Transfers accounted.
+  std::uint64_t bytes = 0;         ///< Bytes accounted.
+  sim::TimePs throttle_delay = 0;  ///< Total start-time delay imposed.
 };
 
 /** Token-bucket bandwidth allocator over the A-DMA / memory path. */
 class TenantBandwidthLimiter {
  public:
+  /** Creates a limiter enforcing `config`'s per-tenant rates. */
   TenantBandwidthLimiter(sim::Simulator& sim, MbaConfig config)
       : sim_(sim), config_(std::move(config)) {}
 
@@ -50,10 +51,12 @@ class TenantBandwidthLimiter {
    */
   sim::TimePs acquire(accel::TenantId tenant, std::uint64_t bytes);
 
+  /** True when `tenant` has a configured bandwidth limit. */
   bool throttles(accel::TenantId tenant) const {
     return config_.limit_bytes_per_sec.count(tenant) > 0;
   }
 
+  /** Accounting for `tenant` (created zeroed on first access). */
   const MbaTenantStats& stats(accel::TenantId tenant) {
     return tenants_[tenant].stats;
   }

@@ -43,10 +43,12 @@ namespace accelflow::core {
 /** Error raised on malformed annotation programs. */
 class TraceCompileError : public std::runtime_error {
  public:
+  /** Creates an error for `message` at byte offset `position`. */
   TraceCompileError(const std::string& message, std::size_t position)
       : std::runtime_error(message + " (at offset " +
                            std::to_string(position) + ")"),
         position_(position) {}
+  /** Byte offset into the program where parsing failed. */
   std::size_t position() const { return position_; }
 
  private:

@@ -23,6 +23,15 @@ Iommu::Result Iommu::translate(std::uint32_t /*process_id*/, PageNum /*vpn*/) {
   out.faulted = rng_.bernoulli(params_.page_fault_prob);
   if (out.faulted) ++stats_.faults;
   out.complete_at = walkers_.submit(walk);
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::Subsys::kMem, obs::SpanKind::kIommuWalk,
+                      /*tid=*/0, sim_.now(), out.complete_at,
+                      static_cast<std::uint64_t>(params_.levels));
+    if (out.faulted) {
+      tracer_->instant(obs::Subsys::kMem, obs::SpanKind::kPageFault,
+                       /*tid=*/0, out.complete_at);
+    }
+  }
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "mem/address.h"
 #include "mem/memory_system.h"
 #include "mem/tlb.h"
+#include "obs/tracer.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 
@@ -58,8 +59,18 @@ class Iommu {
    */
   Result translate(std::uint32_t process_id, PageNum vpn);
 
+  /** Translation/walk/fault counters. */
   const IommuStats& stats() const { return stats_; }
+  /** The configured walk parameters. */
   const WalkParams& params() const { return params_; }
+
+  /**
+   * Attaches the span tracer: every walk emits an obs::SpanKind::kIommuWalk
+   * span (request to walk completion, queueing included) and faults emit
+   * kPageFault instants. Pass nullptr to detach. Recording never perturbs
+   * walk timing (see obs/tracer.h).
+   */
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   sim::Simulator& sim_;
@@ -68,6 +79,7 @@ class Iommu {
   sim::FifoServer walkers_;
   sim::Rng rng_;
   IommuStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace accelflow::mem

@@ -32,6 +32,10 @@ bool Tlb::lookup(std::uint32_t process_id, PageNum vpn) {
     ++stats_.hits;
     return true;
   }
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::Subsys::kMem, obs::SpanKind::kTlbMiss, tracer_tid_,
+                     tracer_sim_->now(), vpn);
+  }
   return false;
 }
 

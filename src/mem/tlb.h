@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "mem/address.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
 
 /**
  * @file
@@ -60,9 +62,24 @@ class Tlb {
   /** Invalidates everything. */
   void flush_all();
 
+  /** Lookup/hit/fill/eviction counters. */
   const TlbStats& stats() const { return stats_; }
+  /** Total entry capacity. */
   std::size_t entries() const { return sets_ * ways_; }
+  /** Set associativity. */
   std::size_t ways() const { return ways_; }
+
+  /**
+   * Attaches the span tracer: misses emit obs::SpanKind::kTlbMiss instants
+   * on thread `tid` (timestamped via `sim`). Pass nullptr to detach.
+   * Tracing never alters lookup results or timing (see obs/tracer.h).
+   */
+  void set_tracer(obs::Tracer* tracer, const sim::Simulator* sim,
+                  std::uint32_t tid) {
+    tracer_ = tracer;
+    tracer_sim_ = sim;
+    tracer_tid_ = tid;
+  }
 
  private:
   struct Entry {
@@ -80,6 +97,9 @@ class Tlb {
   std::vector<Entry> entries_;
   std::uint64_t tick_ = 0;
   TlbStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  const sim::Simulator* tracer_sim_ = nullptr;
+  std::uint32_t tracer_tid_ = 0;
 };
 
 }  // namespace accelflow::mem

@@ -1,5 +1,6 @@
 #include "noc/interconnect.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace accelflow::noc {
@@ -41,9 +42,20 @@ const sim::Channel& Interconnect::link(int a, int b) const {
 sim::TimePs Interconnect::transfer(Location src, Location dst,
                                    std::uint64_t bytes,
                                    sim::TimePs ready_at) {
+  const sim::TimePs start = std::max(ready_at, sim_.now());
   if (src.chiplet == dst.chiplet) {
     ++stats_.intra_transfers;
-    return mesh(src.chiplet).transfer(src.coord, dst.coord, bytes, ready_at);
+    const auto hops =
+        static_cast<std::uint64_t>(mesh(src.chiplet).hops(src.coord, dst.coord));
+    stats_.hops += hops;
+    const sim::TimePs done =
+        mesh(src.chiplet).transfer(src.coord, dst.coord, bytes, ready_at);
+    if (tracer_ != nullptr) {
+      tracer_->complete(obs::Subsys::kNoc, obs::SpanKind::kNocTransfer,
+                        static_cast<std::uint32_t>(src.chiplet), start, done,
+                        hops);
+    }
+    return done;
   }
   ++stats_.inter_transfers;
   stats_.inter_bytes += bytes;
@@ -54,7 +66,20 @@ sim::TimePs Interconnect::transfer(Location src, Location dst,
       mesh(src.chiplet).transfer(src.coord, edge, bytes, ready_at);
   const sim::TimePs crossed =
       link(src.chiplet, dst.chiplet).transfer(bytes, at_edge);
-  return mesh(dst.chiplet).transfer(edge, dst.coord, bytes, crossed);
+  const sim::TimePs done =
+      mesh(dst.chiplet).transfer(edge, dst.coord, bytes, crossed);
+  const std::uint64_t hops =
+      static_cast<std::uint64_t>(mesh(src.chiplet).hops(src.coord, edge) +
+                                 mesh(dst.chiplet).hops(edge, dst.coord));
+  stats_.hops += hops;
+  if (tracer_ != nullptr) {
+    tracer_->complete(obs::Subsys::kNoc, obs::SpanKind::kNocTransfer,
+                      static_cast<std::uint32_t>(src.chiplet), start, done,
+                      hops);
+    tracer_->complete(obs::Subsys::kNoc, obs::SpanKind::kNocLink,
+                      kLinkTid, at_edge, crossed, bytes);
+  }
+  return done;
 }
 
 sim::TimePs Interconnect::zero_load_latency(Location src, Location dst,

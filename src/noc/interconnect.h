@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "noc/mesh.h"
+#include "obs/tracer.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 
@@ -43,6 +44,7 @@ struct InterconnectStats {
   std::uint64_t intra_transfers = 0;
   std::uint64_t inter_transfers = 0;
   std::uint64_t inter_bytes = 0;
+  std::uint64_t hops = 0;  ///< Total mesh hops routed (all transfers).
 };
 
 /**
@@ -54,6 +56,10 @@ struct InterconnectStats {
  */
 class Interconnect {
  public:
+  /** Trace track carrying inter-chiplet link legs (obs::SpanKind::kNocLink);
+   *  mesh-transfer spans use the source chiplet index as their track. */
+  static constexpr std::uint32_t kLinkTid = 1000;
+
   Interconnect(sim::Simulator& sim, const InterconnectParams& params);
 
   /**
@@ -67,10 +73,23 @@ class Interconnect {
   sim::TimePs zero_load_latency(Location src, Location dst,
                                 std::uint64_t bytes) const;
 
+  /** Number of chiplets in the package. */
   int num_chiplets() const { return static_cast<int>(meshes_.size()); }
+  /** The mesh of `chiplet`. */
   Mesh& mesh(int chiplet) { return *meshes_[static_cast<std::size_t>(chiplet)]; }
+  /** Transfer counters. */
   const InterconnectStats& stats() const { return stats_; }
+  /** The configured parameters. */
   const InterconnectParams& params() const { return params_; }
+
+  /**
+   * Attaches the span tracer: each transfer emits an
+   * obs::SpanKind::kNocTransfer span on the source chiplet's track (with
+   * the routed hop count as its arg) and cross-chiplet transfers add a
+   * kNocLink span for the package-link leg. Pass nullptr to detach.
+   * Recording never perturbs routing or timing (see obs/tracer.h).
+   */
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   sim::Channel& link(int a, int b);
@@ -82,6 +101,7 @@ class Interconnect {
   // Fully connected: one channel per unordered chiplet pair.
   std::vector<sim::Channel> links_;
   InterconnectStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace accelflow::noc

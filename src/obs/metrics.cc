@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace accelflow::obs {
+
+bool MetricsRegistry::valid_name(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (const char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;  // Empty segment.
+      prev_dot = true;
+      continue;
+    }
+    prev_dot = false;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::find(std::string_view name) {
+  for (auto& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const MetricsRegistry::Metric* MetricsRegistry::find(
+    std::string_view name) const {
+  for (const auto& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool MetricsRegistry::set(std::string_view name, double value, Kind kind) {
+  if (!valid_name(name)) {
+    ++collisions_;
+    return false;
+  }
+  if (Metric* m = find(name)) {
+    if (m->kind != kind) {
+      ++collisions_;
+      return false;
+    }
+    m->value = value;
+    return true;
+  }
+  metrics_.push_back(Metric{std::string(name), value, kind});
+  return true;
+}
+
+bool MetricsRegistry::add(std::string_view name, double delta, Kind kind) {
+  if (!valid_name(name)) {
+    ++collisions_;
+    return false;
+  }
+  if (Metric* m = find(name)) {
+    if (m->kind != kind) {
+      ++collisions_;
+      return false;
+    }
+    m->value += delta;
+    return true;
+  }
+  metrics_.push_back(Metric{std::string(name), delta, kind});
+  return true;
+}
+
+double MetricsRegistry::get(std::string_view name, double fallback) const {
+  const Metric* m = find(name);
+  return m != nullptr ? m->value : fallback;
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+stats::CounterSet MetricsRegistry::to_counter_set() const {
+  std::vector<const Metric*> sorted;
+  sorted.reserve(metrics_.size());
+  for (const auto& m : metrics_) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  stats::CounterSet out;
+  for (const Metric* m : sorted) out.set(m->name, m->value);
+  return out;
+}
+
+std::string metric_path(std::string_view prefix, std::string_view suffix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + suffix.size());
+  out.append(prefix);
+  out.push_back('.');
+  for (const char c : suffix) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace accelflow::obs

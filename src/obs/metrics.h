@@ -1,0 +1,108 @@
+#ifndef ACCELFLOW_OBS_METRICS_H_
+#define ACCELFLOW_OBS_METRICS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/counters.h"
+
+/**
+ * @file
+ * A named, hierarchical metrics registry.
+ *
+ * Components keep their cheap ad-hoc counter structs (AccelStats, DmaStats,
+ * ...); the registry is the *export* surface that promotes them to stable
+ * dotted names ("accel.tcp.queue_depth", "noc.hops", "mem.tlb.miss_rate")
+ * snapshotted once at the end of a run — so steady-state simulation pays
+ * nothing for it. core::Machine::snapshot_metrics() and
+ * core::AccelFlowEngine::snapshot_metrics() populate it; benches serialize
+ * it to JSON next to their stdout tables (see OBSERVABILITY.md for the
+ * naming convention).
+ */
+
+namespace accelflow::obs {
+
+/**
+ * An insertion-ordered set of dotted-name metrics with collision and
+ * validity checking, serializable through stats::CounterSet.
+ *
+ * Names are hierarchical: lower-case segments of [a-z0-9_] joined by '.'
+ * (e.g. "accel.tcp.jobs"). A name registers with a kind on first use; a
+ * later set/add under the same name must agree on the kind, otherwise the
+ * write is rejected and counted (collisions()) — catching two components
+ * exporting different things under one name, the failure mode ad-hoc
+ * counter dumps cannot detect.
+ */
+class MetricsRegistry {
+ public:
+  /** How a metric behaves between snapshots. */
+  enum class Kind : std::uint8_t {
+    kCounter = 0,  ///< Monotonic count (events, bytes).
+    kGauge,        ///< Point-in-time level (occupancy, utilization, rate).
+  };
+
+  /**
+   * Sets `name` to `value`, registering it on first use.
+   * @return false (and leaves the registry unchanged) if `name` is
+   *         malformed or already registered with a different kind.
+   */
+  bool set(std::string_view name, double value, Kind kind = Kind::kCounter);
+
+  /** Adds `delta` to `name` (registering it at 0 on first use). */
+  bool add(std::string_view name, double delta, Kind kind = Kind::kCounter);
+
+  /** Value of `name`, or `fallback` when absent. */
+  double get(std::string_view name, double fallback = 0.0) const;
+
+  /** True if `name` is registered. */
+  bool contains(std::string_view name) const;
+
+  /** Registered metric count. */
+  std::size_t size() const { return metrics_.size(); }
+
+  /** Rejected writes: kind collisions plus malformed names. */
+  std::uint64_t collisions() const { return collisions_; }
+
+  /**
+   * True when `name` is a well-formed dotted metric name: non-empty
+   * [a-z0-9_] segments joined by single '.' characters.
+   */
+  static bool valid_name(std::string_view name);
+
+  /**
+   * Flattens the registry to a CounterSet, sorted by name so sibling
+   * metrics of one hierarchy level serialize adjacently and the JSON
+   * diffs cleanly across runs.
+   */
+  stats::CounterSet to_counter_set() const;
+
+  /** Writes the sorted flat-object JSON (via stats::CounterSet). */
+  void write_json(std::ostream& os) const { to_counter_set().write_json(os); }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    Kind kind = Kind::kCounter;
+  };
+
+  Metric* find(std::string_view name);
+  const Metric* find(std::string_view name) const;
+
+  std::vector<Metric> metrics_;
+  std::uint64_t collisions_ = 0;
+};
+
+/**
+ * Builds the conventional dotted name `prefix + "." + suffix`, lowering
+ * ASCII upper-case letters so enum display names ("TCP") can be used
+ * directly as path segments ("accel.tcp...").
+ */
+std::string metric_path(std::string_view prefix, std::string_view suffix);
+
+}  // namespace accelflow::obs
+
+#endif  // ACCELFLOW_OBS_METRICS_H_

@@ -40,11 +40,15 @@ class InlineCallback {
    *  (the largest is ~7 words) while keeping an event record within two
    *  cache lines. */
   static constexpr std::size_t kInlineBytes = 64;
+  /** Maximum alignment of a wrapped callable. */
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
+  /** Creates an empty callback (boolean-false, must not be invoked). */
   InlineCallback() noexcept = default;
+  /** Creates an empty callback, mirroring std::function's nullptr init. */
   InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
 
+  /** Wraps callable `f` by moving/copying it into the inline buffer. */
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineCallback>>>
@@ -63,8 +67,10 @@ class InlineCallback {
     ops_ = &OpsFor<Fn>::kOps;
   }
 
+  /** Relocates `other`'s callable into this wrapper, emptying `other`. */
   InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
 
+  /** Destroys the current callable and relocates `other`'s in. */
   InlineCallback& operator=(InlineCallback&& other) noexcept {
     if (this != &other) {
       reset();
@@ -73,6 +79,7 @@ class InlineCallback {
     return *this;
   }
 
+  /** Destroys the current callable, leaving the wrapper empty. */
   InlineCallback& operator=(std::nullptr_t) noexcept {
     reset();
     return *this;
@@ -88,6 +95,7 @@ class InlineCallback {
    *  callbacks). */
   void operator()() { ops_->invoke(storage_); }
 
+  /** True when a callable is stored. */
   explicit operator bool() const noexcept { return ops_ != nullptr; }
 
   /** Destroys the stored callable, leaving the wrapper empty. */
@@ -130,9 +138,11 @@ class InlineCallback {
   const Ops* ops_ = nullptr;
 };
 
+/** Empty-test, mirroring std::function's nullptr comparison. */
 inline bool operator==(const InlineCallback& cb, std::nullptr_t) noexcept {
   return !cb;
 }
+/** Non-empty-test, mirroring std::function's nullptr comparison. */
 inline bool operator!=(const InlineCallback& cb, std::nullptr_t) noexcept {
   return static_cast<bool>(cb);
 }

@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_SIM_LOG_H_
 #define ACCELFLOW_SIM_LOG_H_
 
+#include <atomic>
 #include <cstdio>
 #include <utility>
 
@@ -13,10 +14,18 @@
  * Debug tracing of a multi-million-event simulation must cost nothing when
  * off: the level check is a single branch on an inline global, and arguments
  * are not evaluated unless the level is enabled (the macro guards the call).
+ *
+ * The level lives in an atomic because parallel experiment sweeps (see
+ * workload/parallel.h) log from worker threads: a plain mutable global read
+ * on one thread while set on another is a data race. Relaxed ordering keeps
+ * the check a single load — the level is advisory, not a synchronization
+ * point.
  */
 
 namespace accelflow::sim {
 
+/** Severity levels, in decreasing priority; a level is enabled when it is
+ *  at or above (numerically at or below) the configured threshold. */
 enum class LogLevel : int {
   kError = 0,
   kWarn = 1,
@@ -25,18 +34,33 @@ enum class LogLevel : int {
   kTrace = 4,
 };
 
+/** Implementation details of the logging macros; not a public API. */
 namespace internal {
-inline LogLevel g_log_level = LogLevel::kWarn;
+/** The process-wide level threshold (see the file comment on atomicity). */
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace internal
+
+/** Sets the process-wide log level. Thread-safe. */
+inline void set_log_level(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
 }
 
-inline void set_log_level(LogLevel level) { internal::g_log_level = level; }
-inline LogLevel log_level() { return internal::g_log_level; }
+/** The current process-wide log level. Thread-safe. */
+inline LogLevel log_level() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+/** True when `level` messages currently print. */
 inline bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(internal::g_log_level);
+  return static_cast<int>(level) <=
+         internal::g_log_level.load(std::memory_order_relaxed);
 }
 
 namespace internal {
 
+/** Formats and writes one stderr line; called only via AF_LOG. */
 template <typename... Args>
 void log_line(LogLevel level, TimePs now, const char* fmt, Args&&... args) {
   static constexpr const char* kNames[] = {"ERROR", "WARN", "INFO", "DEBUG",
@@ -65,12 +89,16 @@ void log_line(LogLevel level, TimePs now, const char* fmt, Args&&... args) {
     }                                                                  \
   } while (0)
 
+/** AF_LOG at LogLevel::kDebug. */
 #define AF_LOG_DEBUG(now, ...) \
   AF_LOG(::accelflow::sim::LogLevel::kDebug, now, __VA_ARGS__)
+/** AF_LOG at LogLevel::kTrace. */
 #define AF_LOG_TRACE(now, ...) \
   AF_LOG(::accelflow::sim::LogLevel::kTrace, now, __VA_ARGS__)
+/** AF_LOG at LogLevel::kInfo. */
 #define AF_LOG_INFO(now, ...) \
   AF_LOG(::accelflow::sim::LogLevel::kInfo, now, __VA_ARGS__)
+/** AF_LOG at LogLevel::kWarn. */
 #define AF_LOG_WARN(now, ...) \
   AF_LOG(::accelflow::sim::LogLevel::kWarn, now, __VA_ARGS__)
 

@@ -28,6 +28,7 @@ namespace accelflow::sim {
 template <typename T>
 class TicketPool {
  public:
+  /** Redeemable claim on a parked value. */
   using Ticket = std::uint32_t;
 
   /** Parks `value`; the returned ticket redeems it exactly once. */

@@ -27,6 +27,7 @@ namespace accelflow::sim {
  */
 class Rng {
  public:
+  /** Creates a generator seeded with `seed` (expanded via splitmix64). */
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
 
   /** Re-seeds the generator, expanding the seed with splitmix64. */
@@ -87,9 +88,12 @@ class Rng {
  */
 class ZipfTable {
  public:
+  /** Precomputes the CDF for ranks [0, n) with exponent `s`. */
   ZipfTable(std::size_t n, double s);
 
+  /** Draws one rank in [0, size()) using `rng`. */
   std::size_t sample(Rng& rng) const;
+  /** The number of ranks n. */
   std::size_t size() const { return cdf_.size(); }
 
  private:

@@ -27,8 +27,10 @@ namespace accelflow::sim {
  */
 class FifoServer {
  public:
+  /** Completion-callback type (the simulator's allocation-free callable). */
   using Callback = Simulator::Callback;
 
+  /** Creates a bank of `num_servers` servers, all free at time 0. */
   FifoServer(Simulator& sim, std::size_t num_servers)
       : sim_(sim), free_at_(num_servers, 0) {}
 
@@ -56,6 +58,7 @@ class FifoServer {
   /** True if a job submitted now would start immediately. */
   bool idle_server_available() const { return earliest_free() <= sim_.now(); }
 
+  /** The number of servers in the bank. */
   std::size_t num_servers() const { return free_at_.size(); }
 
   /** Total busy (service) time accumulated across all servers. */
@@ -64,6 +67,7 @@ class FifoServer {
   /** Total time jobs spent waiting for a server. */
   TimePs total_wait_time() const { return wait_time_; }
 
+  /** Jobs whose service has been scheduled to completion. */
   std::uint64_t jobs_completed() const { return jobs_; }
 
   /**
@@ -86,6 +90,7 @@ class FifoServer {
  */
 class Channel {
  public:
+  /** Creates a channel with the given bandwidth and fixed latency. */
   Channel(Simulator& sim, double bytes_per_second, TimePs latency)
       : sim_(sim), bytes_per_ps_(bytes_per_second / 1e12), latency_(latency) {}
 
@@ -103,7 +108,9 @@ class Channel {
     return static_cast<TimePs>(static_cast<double>(bytes) / bytes_per_ps_ + 0.5);
   }
 
+  /** The per-transfer fixed latency. */
   TimePs fixed_latency() const { return latency_; }
+  /** Time the last reserved transfer finishes serializing. */
   TimePs busy_until() const { return busy_until_; }
 
   /** Total bytes moved. */

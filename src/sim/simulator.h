@@ -67,8 +67,10 @@ struct KernelStats {
  */
 class Simulator {
  public:
+  /** The callable type the calendar stores (allocation-free). */
   using Callback = InlineCallback;
 
+  /** Creates an empty calendar at time 0. */
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;

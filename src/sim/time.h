@@ -13,7 +13,10 @@
  * 213 days of simulated time, far beyond any experiment in this repo.
  */
 
-namespace accelflow::sim {
+/** Root namespace of the AccelFlow reproduction. */
+namespace accelflow {
+/** Deterministic discrete-event simulation kernel and its primitives. */
+namespace sim {
 
 /** Simulated time or duration, in picoseconds. */
 using TimePs = std::uint64_t;
@@ -21,9 +24,13 @@ using TimePs = std::uint64_t;
 /** Sentinel for "no deadline / never". */
 inline constexpr TimePs kTimeNever = ~TimePs{0};
 
+/** Picoseconds per nanosecond. */
 inline constexpr TimePs kPsPerNs = 1'000;
+/** Picoseconds per microsecond. */
 inline constexpr TimePs kPsPerUs = 1'000'000;
+/** Picoseconds per millisecond. */
 inline constexpr TimePs kPsPerMs = 1'000'000'000;
+/** Picoseconds per second. */
 inline constexpr TimePs kPsPerSec = 1'000'000'000'000;
 
 /** Builds a duration from nanoseconds. */
@@ -79,6 +86,7 @@ class Clock {
   /** Creates a clock running at `ghz` gigahertz. */
   constexpr explicit Clock(double ghz = 1.0) : ghz_(ghz) {}
 
+  /** The clock frequency in gigahertz. */
   constexpr double frequency_ghz() const { return ghz_; }
 
   /** Duration of one clock period. */
@@ -101,6 +109,7 @@ class Clock {
 /** Formats a duration with an auto-selected unit, e.g. "12.34us". */
 std::string format_time(TimePs t);
 
-}  // namespace accelflow::sim
+}  // namespace sim
+}  // namespace accelflow
 
 #endif  // ACCELFLOW_SIM_TIME_H_

@@ -9,6 +9,7 @@ namespace accelflow::workload {
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::Machine machine(config.machine);
+  if (config.tracer != nullptr) machine.set_tracer(config.tracer);
   core::TraceLibrary lib;
   core::register_templates(lib);
   register_relief_traces(lib);
@@ -100,6 +101,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     out.baseline = base->stats();
     out.orchestration_time = base->stats().orchestration_time;
     out.manager_events = base->stats().manager_events;
+  }
+  if (config.metrics != nullptr) {
+    machine.snapshot_metrics(*config.metrics);
+    if (const auto* eng = orch->engine()) {
+      eng->snapshot_metrics(*config.metrics);
+    }
   }
   return out;
 }

@@ -8,6 +8,8 @@
 
 #include "core/orch_baselines.h"
 #include "core/orchestrator.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "workload/load_generator.h"
 #include "workload/request_engine.h"
 #include "workload/suites.h"
@@ -39,6 +41,19 @@ struct ExperimentConfig {
   sim::TimePs step_deadline_budget = sim::kTimeNever;
   /** Per-service override of step_deadline_budget (empty = uniform). */
   std::vector<sim::TimePs> step_deadline_budgets;
+
+  /**
+   * Optional span tracer attached to the run's machine (see obs/tracer.h);
+   * nullptr (the default) disables tracing entirely. Attach at most one
+   * tracer to one experiment point when sweeping in parallel — the tracer
+   * is single-simulation state.
+   */
+  obs::Tracer* tracer = nullptr;
+  /**
+   * Optional metrics registry snapshotted at the end of the run with the
+   * machine- and orchestrator-level counters (see obs/metrics.h).
+   */
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /** Per-service outcome. */

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * trace_summary: pretty-prints a Chrome trace-event JSON file produced by
+ * obs::Tracer::export_chrome_json() (bench_fig11_latency --trace=...,
+ * quickstart --trace=...).
+ *
+ *   $ ./tools/trace_summary out.json
+ *
+ * Prints, per (subsystem, span kind): event count, total and mean span
+ * duration, the longest single span, plus the set of chains (flows) the
+ * file covers. Useful for a quick per-stage latency breakdown without
+ * opening Perfetto; the numbers feed EXPERIMENTS.md's breakdown table.
+ *
+ * The parser handles the exporter's one-event-per-line layout; it is not a
+ * general JSON parser.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stats/table.h"
+
+namespace {
+
+/** Value of `"key":"value"` in `line`, or "" when absent. */
+std::string find_string(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return "";
+  return line.substr(start, end - start);
+}
+
+/** Value of `"key":number` in `line`, or `fallback` when absent. */
+double find_number(const std::string& line, const std::string& key,
+                   double fallback = 0.0) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return fallback;
+  const auto start = pos + needle.size();
+  try {
+    return std::stod(line.substr(start));
+  } catch (...) {
+    return fallback;
+  }
+}
+
+struct KindStats {
+  std::uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: " << argv[0] << " TRACE.json\n";
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+
+  // (category, name) -> stats for complete spans; name -> count for
+  // instants; distinct flow ids; overall covered time range.
+  std::map<std::pair<std::string, std::string>, KindStats> spans;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> instants;
+  std::set<std::uint64_t> flows;
+  std::uint64_t flow_begins = 0, flow_ends = 0;
+  double first_ts = -1, last_ts = 0;
+  std::uint64_t events = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string ph = find_string(line, "ph");
+    if (ph.empty() || ph == "M") continue;
+    ++events;
+    const double ts = find_number(line, "ts");
+    if (first_ts < 0 || ts < first_ts) first_ts = ts;
+    if (ph == "X") {
+      const double dur = find_number(line, "dur");
+      last_ts = std::max(last_ts, ts + dur);
+      KindStats& k =
+          spans[{find_string(line, "cat"), find_string(line, "name")}];
+      ++k.count;
+      k.total_us += dur;
+      k.max_us = std::max(k.max_us, dur);
+    } else if (ph == "i") {
+      last_ts = std::max(last_ts, ts);
+      ++instants[{find_string(line, "cat"), find_string(line, "name")}];
+    } else if (ph == "s" || ph == "t" || ph == "f") {
+      last_ts = std::max(last_ts, ts);
+      flows.insert(static_cast<std::uint64_t>(find_number(line, "id")));
+      flow_begins += ph == "s";
+      flow_ends += ph == "f";
+    }
+  }
+  if (events == 0) {
+    std::cerr << argv[1] << ": no trace events found\n";
+    return 1;
+  }
+
+  using accelflow::stats::Table;
+  std::cout << "Trace: " << argv[1] << "\n  events: " << events
+            << "  chains: " << flows.size() << " (" << flow_begins
+            << " begun, " << flow_ends << " completed in window)"
+            << "\n  covered: " << Table::fmt(first_ts / 1e3) << " ms .. "
+            << Table::fmt(last_ts / 1e3) << " ms\n\n";
+
+  {
+    Table t("Spans by subsystem and kind (sorted by total time)");
+    t.set_header({"Subsystem", "Span", "Count", "Total ms", "Mean us",
+                  "Max us"});
+    std::vector<std::pair<std::pair<std::string, std::string>, KindStats>>
+        rows(spans.begin(), spans.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.total_us > b.second.total_us;
+    });
+    for (const auto& [key, k] : rows) {
+      t.add_row({key.first, key.second, std::to_string(k.count),
+                 Table::fmt(k.total_us / 1e3),
+                 Table::fmt(k.total_us / static_cast<double>(k.count)),
+                 Table::fmt(k.max_us)});
+    }
+    t.print(std::cout);
+  }
+  if (!instants.empty()) {
+    Table t("Instant events");
+    t.set_header({"Subsystem", "Event", "Count"});
+    for (const auto& [key, n] : instants) {
+      t.add_row({key.first, key.second, std::to_string(n)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}
