@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_BENCH_BENCH_COMMON_H_
 #define ACCELFLOW_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,17 +29,18 @@ namespace accelflow::bench {
 struct ObsOptions {
   std::string trace_path;    ///< --trace=FILE: Chrome trace-event JSON.
   std::string metrics_path;  ///< --metrics=FILE: metrics-registry JSON.
+  std::string golden_path;   ///< --golden=FILE: regression snapshot JSON.
 
-  /** True when either output was requested. */
+  /** True when either observability output was requested. */
   bool enabled() const {
     return !trace_path.empty() || !metrics_path.empty();
   }
 };
 
 /**
- * Parses --trace=FILE / --metrics=FILE from the command line; any other
- * argument prints usage and exits (the bench binaries take no positional
- * arguments).
+ * Parses --trace=FILE / --metrics=FILE / --golden=FILE from the command
+ * line; any other argument prints usage and exits (the bench binaries
+ * take no positional arguments).
  */
 inline ObsOptions parse_obs_options(int argc, char** argv) {
   ObsOptions o;
@@ -48,9 +50,12 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.trace_path = a.substr(8);
     } else if (a.rfind("--metrics=", 0) == 0) {
       o.metrics_path = a.substr(10);
+    } else if (a.rfind("--golden=", 0) == 0) {
+      o.golden_path = a.substr(9);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--trace=FILE.json] [--metrics=FILE.json]\n";
+                << " [--trace=FILE.json] [--metrics=FILE.json]"
+                   " [--golden=FILE.json]\n";
       std::exit(2);
     }
   }
@@ -128,6 +133,46 @@ inline workload::ExperimentConfig social_network_config(
   cfg.drain = sim::milliseconds(25 * time_scale());
   cfg.seed = seed;
   return cfg;
+}
+
+// --- Golden regression harness (--golden=FILE, see TESTING.md) -----------
+
+/**
+ * Fixed tiny configuration for the golden snapshots: short windows chosen
+ * once and *not* scaled by AF_BENCH_FAST, so the snapshot bytes do not
+ * depend on the environment. Results are byte-compared against
+ * tests/golden/; regenerate with tools/update_goldens.sh.
+ */
+inline workload::ExperimentConfig golden_config(core::OrchKind kind) {
+  workload::ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.specs = workload::social_network_specs();
+  cfg.load_model = workload::LoadGenerator::Model::kTrace;
+  cfg.per_service_rps =
+      workload::alibaba_like_rates(cfg.specs.size(), 13400.0);
+  cfg.warmup = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(10);
+  cfg.drain = sim::milliseconds(5);
+  cfg.seed = 1;
+  return cfg;
+}
+
+/** Fixed-width float formatting so the emitted JSON is byte-stable. */
+inline std::string fmt6(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/** Writes a golden snapshot and reports where it went. */
+inline void write_golden(const std::string& path, const std::string& json) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "cannot open golden output: " << path << "\n";
+    std::exit(1);
+  }
+  f << json;
+  std::cout << "Wrote golden snapshot to " << path << "\n";
 }
 
 }  // namespace accelflow::bench

@@ -14,10 +14,53 @@
 #include "bench_common.h"
 #include "stats/table.h"
 
+namespace {
+
+/**
+ * Golden mode: a tiny fixed run of the five architectures, snapshotted as
+ * stable JSON and byte-compared against tests/golden/fig11.json by ctest.
+ */
+int run_golden(const std::string& path) {
+  using namespace accelflow;
+  const auto archs = bench::paper_architectures();
+  std::vector<workload::ExperimentConfig> configs;
+  for (const core::OrchKind kind : archs) {
+    configs.push_back(bench::golden_config(kind));
+  }
+  const auto results = bench::run_all(configs);
+
+  std::string json = "{\n  \"figure\": \"fig11\",\n  \"architectures\": {\n";
+  for (std::size_t a = 0; a < archs.size(); ++a) {
+    const auto& res = results[a];
+    json += "    \"" + std::string(name_of(archs[a])) + "\": {\n";
+    json += "      \"services\": {\n";
+    for (std::size_t s = 0; s < res.services.size(); ++s) {
+      const auto& svc = res.services[s];
+      json += "        \"" + svc.name + "\": {\"completed\": " +
+              std::to_string(svc.completed) +
+              ", \"mean_us\": " + bench::fmt6(svc.mean_us) +
+              ", \"p99_us\": " + bench::fmt6(svc.p99_us) + "}";
+      json += s + 1 < res.services.size() ? ",\n" : "\n";
+    }
+    json += "      },\n";
+    json += "      \"avg_mean_us\": " + bench::fmt6(res.avg_mean_us) + ",\n";
+    json += "      \"avg_p99_us\": " + bench::fmt6(res.avg_p99_us) + "\n";
+    json += a + 1 < archs.size() ? "    },\n" : "    }\n";
+  }
+  json += "  }\n}\n";
+  bench::write_golden(path, json);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace accelflow;
 
   const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
+  if (!obs_opts.golden_path.empty()) {
+    return run_golden(obs_opts.golden_path);
+  }
   // A generous ring so a fast-mode run fits without wrapping; a full-length
   // run keeps its most recent window (the interesting steady state).
   obs::Tracer tracer(1u << 18);

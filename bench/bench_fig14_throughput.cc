@@ -11,18 +11,28 @@
 #include "core/trace_templates.h"
 #include "stats/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accelflow;
 
-  auto base = bench::social_network_config(core::OrchKind::kAccelFlow);
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
+  // Golden mode (--golden=FILE): the same SLO search over tiny fixed
+  // windows with a short binary search, snapshotted as stable JSON and
+  // byte-compared against tests/golden/fig14.json by ctest.
+  const bool golden = !obs_opts.golden_path.empty();
+
+  auto base = golden
+                  ? bench::golden_config(core::OrchKind::kAccelFlow)
+                  : bench::social_network_config(core::OrchKind::kAccelFlow);
   // The throughput sweep uses steady (Poisson) arrivals at the production
   // rate ratios: with the bursty trace model, arrival noise rather than
   // the architecture dominates the SLO boundary. Windows stay long even
   // in fast mode because the P99-vs-load curve is steep near saturation.
   base.load_model = workload::LoadGenerator::Model::kPoisson;
-  base.warmup = sim::milliseconds(15);
-  base.measure = sim::milliseconds(bench::fast_mode() ? 60 : 100);
-  base.drain = sim::milliseconds(25);
+  if (!golden) {
+    base.warmup = sim::milliseconds(15);
+    base.measure = sim::milliseconds(bench::fast_mode() ? 60 : 100);
+    base.drain = sim::milliseconds(25);
+  }
 
   // SLO: 5x the unloaded (Non-acc) execution time of each service.
   const auto unloaded =
@@ -30,7 +40,7 @@ int main() {
   std::vector<sim::TimePs> slos;
   for (const auto u : unloaded) slos.push_back(5 * u);
 
-  const int iters = bench::fast_mode() ? 5 : 7;
+  const int iters = golden ? 3 : (bench::fast_mode() ? 5 : 7);
 
   std::vector<core::OrchKind> archs = bench::paper_architectures();
   archs.push_back(core::OrchKind::kIdeal);
@@ -72,6 +82,18 @@ int main() {
       workload::ParallelRunner().map(jobs, [&](const SearchJob& job) {
         return workload::find_max_load(job.cfg, slos, iters);
       });
+
+  if (golden) {
+    std::string json = "{\n  \"figure\": \"fig14\",\n  \"max_load\": {\n";
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      json += "    \"" + jobs[j].label +
+              "\": " + bench::fmt6(factors[j]);
+      json += j + 1 < jobs.size() ? ",\n" : "\n";
+    }
+    json += "  }\n}\n";
+    bench::write_golden(obs_opts.golden_path, json);
+    return 0;
+  }
 
   stats::Table t("Figure 14: maximum load multiplier under SLO (basis: "
                  "Alibaba-like rates, avg 13.4K RPS/service)");

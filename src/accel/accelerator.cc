@@ -46,7 +46,6 @@ void Accelerator::release_input(SlotId slot) {
 }
 
 bool Accelerator::overflow_enqueue(QueueEntry e) {
-  ++stats_.overflow_enqueues;
   if (tracer_ != nullptr) {
     tracer_->instant(obs::Subsys::kAccel, obs::SpanKind::kOverflow,
                      tid_base_ + kQueueTid, sim_.now(), overflow_.size(),
@@ -56,6 +55,10 @@ bool Accelerator::overflow_enqueue(QueueEntry e) {
     ++stats_.overflow_rejections;
     return false;
   }
+  // Count only entries that actually land in the area, so
+  // overflow_enqueues == overflow_drains + overflow_occupancy() holds at
+  // all times (the invariant checker audits it).
+  ++stats_.overflow_enqueues;
   // Writing the entry to the overflow area costs a coherent memory write;
   // the data is cold when later refilled.
   e.enqueued_at = sim_.now();
@@ -68,6 +71,7 @@ void Accelerator::drain_overflow() {
   while (!overflow_.empty() && !input_.full()) {
     QueueEntry e = std::move(overflow_.front());
     overflow_.pop_front();
+    ++stats_.overflow_drains;
     // Refill: read the entry back from memory; it becomes ready once the
     // read completes.
     const sim::TimePs done =

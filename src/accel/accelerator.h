@@ -67,7 +67,8 @@ struct AccelStats {
   sim::TimePs pe_blocked_time = 0;  ///< PEs stalled on a full output queue.
   std::uint64_t tenant_wipes = 0;
   std::uint64_t large_payload_jobs = 0;  ///< Needed the Memory Pointer.
-  std::uint64_t overflow_enqueues = 0;
+  std::uint64_t overflow_enqueues = 0;    ///< Entries that entered the area.
+  std::uint64_t overflow_drains = 0;      ///< Entries refilled into the queue.
   std::uint64_t overflow_rejections = 0;  ///< Overflow area was full.
   std::uint64_t deadline_misses = 0;      ///< Dispatched past the deadline.
   std::uint64_t reorders = 0;             ///< Non-FIFO dispatch decisions.
@@ -163,6 +164,8 @@ class Accelerator {
 
   const AccelStats& stats() const { return stats_; }
   const QueueStats& input_stats() const { return input_.stats(); }
+  const QueueStats& output_stats() const { return output_.stats(); }
+  std::size_t output_occupancy() const { return output_.occupancy(); }
   const mem::TlbStats& tlb_stats() const { return tlb_.stats(); }
   double pe_utilization() const;
   sim::TimePs dispatcher_busy_time() const { return dispatcher_busy_accum_; }

@@ -1,0 +1,77 @@
+#ifndef ACCELFLOW_CHECK_ANALYTICAL_H_
+#define ACCELFLOW_CHECK_ANALYTICAL_H_
+
+#include <cstdint>
+#include <string>
+
+/**
+ * @file
+ * Analytical cross-checks (TESTING.md): closed-form queueing-theory
+ * predictions validated against the simulated accelerator model.
+ *
+ * A single accelerator with k processing elements fed by an open-loop
+ * Poisson arrival process is, by construction, an M/M/k queue when the
+ * per-job compute cost is exponential and an M/D/1 queue when the cost is
+ * deterministic (with transfer latencies zeroed out and payloads small
+ * enough to skip the memory path). Queueing theory then gives the exact
+ * steady-state mean waiting time and server utilization:
+ *
+ *   M/M/k:  Wq = C(k, a) / (k*mu - lambda),   a = lambda/mu, rho = a/k
+ *           with C the Erlang-C probability of queueing;
+ *   M/D/1:  Wq = rho * S / (2 * (1 - rho)),   S the fixed service time.
+ *
+ * The simulator measures Wq directly (AccelStats::input_queue_delay
+ * records queue-entry to PE-dispatch time) and rho as busy-time over
+ * k * elapsed. run_analytical_check() drives the standalone accelerator
+ * model to steady state and compares both against the closed forms. This
+ * anchors the event kernel, queue, dispatch and PE-timing code to ground
+ * truth that was not derived from the simulator itself.
+ */
+
+namespace accelflow::check {
+
+/** Erlang-C: probability an arriving job waits in an M/M/k queue.
+ *  `a` = offered load lambda/mu (in Erlangs); requires a < k. */
+double erlang_c(int k, double a);
+
+/** Mean waiting time (seconds) in M/M/k. lambda, mu in jobs/second. */
+double mmk_mean_wait(int k, double lambda, double mu);
+
+/** Mean waiting time (seconds) in M/D/1 with fixed service time s. */
+double md1_mean_wait(double lambda, double service_s);
+
+/** One open-loop single-accelerator validation scenario. */
+struct AnalyticalConfig {
+  int pes = 1;                   ///< k servers.
+  double utilization = 0.6;      ///< Target rho = lambda / (k * mu).
+  double mean_service_us = 2.0;  ///< 1/mu.
+  bool deterministic = false;    ///< M/D/1 (requires pes == 1) vs M/M/k.
+  std::uint64_t jobs = 150000;   ///< Arrivals to simulate.
+  std::uint64_t seed = 0x5EED;
+  double tolerance = 0.05;       ///< Relative error allowed on Wq and rho.
+};
+
+/** Measured-vs-predicted outcome of one scenario. */
+struct AnalyticalResult {
+  bool passed = false;
+  double predicted_wait_us = 0;  ///< Closed-form Wq.
+  double simulated_wait_us = 0;  ///< Mean of input_queue_delay.
+  double wait_error = 0;         ///< |sim - predicted| / predicted.
+  double predicted_util = 0;     ///< rho.
+  double simulated_util = 0;     ///< pe_busy / (k * elapsed).
+  double util_error = 0;
+  std::uint64_t jobs_measured = 0;
+  std::string detail;            ///< Failure description (empty on pass).
+};
+
+/**
+ * Simulates `config` on a standalone Accelerator (no orchestrator, no
+ * DMA: zero transfer latency, zero-byte payloads, speedup 1) and compares
+ * the measured mean queueing delay and utilization with the closed forms.
+ * Deterministic for a fixed config.
+ */
+AnalyticalResult run_analytical_check(const AnalyticalConfig& config);
+
+}  // namespace accelflow::check
+
+#endif  // ACCELFLOW_CHECK_ANALYTICAL_H_

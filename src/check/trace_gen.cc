@@ -1,0 +1,122 @@
+#include "check/trace_gen.h"
+
+#include <cstddef>
+
+#include "accel/types.h"
+#include "core/trace_builder.h"
+#include "core/trace_encoding.h"
+
+namespace accelflow::check {
+namespace {
+
+accel::AccelType random_accel(sim::Rng& rng) {
+  return static_cast<accel::AccelType>(
+      rng.next_below(accel::kNumAccelTypes));
+}
+
+core::BranchCond random_cond(sim::Rng& rng) {
+  return static_cast<core::BranchCond>(rng.next_below(core::kNumBranchConds));
+}
+
+/** A (from, to) format pair with from != to. */
+std::pair<accel::DataFormat, accel::DataFormat> random_formats(sim::Rng& rng) {
+  const auto from =
+      static_cast<accel::DataFormat>(rng.next_below(accel::kNumDataFormats));
+  auto to =
+      static_cast<accel::DataFormat>(rng.next_below(accel::kNumDataFormats));
+  if (to == from) {
+    to = static_cast<accel::DataFormat>(
+        (static_cast<std::size_t>(to) + 1) % accel::kNumDataFormats);
+  }
+  return {from, to};
+}
+
+core::RemoteKind random_remote(sim::Rng& rng, double remote_prob) {
+  if (!rng.bernoulli(remote_prob)) return core::RemoteKind::kNone;
+  // kNone is 0; draw one of the five real kinds.
+  return static_cast<core::RemoteKind>(
+      1 + rng.next_below(core::kNumRemoteKinds - 1));
+}
+
+std::string segment_name(const std::string& prefix, int i) {
+  return prefix + ".s" + std::to_string(i);
+}
+
+}  // namespace
+
+GeneratedProgram generate_program(core::TraceLibrary& lib, sim::Rng& rng,
+                                  const std::string& name_prefix,
+                                  const TraceGenConfig& config) {
+  const int segments =
+      static_cast<int>(1 + rng.next_below(
+                               static_cast<std::uint64_t>(
+                                   config.max_segments > 0
+                                       ? config.max_segments
+                                       : 1)));
+
+  // Build back to front so every divergence / tail target is already
+  // registered (the builder supports forward references, but resolving
+  // everything eagerly keeps the generated library fully validated).
+  for (int seg = segments - 1; seg >= 0; --seg) {
+    core::TraceBuilder b(lib);
+
+    // Every segment leads with an invocation: the engine requires the
+    // first op of a trace to be an invoke both at chain start and when a
+    // tail arms the trace in a TCP wait slot.
+    b.seq(random_accel(rng));
+
+    const int extra = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(config.max_extra_ops + 1)));
+    for (int i = 0; i < extra; ++i) {
+      const double p = rng.next_double();
+      if (p < config.branch_prob) {
+        // Inline conditional region; keep the body small so it always
+        // fits one trace word (branch bodies are atomic across splits).
+        const core::BranchCond cond = random_cond(rng);
+        const bool with_trans = rng.bernoulli(0.4);
+        const accel::AccelType body_accel = random_accel(rng);
+        const auto fmts = random_formats(rng);
+        b.branch(cond, [&](core::TraceBuilder& then) {
+          if (with_trans) then.trans(fmts.first, fmts.second);
+          then.seq(body_accel);
+        });
+      } else if (p < config.branch_prob + config.else_goto_prob &&
+                 seg + 1 < segments) {
+        // Major divergence: on FALSE, continue at a strictly later
+        // segment — targets never point backwards, so programs are
+        // acyclic and walk_chain() always terminates.
+        const int target =
+            seg + 1 +
+            static_cast<int>(rng.next_below(
+                static_cast<std::uint64_t>(segments - seg - 1)));
+        b.branch_else_goto(random_cond(rng),
+                           segment_name(name_prefix, target));
+      } else if (p < config.branch_prob + config.else_goto_prob +
+                         config.trans_prob) {
+        const auto fmts = random_formats(rng);
+        b.trans(fmts.first, fmts.second);
+      } else if (p < config.branch_prob + config.else_goto_prob +
+                         config.trans_prob + config.notify_prob) {
+        b.notify_cont();
+      } else {
+        b.seq(random_accel(rng));
+      }
+    }
+
+    if (seg == segments - 1) {
+      b.end_notify(segment_name(name_prefix, seg));
+    } else {
+      b.tail(segment_name(name_prefix, seg),
+             segment_name(name_prefix, seg + 1),
+             random_remote(rng, config.remote_tail_prob));
+    }
+  }
+
+  GeneratedProgram out;
+  out.name = segment_name(name_prefix, 0);
+  out.start = lib.addr_of(out.name);
+  out.segments = segments;
+  return out;
+}
+
+}  // namespace accelflow::check

@@ -1,0 +1,60 @@
+#ifndef ACCELFLOW_CHECK_TRACE_GEN_H_
+#define ACCELFLOW_CHECK_TRACE_GEN_H_
+
+#include <string>
+
+#include "core/trace_library.h"
+#include "sim/random.h"
+
+/**
+ * @file
+ * Deterministic random trace-program generation for the differential
+ * fuzzer (tools/fuzz_traces, TESTING.md).
+ *
+ * From a seeded sim::Rng, generate_program() emits a random — but always
+ * well-formed — Trace DAG through the public TraceBuilder API: linear
+ * invocation runs over all nine accelerator types, conditional regions,
+ * major-divergence branches (BR_ATM), data-format transforms, mid-chain
+ * notifies, and ATM tail pointers with every RemoteKind. Programs are
+ * acyclic by construction (divergence targets only later segments) so
+ * walk_chain() terminates, and every segment begins with an invocation,
+ * matching what the engine requires of a trace armed in a wait slot.
+ *
+ * The same (seed, config) pair always yields the same program, so any
+ * failure a fuzzing campaign finds is reproducible from its seed alone.
+ */
+
+namespace accelflow::check {
+
+/** Shape knobs for random program generation. */
+struct TraceGenConfig {
+  int max_segments = 3;          ///< ATM-chained subtrace chain length.
+  int max_extra_ops = 5;         ///< Ops after the mandatory leading invoke.
+  double branch_prob = 0.30;     ///< Inline conditional region.
+  double else_goto_prob = 0.20;  ///< Major-divergence branch (needs a
+                                 ///< later segment to target).
+  double trans_prob = 0.25;      ///< Data-format transform.
+  double notify_prob = 0.10;     ///< NOTIFY_CONT.
+  double remote_tail_prob = 0.5; ///< Tail edges that wait on the network.
+};
+
+/** A generated program, registered in the library it was built into. */
+struct GeneratedProgram {
+  std::string name;          ///< Name of the entry trace.
+  core::AtmAddr start = 0;   ///< ATM address to run_chain() from.
+  int segments = 0;          ///< Registered (top-level) segment count.
+};
+
+/**
+ * Generates one random trace program into `lib`, registering its segments
+ * as `<name_prefix>.s0` ... `<name_prefix>.s<n-1>` (s0 is the entry).
+ * All randomness is drawn from `rng`; identical seeds yield identical
+ * programs bit for bit.
+ */
+GeneratedProgram generate_program(core::TraceLibrary& lib, sim::Rng& rng,
+                                  const std::string& name_prefix,
+                                  const TraceGenConfig& config = {});
+
+}  // namespace accelflow::check
+
+#endif  // ACCELFLOW_CHECK_TRACE_GEN_H_

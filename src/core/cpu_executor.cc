@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/validation_hooks.h"
+
 namespace accelflow::core {
 
 struct CpuChainExecutor::Run {
@@ -48,6 +50,9 @@ void CpuChainExecutor::step(std::shared_ptr<Run> r) {
             static_cast<double>(
                 ctx->env->op_cpu_cost(*ctx, op.accel, r->bytes)) /
             tax_speed);
+        if (ValidationHooks* v = machine_.checker()) {
+          v->on_stage(*ctx, op.accel, r->bytes, /*on_cpu=*/true);
+        }
         r->bytes = ctx->env->transformed_size(op.accel, r->bytes);
         ++ctx->accel_invocations;
         ++stats_.ops;

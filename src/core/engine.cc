@@ -56,6 +56,7 @@ void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
   }
   ++active;
   ++stats_.chains_started;
+  if (ValidationHooks* c = chk()) c->on_chain_start(*ctx, first);
 
   const Trace& tr = lib_.get(first);
   const TraceOp op0 = decode_op(tr.word, 0);
@@ -131,6 +132,7 @@ void AccelFlowEngine::enqueue_with_retry(ChainContext* ctx, QueueEntry entry,
     arrive = machine_.dma().transfer(machine_.core_location(ctx->core),
                                      dst.location(), bytes,
                                      mba_.acquire(ctx->tenant, bytes));
+    if (ValidationHooks* c = chk()) c->on_dma(bytes, arrive);
   }
   machine_.sim().schedule_at(arrive,
                              [&dst, slot] { dst.deliver_data(slot); });
@@ -149,6 +151,10 @@ void AccelFlowEngine::run_dispatcher_fsm(accel::Accelerator& acc,
   // Everything the FSM touches synchronously below (dispatcher occupancy,
   // forwarding DMA, manager round trips) belongs to this chain.
   obs::FlowScope flow_scope(trc(), obs::flow_id(e.request, e.chain));
+  if (ValidationHooks* c = chk()) {
+    // The stage that just finished on `acc`, with its pre-transform size.
+    c->on_stage(*ctx, acc.type(), e.payload.size_bytes, /*on_cpu=*/false);
+  }
 
   // The PE's result replaces the payload.
   e.payload.size_bytes =
@@ -326,6 +332,7 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
         ready, mba_.acquire(e.tenant, entry_dma_bytes(e)));
     arrive = machine_.dma().transfer(from.location(), dst.location(),
                                      entry_dma_bytes(e), admitted);
+    if (ValidationHooks* c = chk()) c->on_dma(entry_dma_bytes(e), arrive);
     if (e.payload.size_bytes > kInlineDataBytes) {
       // The remainder lives in the memory buffer: the producer writes it
       // back coherently; the consumer fetches it through its Memory
@@ -481,6 +488,9 @@ void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
                payload_bytes, obs::flow_id(ctx->request, ctx->chain));
   }
   // The denied operation executes unaccelerated on the initiating core.
+  if (ValidationHooks* c = chk()) {
+    c->on_stage(*ctx, pending, payload_bytes, /*on_cpu=*/true);
+  }
   auto& cores = machine_.cores();
   const double tax_speed = cores.params().tax_speed;
   sim::TimePs segment = static_cast<sim::TimePs>(
@@ -623,6 +633,7 @@ void AccelFlowEngine::finish_to_cpu(accel::Accelerator& from, QueueEntry e,
     arrive = machine_.dma().transfer(from.location(),
                                      machine_.core_location(ctx->core),
                                      entry_dma_bytes(e), ready);
+    if (ValidationHooks* c = chk()) c->on_dma(entry_dma_bytes(e), arrive);
     if (e.payload.size_bytes > kInlineDataBytes) {
       const auto w = machine_.memory().write(
           e.payload.size_bytes - kInlineDataBytes, /*llc_hit_prob=*/0.9);
@@ -691,6 +702,7 @@ void AccelFlowEngine::snapshot_metrics(obs::MetricsRegistry& reg) const {
 void AccelFlowEngine::complete_chain(ChainContext* ctx,
                                      const ChainResult& result) {
   ++stats_.chains_completed;
+  if (ValidationHooks* c = chk()) c->on_chain_finish(*ctx, result);
   if (obs::Tracer* t = trc()) {
     const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
     const sim::TimePs now = machine_.sim().now();

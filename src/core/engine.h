@@ -14,6 +14,7 @@
 #include "core/trace_analysis.h"
 #include "core/tenant_mba.h"
 #include "core/trace_library.h"
+#include "core/validation_hooks.h"
 #include "sim/pool.h"
 #include "stats/summary.h"
 
@@ -128,6 +129,9 @@ class AccelFlowEngine : public accel::OutputHandler {
   /** The machine's tracer, or nullptr when tracing is off. Fetched per
    *  call so attaching after engine construction works. */
   obs::Tracer* trc() const { return machine_.tracer(); }
+  /** The machine's validation checker, or nullptr when checking is off.
+   *  Fetched per call for the same late-attach reason as trc(). */
+  ValidationHooks* chk() const { return machine_.checker(); }
   /** Enqueue with retry; falls back to the CPU when the queue stays full. */
   void enqueue_with_retry(ChainContext* ctx, accel::QueueEntry entry,
                           accel::AccelType target, int attempt);

@@ -29,6 +29,8 @@
 
 namespace accelflow::core {
 
+class ValidationHooks;
+
 /** Modeled processor generations (Section VII-C.4). */
 enum class Generation : std::uint8_t {
   kHaswell = 0,
@@ -162,6 +164,18 @@ class Machine {
   obs::Tracer* tracer() const { return tracer_; }
 
   /**
+   * Attaches (nullptr: detaches) the validation-hook observer that the
+   * orchestrators report chain progress to (see core/validation_hooks.h).
+   * Like the tracer, the checker is not owned, must outlive the run, and
+   * never perturbs scheduling — a checked run is bit-identical to an
+   * unchecked one.
+   */
+  void set_checker(ValidationHooks* checker) { checker_ = checker; }
+
+  /** The attached checker, or nullptr when validation is off. */
+  ValidationHooks* checker() const { return checker_; }
+
+  /**
    * Exports the hardware-side counters under the conventional dotted
    * names ("accel.tcp.jobs", "noc.hops", "mem.tlb.miss_rate", ...) —
    * see OBSERVABILITY.md for the full taxonomy. Orchestration-level
@@ -183,6 +197,7 @@ class Machine {
   std::array<std::unique_ptr<accel::Accelerator>, accel::kNumAccelTypes>
       accels_;
   obs::Tracer* tracer_ = nullptr;
+  ValidationHooks* checker_ = nullptr;
 };
 
 }  // namespace accelflow::core

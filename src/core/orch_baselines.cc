@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/validation_hooks.h"
+
 namespace accelflow::core {
 
 using accel::AccelType;
@@ -60,6 +62,7 @@ BaselineOrchestrator::default_cohort_links() {
 
 void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
   ++stats_.chains;
+  if (ValidationHooks* v = machine_.checker()) v->on_chain_start(*ctx, first);
   if (mode_ == BaselineMode::kNonAcc) {
     const ChainWalk walk = walk_chain(lib_, first, ctx->flags);
     cpu_exec_->run(ctx, walk.ops, ctx->initial_bytes,
@@ -69,6 +72,9 @@ void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
                      r.ok = !timed_out;
                      r.timeout = timed_out;
                      r.completed_at = machine_.sim().now();
+                     if (ValidationHooks* v = machine_.checker()) {
+                       v->on_chain_finish(*ctx, r);
+                     }
                      ctx->finish(r);
                    });
     return;
@@ -304,6 +310,9 @@ void BaselineOrchestrator::pump_central_queue() {
         obs::flow_id(head->entry.request, head->entry.chain));
     const sim::TimePs arrive = machine_.dma().transfer(
         head->src, dst.location(), head->dma_bytes, machine_.sim().now());
+    if (ValidationHooks* v = machine_.checker()) {
+      v->on_dma(head->dma_bytes, arrive);
+    }
     machine_.sim().schedule_at(arrive,
                                [&dst, slot] { dst.deliver_data(slot); });
     central_fifo_.pop_front();
@@ -337,6 +346,9 @@ void BaselineOrchestrator::try_issue(std::shared_ptr<Issue> issue,
       machine_.tracer(), obs::flow_id(issue->entry.request, issue->entry.chain));
   const sim::TimePs arrive = machine_.dma().transfer(
       issue->src, dst.location(), issue->dma_bytes, when);
+  if (ValidationHooks* v = machine_.checker()) {
+    v->on_dma(issue->dma_bytes, arrive);
+  }
   machine_.sim().schedule_at(arrive,
                              [&dst, slot] { dst.deliver_data(slot); });
 }
@@ -359,6 +371,10 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
                              [&acc, slot] { acc.release_output(slot); });
 
   ++ctx->accel_invocations;
+  if (ValidationHooks* v = machine_.checker()) {
+    // The stage that just finished on `acc`, with its pre-transform size.
+    v->on_stage(*ctx, acc.type(), c->bytes, /*on_cpu=*/false);
+  }
   c->bytes = ctx->env->transformed_size(acc.type(), c->bytes);
   c->last_accel = acc.type();
   c->has_last_accel = true;
@@ -465,6 +481,7 @@ void BaselineOrchestrator::finish(Chain* c, bool timed_out, bool fell_back) {
   r.timeout = timed_out;
   r.cpu_fallback = fell_back;
   r.completed_at = machine_.sim().now();
+  if (ValidationHooks* v = machine_.checker()) v->on_chain_finish(*ctx, r);
   chains_.erase(ctx);
   ctx->finish(r);
 }

@@ -11,6 +11,10 @@ sim::TimePs TenantBandwidthLimiter::acquire(accel::TenantId tenant,
   if (limit_it == config_.limit_bytes_per_sec.end()) return now;
 
   const double rate = limit_it->second;  // Bytes per second.
+  // A non-positive configured rate cannot refill a bucket: treat it as
+  // "no limit" instead of dividing by zero below (which produced an
+  // inf/NaN start time before the validation subsystem caught it).
+  if (rate <= 0) return now;
   Bucket& b = tenants_[tenant];
   if (!b.initialized) {
     b.tokens = rate * config_.burst_seconds;

@@ -51,9 +51,12 @@ class TenantBandwidthLimiter {
    */
   sim::TimePs acquire(accel::TenantId tenant, std::uint64_t bytes);
 
-  /** True when `tenant` has a configured bandwidth limit. */
+  /** True when `tenant` has a configured *positive* bandwidth limit.
+   *  Entries with rate <= 0 are inert (acquire() passes them through), so
+   *  they do not count as throttled. */
   bool throttles(accel::TenantId tenant) const {
-    return config_.limit_bytes_per_sec.count(tenant) > 0;
+    const auto it = config_.limit_bytes_per_sec.find(tenant);
+    return it != config_.limit_bytes_per_sec.end() && it->second > 0;
   }
 
   /** Accounting for `tenant` (created zeroed on first access). */

@@ -1,0 +1,63 @@
+#ifndef ACCELFLOW_CORE_VALIDATION_HOOKS_H_
+#define ACCELFLOW_CORE_VALIDATION_HOOKS_H_
+
+#include <cstdint>
+
+#include "accel/types.h"
+#include "core/chain.h"
+#include "core/trace_library.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * The orchestration-layer probe interface of the validation subsystem
+ * (src/check/). Orchestrators report chain lifecycle transitions and DMA
+ * traffic to an optional checker through these callbacks; the checker
+ * cross-references them against the static chain walk and the hardware
+ * counters to assert conservation invariants (see check/invariant_checker.h
+ * and TESTING.md).
+ *
+ * Zero-overhead-when-off contract (same discipline as obs::Tracer): the
+ * Machine holds a `ValidationHooks*` that is null by default, and every
+ * call site is guarded by one null-pointer branch. Hooks only *observe* —
+ * an attached checker never schedules events or feeds back into any model,
+ * so a checked run is bit-identical to an unchecked run.
+ */
+
+namespace accelflow::core {
+
+/**
+ * Observer of orchestration-level progress, implemented by the invariant
+ * checker. All methods are called synchronously at the simulated time of
+ * the observed transition.
+ */
+class ValidationHooks {
+ public:
+  virtual ~ValidationHooks() = default;
+
+  /** A chain was admitted and began executing from ATM address `first`. */
+  virtual void on_chain_start(const ChainContext& ctx, AtmAddr first) = 0;
+
+  /** The chain finished; `result` is what on_done will observe. */
+  virtual void on_chain_finish(const ChainContext& ctx,
+                               const ChainResult& result) = 0;
+
+  /**
+   * One logical invocation stage of the chain completed (its output was
+   * handled, or its CPU-side execution finished). `payload_bytes` is the
+   * size *entering* the stage (pre-transform); `on_cpu` distinguishes the
+   * fallback/Non-acc path from accelerator execution.
+   */
+  virtual void on_stage(const ChainContext& ctx, accel::AccelType type,
+                        std::uint64_t payload_bytes, bool on_cpu) = 0;
+
+  /**
+   * A payload DMA of `bytes` was issued, completing at `complete_at`.
+   * The checker uses this for bytes-in == bytes-out conservation.
+   */
+  virtual void on_dma(std::uint64_t bytes, sim::TimePs complete_at) = 0;
+};
+
+}  // namespace accelflow::core
+
+#endif  // ACCELFLOW_CORE_VALIDATION_HOOKS_H_

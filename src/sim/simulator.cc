@@ -141,6 +141,7 @@ bool Simulator::step() {
   Event& ev = pool_[slot];
   assert(heap_[0].time >= now_);
   now_ = heap_[0].time;
+  if (probe_ != nullptr) probe_->on_event(now_);
   // Move the callback out and free the record *before* invoking, so the
   // callback can freely schedule (possibly reusing this very slot) or grow
   // the pool without invalidating anything we still hold.

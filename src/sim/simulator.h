@@ -59,6 +59,26 @@ struct KernelStats {
 };
 
 /**
+ * Passive observer of kernel event execution.
+ *
+ * A probe sees every event the kernel runs, at the moment now() has been
+ * advanced to the event's fire time but before its callback executes. It is
+ * strictly an observer: probes must not schedule, cancel, or otherwise feed
+ * back into the calendar (the validation layer uses one to assert that
+ * simulated time never moves backwards — see check/invariant_checker.h).
+ *
+ * Zero-overhead-when-off: the kernel holds a null-by-default pointer and
+ * pays one predictable branch per event when no probe is attached, the same
+ * discipline as obs::Tracer and sim/log.h.
+ */
+class EventProbe {
+ public:
+  virtual ~EventProbe() = default;
+  /** Called once per executed event, after now() advanced to `now`. */
+  virtual void on_event(TimePs now) = 0;
+};
+
+/**
  * Event-driven simulator.
  *
  * Not thread safe: the whole simulation runs on one thread, which is what
@@ -128,6 +148,15 @@ class Simulator {
   /** Kernel throughput counters. */
   const KernelStats& kernel_stats() const { return kstats_; }
 
+  /**
+   * Attaches (nullptr: detaches) the execution probe. The probe is not
+   * owned and must outlive the run. At most one probe at a time.
+   */
+  void set_probe(EventProbe* probe) { probe_ = probe; }
+
+  /** The attached probe, or nullptr when none. */
+  EventProbe* probe() const { return probe_; }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
@@ -174,6 +203,7 @@ class Simulator {
   std::vector<HeapEntry> heap_;     ///< 4-ary min-heap, keys inline.
   std::uint32_t free_head_ = kNoSlot;  ///< Free-list head into pool_.
   KernelStats kstats_;
+  EventProbe* probe_ = nullptr;  ///< Passive observer; null when off.
 };
 
 }  // namespace accelflow::sim

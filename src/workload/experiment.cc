@@ -1,11 +1,24 @@
 #include "workload/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/orch_baselines.h"
 #include "core/trace_templates.h"
 
 namespace accelflow::workload {
+
+namespace {
+
+/** AF_CHECK=1 (anything but "0"/"") attaches a checker to every run. */
+bool af_check_enabled() {
+  const char* v = std::getenv("AF_CHECK");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+}  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::Machine machine(config.machine);
@@ -13,6 +26,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::TraceLibrary lib;
   core::register_templates(lib);
   register_relief_traces(lib);
+
+  // Validation: the caller's checker, or — under AF_CHECK=1 — an internal
+  // one that turns any invariant violation into a hard failure. The whole
+  // test suite runs with AF_CHECK=1, so every experiment any test drives
+  // is continuously audited (TESTING.md).
+  check::InvariantChecker* checker = config.checker;
+  std::unique_ptr<check::InvariantChecker> env_checker;
+  if (checker == nullptr && af_check_enabled()) {
+    env_checker = std::make_unique<check::InvariantChecker>();
+    checker = env_checker.get();
+  }
+  if (checker != nullptr) checker->attach(machine, lib);
 
   auto services = build_services(config.specs, lib);
   std::vector<Service*> service_ptrs;
@@ -107,6 +132,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (const auto* eng = orch->engine()) {
       eng->snapshot_metrics(*config.metrics);
     }
+  }
+  if (checker != nullptr) {
+    checker->final_audit();
+    if (env_checker != nullptr && !checker->ok()) {
+      std::fprintf(stderr, "AF_CHECK: invariant violations detected\n%s",
+                   checker->report().c_str());
+      std::abort();
+    }
+    checker->detach();
   }
   return out;
 }

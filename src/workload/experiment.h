@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_checker.h"
 #include "core/orch_baselines.h"
 #include "core/orchestrator.h"
 #include "obs/metrics.h"
@@ -54,6 +55,17 @@ struct ExperimentConfig {
    * machine- and orchestrator-level counters (see obs/metrics.h).
    */
   obs::MetricsRegistry* metrics = nullptr;
+  /**
+   * Optional runtime invariant checker (see check/invariant_checker.h):
+   * attached to the run's machine before any load is applied, final-
+   * audited after the drain, and detached before the machine is torn
+   * down. Violations accumulate in the checker for the caller to inspect.
+   * Like the tracer, attach one checker to one experiment point when
+   * sweeping in parallel. Independent of this field, setting AF_CHECK=1
+   * in the environment attaches an internal checker to *every* run and
+   * aborts with a report on any violation — the test suite runs this way.
+   */
+  check::InvariantChecker* checker = nullptr;
 };
 
 /** Per-service outcome. */

@@ -286,6 +286,30 @@ TEST_F(AcceleratorTest, OverflowRejectsWhenFull) {
   EXPECT_EQ(acc->stats().overflow_rejections, 1u);
 }
 
+TEST_F(AcceleratorTest, OverflowAccountingConserves) {
+  // Rejected entries must not count as enqueues: the checker audits
+  // overflow_enqueues == overflow_drains + overflow_occupancy() at all
+  // times, including right after a rejection.
+  AccelParams p = small_params(/*pes=*/1, /*queue=*/1);
+  p.overflow_capacity = 2;
+  auto acc = make(p);
+  CountingHandler handler;
+  acc->set_output_handler(&handler);
+  const SlotId s = acc->try_enqueue(entry(sim::microseconds(1)));
+  EXPECT_TRUE(acc->overflow_enqueue(entry(sim::microseconds(1))));
+  EXPECT_TRUE(acc->overflow_enqueue(entry(sim::microseconds(1))));
+  EXPECT_FALSE(acc->overflow_enqueue(entry(sim::microseconds(1))));
+  EXPECT_EQ(acc->stats().overflow_enqueues, 2u);
+  EXPECT_EQ(acc->stats().overflow_enqueues,
+            acc->stats().overflow_drains + acc->overflow_occupancy());
+  acc->deliver_data(s);
+  sim_.run();
+  EXPECT_EQ(acc->stats().overflow_enqueues, 2u);
+  EXPECT_EQ(acc->stats().overflow_drains, 2u);
+  EXPECT_EQ(acc->overflow_occupancy(), 0u);
+  EXPECT_EQ(handler.outputs, 3);
+}
+
 TEST_F(AcceleratorTest, ReleaseInputFreesWaitSlot) {
   AccelParams p = small_params(/*pes=*/1, /*queue=*/1);
   auto acc = make(p);

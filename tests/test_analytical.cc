@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Analytical cross-checks (TESTING.md): the simulated accelerator model
+ * against closed-form M/M/k and M/D/1 queueing theory. These anchor the
+ * event kernel, SRAM queue, dispatch and PE timing to ground truth that
+ * was not derived from the simulator itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/analytical.h"
+
+namespace accelflow::check {
+namespace {
+
+TEST(ClosedForms, ErlangCKnownValues) {
+  // M/M/1: C(1, rho) = rho exactly.
+  EXPECT_NEAR(erlang_c(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_c(1, 0.9), 0.9, 1e-12);
+  // Textbook value: k=2, a=1 (rho=0.5) -> C = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+  // Heavier pooling queues less: C falls with k at fixed rho.
+  EXPECT_GT(erlang_c(2, 2 * 0.7), erlang_c(8, 8 * 0.7));
+}
+
+TEST(ClosedForms, WaitFormulas) {
+  // M/M/1 at rho=0.5, S=2us: Wq = rho/(1-rho) * S = 2us.
+  EXPECT_NEAR(mmk_mean_wait(1, 0.25, 0.5), 2.0, 1e-12);
+  // M/D/1 waits exactly half of M/M/1 at the same rho.
+  EXPECT_NEAR(md1_mean_wait(0.25, 2.0), 1.0, 1e-12);
+}
+
+/** Runs one scenario and asserts sim-vs-theory agreement. */
+void expect_agreement(const AnalyticalConfig& cfg) {
+  const AnalyticalResult r = run_analytical_check(cfg);
+  EXPECT_TRUE(r.passed) << r.detail;
+  EXPECT_EQ(r.jobs_measured, cfg.jobs);
+  EXPECT_LE(r.wait_error, cfg.tolerance)
+      << "Wq sim " << r.simulated_wait_us << "us vs theory "
+      << r.predicted_wait_us << "us";
+  EXPECT_LE(r.util_error, cfg.tolerance)
+      << "rho sim " << r.simulated_util << " vs theory "
+      << r.predicted_util;
+}
+
+TEST(Analytical, MM1AtModerateLoad) {
+  AnalyticalConfig cfg;
+  cfg.pes = 1;
+  cfg.utilization = 0.5;
+  cfg.mean_service_us = 2.0;
+  expect_agreement(cfg);
+}
+
+TEST(Analytical, MM4AtHigherLoad) {
+  AnalyticalConfig cfg;
+  cfg.pes = 4;
+  cfg.utilization = 0.65;
+  cfg.mean_service_us = 2.0;
+  cfg.seed = 0xBEEF;
+  expect_agreement(cfg);
+}
+
+TEST(Analytical, MM8PooledServers) {
+  // Pooled servers queue rarely at moderate load, so drive them harder:
+  // at rho=0.85 the mean wait is a sizable fraction of the service time.
+  // Heavy traffic also stretches the autocorrelation of successive waits
+  // (~1/(1-rho)^2 jobs), so the mean-wait estimator needs more samples
+  // and a looser tolerance than the low-k configs.
+  AnalyticalConfig cfg;
+  cfg.pes = 8;
+  cfg.utilization = 0.85;
+  cfg.mean_service_us = 1.5;
+  cfg.seed = 0xCAFE;
+  cfg.jobs = 300000;
+  cfg.tolerance = 0.08;
+  expect_agreement(cfg);
+}
+
+TEST(Analytical, MD1DeterministicService) {
+  AnalyticalConfig cfg;
+  cfg.pes = 1;
+  cfg.utilization = 0.6;
+  cfg.mean_service_us = 2.0;
+  cfg.deterministic = true;
+  cfg.seed = 0xD1CE;
+  expect_agreement(cfg);
+}
+
+TEST(Analytical, ResultIsDeterministic) {
+  AnalyticalConfig cfg;
+  cfg.jobs = 20000;  // Smaller run: this test is about reproducibility.
+  const AnalyticalResult a = run_analytical_check(cfg);
+  const AnalyticalResult b = run_analytical_check(cfg);
+  EXPECT_EQ(a.simulated_wait_us, b.simulated_wait_us);
+  EXPECT_EQ(a.simulated_util, b.simulated_util);
+}
+
+}  // namespace
+}  // namespace accelflow::check

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the validation subsystem (src/check): the runtime invariant
+ * checker, the random trace-program generator, and the differential
+ * fuzzer. Includes the mutation tests — deliberately injected dispatcher
+ * bugs that the checker must catch (the checker checks the simulator; the
+ * mutation tests check the checker).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/differential.h"
+#include "check/invariant_checker.h"
+#include "check/trace_gen.h"
+#include "core/engine.h"
+#include "core/machine.h"
+#include "core/trace_templates.h"
+#include "workload/experiment.h"
+#include "workload/suites.h"
+
+namespace accelflow::check {
+namespace {
+
+using accel::AccelType;
+
+/** Identity-size environment with fixed costs (as in the orch tests). */
+class FixedEnv : public core::ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(core::ChainContext&, AccelType,
+                          std::uint64_t) override {
+    return sim::microseconds(2);
+  }
+  std::uint64_t transformed_size(AccelType, std::uint64_t bytes) override {
+    return bytes;
+  }
+  sim::TimePs remote_latency(core::ChainContext&, core::RemoteKind) override {
+    return sim::microseconds(10);
+  }
+  std::uint64_t response_size(core::ChainContext&,
+                              core::RemoteKind) override {
+    return 1024;
+  }
+};
+
+/**
+ * Output-handler shim that injects one dispatcher bug, then delegates to
+ * the real engine. Installed *after* the engine so it intercepts every
+ * accelerator's output path.
+ */
+class MutatingHandler : public accel::OutputHandler {
+ public:
+  enum class Bug {
+    kSkipStage,       ///< Bump the Position Mark: one trace op vanishes.
+    kCorruptPayload,  ///< Grow the payload: size evolution breaks.
+  };
+
+  MutatingHandler(core::AccelFlowEngine& engine, Bug bug)
+      : engine_(engine), bug_(bug) {}
+
+  void handle_output(accel::Accelerator& acc, accel::SlotId slot) override {
+    if (!injected_) {
+      injected_ = true;
+      accel::QueueEntry& e = acc.output_entry(slot);
+      if (bug_ == Bug::kSkipStage) {
+        e.position_mark += 1;  // Invokes are one nibble: skips one stage.
+      } else {
+        e.payload.size_bytes += 512;
+      }
+    }
+    engine_.handle_output(acc, slot);
+  }
+
+ private:
+  core::AccelFlowEngine& engine_;
+  Bug bug_;
+  bool injected_ = false;
+};
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  CheckerTest() { templates_ = core::register_templates(lib_); }
+
+  /** Runs one T2 chain on the full engine, optionally with a bug shim. */
+  void run_chain(MutatingHandler::Bug* bug, InvariantChecker& checker) {
+    machine_ = std::make_unique<core::Machine>(core::MachineConfig{});
+    engine_ = std::make_unique<core::AccelFlowEngine>(*machine_, lib_,
+                                                      core::EngineConfig{});
+    if (bug != nullptr) {
+      shim_ = std::make_unique<MutatingHandler>(*engine_, *bug);
+      machine_->install_output_handler(shim_.get());
+    }
+    checker.attach(*machine_, lib_);
+    ctx_ = std::make_unique<core::ChainContext>();
+    ctx_->request = 1;
+    ctx_->env = &env_;
+    ctx_->rng.reseed(7);
+    ctx_->initial_bytes = 1024;
+    ctx_->on_done = [this](const core::ChainResult& r) {
+      done_ = true;
+      result_ = r;
+    };
+    engine_->start_chain(ctx_.get(), templates_.t2);
+    machine_->sim().run();
+    checker.final_audit();
+    checker.detach();
+    EXPECT_TRUE(done_);
+  }
+
+  core::TraceLibrary lib_;
+  core::TraceTemplates templates_;
+  FixedEnv env_;
+  std::unique_ptr<core::Machine> machine_;
+  std::unique_ptr<core::AccelFlowEngine> engine_;
+  std::unique_ptr<MutatingHandler> shim_;
+  std::unique_ptr<core::ChainContext> ctx_;
+  bool done_ = false;
+  core::ChainResult result_;
+};
+
+TEST_F(CheckerTest, CleanRunHasNoViolations) {
+  InvariantChecker checker;
+  run_chain(nullptr, checker);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(checker.stats().chains_started, 1u);
+  EXPECT_EQ(checker.stats().chains_finished, 1u);
+  EXPECT_EQ(checker.stats().stages_checked, 4u);  // T2 has 4 invocations.
+  EXPECT_GT(checker.stats().events_observed, 0u);
+  EXPECT_GT(checker.stats().dma_transfers, 0u);
+  EXPECT_TRUE(checker.report().find("0 violation") != std::string::npos);
+}
+
+TEST_F(CheckerTest, MutationSkippedStageIsCaught) {
+  // A dispatcher that mis-reads the Position Mark silently skips a trace
+  // op. The chain still "completes" — only the checker notices.
+  InvariantChecker checker;
+  MutatingHandler::Bug bug = MutatingHandler::Bug::kSkipStage;
+  run_chain(&bug, checker);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.report().find("out-of-order stage"), std::string::npos)
+      << checker.report();
+  // The violation names the offending flow (request 1, chain 0).
+  EXPECT_EQ(checker.violations().front().flow, obs::flow_id(1, 0));
+}
+
+TEST_F(CheckerTest, MutationCorruptedPayloadIsCaught) {
+  InvariantChecker checker;
+  MutatingHandler::Bug bug = MutatingHandler::Bug::kCorruptPayload;
+  run_chain(&bug, checker);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.report().find("payload size diverged"),
+            std::string::npos)
+      << checker.report();
+}
+
+TEST_F(CheckerTest, ViolationReportIncludesSpanExcerpt) {
+  InvariantChecker checker;
+  MutatingHandler::Bug bug = MutatingHandler::Bug::kSkipStage;
+  run_chain(&bug, checker);
+  ASSERT_FALSE(checker.ok());
+  // No tracer was attached, so the checker's own flight recorder supplied
+  // the excerpt of what the machine was doing.
+  EXPECT_FALSE(checker.violations().front().span_excerpt.empty());
+  EXPECT_NE(checker.report().find("recent spans:"), std::string::npos);
+}
+
+TEST_F(CheckerTest, RecordedSequencesFollowTheTrace) {
+  CheckerConfig cc;
+  cc.record_sequences = true;
+  InvariantChecker checker(cc);
+  run_chain(nullptr, checker);
+  ASSERT_TRUE(checker.ok()) << checker.report();
+  const auto* seq = checker.sequence(obs::flow_id(1, 0));
+  ASSERT_NE(seq, nullptr);
+  ASSERT_EQ(seq->size(), 4u);
+  // T2 = Ser -> RPC -> Encr -> TCP with identity sizes.
+  EXPECT_EQ((*seq)[0].type, AccelType::kSer);
+  EXPECT_EQ((*seq)[1].type, AccelType::kRpc);
+  EXPECT_EQ((*seq)[2].type, AccelType::kEncr);
+  EXPECT_EQ((*seq)[3].type, AccelType::kTcp);
+  for (const StageRecord& s : *seq) EXPECT_EQ(s.bytes, 1024u);
+}
+
+TEST(TraceGen, DeterministicForAFixedSeed) {
+  for (const std::uint64_t seed : {1ull, 42ull, 999ull}) {
+    core::TraceLibrary a, b;
+    sim::Rng ra(seed), rb(seed);
+    const GeneratedProgram pa = generate_program(a, ra, "p");
+    const GeneratedProgram pb = generate_program(b, rb, "p");
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_EQ(pa.segments, pb.segments);
+    ASSERT_EQ(a.addresses().size(), b.addresses().size());
+    for (const core::AtmAddr addr : a.addresses()) {
+      EXPECT_EQ(a.get(addr).word, b.get(addr).word) << "seed " << seed;
+    }
+  }
+}
+
+TEST(TraceGen, ProgramsAreWalkableUnderAllFlagCorners) {
+  // Generated programs must be well-formed for any branch outcome: the
+  // static walk terminates (acyclic) and starts with an invocation.
+  core::TraceLibrary lib;
+  sim::Rng rng(2024);
+  for (int p = 0; p < 20; ++p) {
+    const GeneratedProgram prog =
+        generate_program(lib, rng, "g" + std::to_string(p));
+    for (const bool set : {false, true}) {
+      accel::PayloadFlags flags;
+      flags.compressed = flags.hit = flags.found = set;
+      flags.exception = !set;
+      flags.c_compressed = set;
+      const core::ChainWalk walk = core::walk_chain(lib, prog.start, flags);
+      EXPECT_FALSE(walk.invocations.empty());
+      EXPECT_LE(walk.traces_visited, 64);
+      ASSERT_FALSE(walk.ops.empty());
+      EXPECT_EQ(walk.ops.front().kind, core::LogicalOp::Kind::kInvoke);
+    }
+  }
+}
+
+TEST(Differential, FirstTwentyFiveSeedsPass) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const DiffCaseResult r = run_differential_case(seed);
+    EXPECT_TRUE(r.passed) << r.detail;
+    EXPECT_GT(r.stages_checked, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Differential, CasesAreDeterministic) {
+  const DiffCaseResult a = run_differential_case(17);
+  const DiffCaseResult b = run_differential_case(17);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.chains, b.chains);
+  EXPECT_EQ(a.stages_checked, b.stages_checked);
+}
+
+TEST(ExperimentChecker, AttachesThroughTheConfig) {
+  // A caller-supplied checker audits a whole experiment run end to end.
+  InvariantChecker checker;
+  workload::ExperimentConfig cfg;
+  cfg.specs = workload::social_network_specs();
+  cfg.rps_per_service = 2000.0;
+  cfg.warmup = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(10);
+  cfg.drain = sim::milliseconds(5);
+  cfg.checker = &checker;
+  const workload::ExperimentResult res = workload::run_experiment(cfg);
+  EXPECT_GT(res.total_completed(), 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.stats().chains_started, 0u);
+  EXPECT_GT(checker.stats().audits, 0u);
+}
+
+}  // namespace
+}  // namespace accelflow::check

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism matrix (TESTING.md): the same seeded sweep must produce
+ * bit-identical results across worker-thread counts {1, 2, 8} and with
+ * the invariant checker attached or not. This pins down the two contracts
+ * everything else in the validation subsystem leans on: ParallelRunner's
+ * "results independent of thread count" and the checker's "observing
+ * never perturbs".
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/invariant_checker.h"
+#include "workload/experiment.h"
+#include "workload/parallel_runner.h"
+#include "workload/suites.h"
+
+namespace accelflow::workload {
+namespace {
+
+/** A small but non-trivial sweep: two architectures x two load points. */
+std::vector<ExperimentConfig> matrix_configs() {
+  std::vector<ExperimentConfig> configs;
+  for (const core::OrchKind kind :
+       {core::OrchKind::kAccelFlow, core::OrchKind::kCpuCentric}) {
+    for (const double rps : {1500.0, 4000.0}) {
+      ExperimentConfig cfg;
+      cfg.kind = kind;
+      cfg.specs = social_network_specs();
+      cfg.rps_per_service = rps;
+      cfg.warmup = sim::milliseconds(2);
+      cfg.measure = sim::milliseconds(8);
+      cfg.drain = sim::milliseconds(4);
+      cfg.seed = 99;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+/** The stats that must match bit for bit. */
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.services.size(), b.services.size()) << what;
+  for (std::size_t s = 0; s < a.services.size(); ++s) {
+    EXPECT_EQ(a.services[s].completed, b.services[s].completed) << what;
+    EXPECT_EQ(a.services[s].failed, b.services[s].failed) << what;
+    EXPECT_EQ(a.services[s].fallbacks, b.services[s].fallbacks) << what;
+    // Doubles compared exactly: determinism means bit-identical.
+    EXPECT_EQ(a.services[s].mean_us, b.services[s].mean_us) << what;
+    EXPECT_EQ(a.services[s].p99_us, b.services[s].p99_us) << what;
+  }
+  EXPECT_EQ(a.elapsed, b.elapsed) << what;
+  EXPECT_EQ(a.core_busy, b.core_busy) << what;
+  EXPECT_EQ(a.accel_busy, b.accel_busy) << what;
+  EXPECT_EQ(a.dispatcher_busy, b.dispatcher_busy) << what;
+  EXPECT_EQ(a.accel_invocations, b.accel_invocations) << what;
+  EXPECT_EQ(a.interrupts, b.interrupts) << what;
+  EXPECT_EQ(a.overflow_enqueues, b.overflow_enqueues) << what;
+}
+
+TEST(DeterminismMatrix, IdenticalAcrossThreadCounts) {
+  const std::vector<ExperimentConfig> configs = matrix_configs();
+  const std::vector<ExperimentResult> serial =
+      ParallelRunner(1).run(configs);
+  for (const unsigned threads : {2u, 8u}) {
+    const std::vector<ExperimentResult> parallel =
+        ParallelRunner(threads).run(configs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], parallel[i],
+                       "threads=" + std::to_string(threads) + " config " +
+                           std::to_string(i));
+    }
+  }
+}
+
+TEST(DeterminismMatrix, CheckerDoesNotPerturbResults) {
+  // The invariant checker is a pure observer: a checked run must be
+  // bit-identical to an unchecked run of the same config. The suite runs
+  // under AF_CHECK=1 (which would silently check the "plain" runs too),
+  // so drop it for the duration of this test.
+  const char* af_check = std::getenv("AF_CHECK");
+  const std::string saved = af_check != nullptr ? af_check : "";
+  unsetenv("AF_CHECK");
+  const std::vector<ExperimentConfig> configs = matrix_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ExperimentConfig with = configs[i];
+    check::InvariantChecker checker;
+    with.checker = &checker;
+    const ExperimentResult checked = run_experiment(with);
+    const ExperimentResult plain = run_experiment(configs[i]);
+    expect_identical(checked, plain, "config " + std::to_string(i));
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GT(checker.stats().chains_started, 0u);
+  }
+  if (af_check != nullptr) setenv("AF_CHECK", saved.c_str(), 1);
+}
+
+}  // namespace
+}  // namespace accelflow::workload

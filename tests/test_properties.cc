@@ -10,10 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "core/machine.h"
 #include "core/orchestrator.h"
+#include "core/trace_compiler.h"
+#include "core/trace_encoding.h"
 #include "core/trace_templates.h"
 #include "noc/mesh.h"
 #include "sim/random.h"
@@ -201,6 +207,157 @@ TEST(SuiteProperties, AllSuitesBuildAndResolve) {
       EXPECT_GT(svc->invocations_most_common_path(), 0) << svc->name();
       EXPECT_GT(svc->total_cpu_weight(), 0.0) << svc->name();
     }
+  }
+}
+
+/**
+ * Property: encoding round-trips. A structurally valid random trace word,
+ * decoded and re-encoded op by op, reproduces the original word and length
+ * bit for bit. 1000 seeded random traces cover every op kind, operand
+ * range and packing boundary.
+ */
+TEST(TraceEncodingProperties, RandomTracesRoundTripThroughDecode) {
+  sim::Rng rng(0xF00D);
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    core::Trace t;
+    std::vector<std::uint8_t> branch_pms;
+    const bool tail_terminated = rng.bernoulli(0.3);
+    const std::uint8_t term_nibbles = tail_terminated ? 3 : 1;
+    // Body: random ops as long as the terminator still fits afterwards.
+    while (t.len + term_nibbles < core::kMaxNibbles &&
+           !rng.bernoulli(0.2)) {
+      const std::uint8_t room =
+          static_cast<std::uint8_t>(core::kMaxNibbles - term_nibbles - t.len);
+      const auto cond =
+          static_cast<core::BranchCond>(rng.next_below(core::kNumBranchConds));
+      switch (rng.next_below(5)) {
+        case 0:
+          ASSERT_TRUE(core::append_invoke(
+              t, static_cast<AccelType>(rng.next_below(accel::kNumAccelTypes))));
+          break;
+        case 1:
+          if (room < 2) continue;
+          ASSERT_TRUE(core::append_transform(
+              t, static_cast<accel::DataFormat>(rng.next_below(4)),
+              static_cast<accel::DataFormat>(rng.next_below(4))));
+          break;
+        case 2:
+          ASSERT_TRUE(core::append_notify_cont(t));
+          break;
+        case 3:
+          if (room < 3) continue;
+          // Skip distance patched below once the final length is known.
+          branch_pms.push_back(t.len);
+          ASSERT_TRUE(core::append_branch_skip(t, cond, 0));
+          break;
+        default:
+          if (room < 4) continue;
+          ASSERT_TRUE(core::append_branch_atm(
+              t, cond, static_cast<core::AtmAddr>(rng.next_below(256))));
+          break;
+      }
+    }
+    if (tail_terminated) {
+      ASSERT_TRUE(core::append_tail(
+          t, static_cast<core::AtmAddr>(rng.next_below(256))));
+    } else {
+      ASSERT_TRUE(core::append_end_notify(t));
+    }
+    // Give each BR_SKIP a random in-range distance (target within the word).
+    for (const std::uint8_t pm : branch_pms) {
+      const auto limit = static_cast<std::uint64_t>(
+          std::min<int>(0xF, t.len - (pm + 3)));
+      t.word = core::with_nibble(
+          t.word, pm + 2,
+          static_cast<std::uint8_t>(rng.next_below(limit + 1)));
+    }
+
+    std::string error;
+    ASSERT_TRUE(core::validate(t, &error))
+        << "iteration " << iteration << ": " << error << "\n"
+        << core::to_string(t);
+
+    core::Trace u;
+    for (const core::TraceOp& op : core::decode_all(t)) {
+      switch (op.kind) {
+        case core::TraceOp::Kind::kInvoke:
+          ASSERT_TRUE(core::append_invoke(u, op.accel));
+          break;
+        case core::TraceOp::Kind::kBranchSkip:
+          ASSERT_TRUE(core::append_branch_skip(u, op.cond, op.skip));
+          break;
+        case core::TraceOp::Kind::kBranchAtm:
+          ASSERT_TRUE(core::append_branch_atm(u, op.cond, op.atm));
+          break;
+        case core::TraceOp::Kind::kTransform:
+          ASSERT_TRUE(core::append_transform(u, op.from, op.to));
+          break;
+        case core::TraceOp::Kind::kTail:
+          ASSERT_TRUE(core::append_tail(u, op.atm));
+          break;
+        case core::TraceOp::Kind::kEndNotify:
+          ASSERT_TRUE(core::append_end_notify(u));
+          break;
+        case core::TraceOp::Kind::kNotifyCont:
+          ASSERT_TRUE(core::append_notify_cont(u));
+          break;
+      }
+    }
+    EXPECT_EQ(u.word, t.word)
+        << "iteration " << iteration << ": " << core::to_string(t);
+    EXPECT_EQ(u.len, t.len) << "iteration " << iteration;
+  }
+}
+
+/** The annotation programs used for the compiler idempotence property. */
+std::vector<std::pair<std::string, std::string>> compiler_programs() {
+  return {
+      {"p_leaf", "Ser > RPC > Encr > TCP !"},
+      {"p_branch",
+       "TCP > Decr > RPC > Dser > compressed? [ XF(json,str) > Dcmp ] "
+       "> LdB !"},
+      {"p_else", "TCP > Decr > Dser > ok?:p_leaf > LdB !"},
+      {"p_tail", "Ser > Encr > TCP @p_leaf/cache_read"},
+      {"p_notify", "Dser > NOTIFY > Cmp > Encr > TCP !"},
+  };
+}
+
+/**
+ * Property: the trace compiler is a pure function of its input. Compiling
+ * the same program list into two fresh libraries yields identical address
+ * assignments, trace words and remote annotations — including the derived
+ * traces a program splits into.
+ */
+TEST(TraceCompilerProperties, CompilationIsIdempotentAcrossLibraries) {
+  core::TraceLibrary a, b;
+  for (const auto& [name, source] : compiler_programs()) {
+    EXPECT_EQ(core::compile_trace(a, name, source),
+              core::compile_trace(b, name, source))
+        << name;
+  }
+  ASSERT_EQ(a.addresses().size(), b.addresses().size());
+  for (std::size_t i = 0; i < a.addresses().size(); ++i) {
+    const core::AtmAddr addr = a.addresses()[i];
+    ASSERT_EQ(addr, b.addresses()[i]);
+    EXPECT_EQ(a.get(addr).word, b.get(addr).word) << "address " << +addr;
+    EXPECT_EQ(a.get(addr).len, b.get(addr).len) << "address " << +addr;
+    EXPECT_EQ(a.remote_of(addr), b.remote_of(addr)) << "address " << +addr;
+  }
+}
+
+/**
+ * Property: recompiling a program never changes its encoding. The second
+ * compilation lands at a fresh address but must produce the same words.
+ */
+TEST(TraceCompilerProperties, RecompilationReproducesTheEncoding) {
+  core::TraceLibrary lib;
+  for (const auto& [name, source] : compiler_programs()) {
+    const core::AtmAddr first = core::compile_trace(lib, name, source);
+    const core::AtmAddr again =
+        core::compile_trace(lib, name + ".again", source);
+    EXPECT_NE(first, again);
+    EXPECT_EQ(lib.get(first).word, lib.get(again).word) << name;
+    EXPECT_EQ(lib.get(first).len, lib.get(again).len) << name;
   }
 }
 

@@ -37,6 +37,27 @@ TEST(TenantMba, BurstThenThrottle) {
   EXPECT_GT(mba.stats(7).throttle_delay, 0u);
 }
 
+TEST(TenantMba, NonPositiveRatesAreInert) {
+  // A configured rate of zero (or below) cannot refill a bucket; it used
+  // to divide by zero and produce an inf/NaN start time. Such entries now
+  // behave exactly like unthrottled tenants.
+  sim::Simulator sim;
+  MbaConfig cfg;
+  cfg.limit_bytes_per_sec[3] = 0.0;
+  cfg.limit_bytes_per_sec[4] = -1e9;
+  TenantBandwidthLimiter mba(sim, cfg);
+  EXPECT_FALSE(mba.throttles(3));
+  EXPECT_FALSE(mba.throttles(4));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mba.acquire(3, 1 << 20), sim.now());
+    EXPECT_EQ(mba.acquire(4, 1 << 20), sim.now());
+  }
+  // Inert entries never accumulate accounting or delay.
+  EXPECT_EQ(mba.stats(3).transfers, 0u);
+  EXPECT_EQ(mba.stats(3).throttle_delay, 0u);
+  EXPECT_EQ(mba.stats(4).transfers, 0u);
+}
+
 TEST(TenantMba, BucketRefillsOverTime) {
   sim::Simulator sim;
   MbaConfig cfg;

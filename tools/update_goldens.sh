@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates the golden regression snapshots in tests/golden/ after an
+# intentional behavior change (see TESTING.md, "Golden regression tests").
+# Usage: tools/update_goldens.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput -j
+"$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
+"$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
+
+echo "Goldens updated; review the diff with: git diff $root/tests/golden"
