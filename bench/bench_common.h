@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -30,6 +31,7 @@ struct ObsOptions {
   std::string trace_path;    ///< --trace=FILE: Chrome trace-event JSON.
   std::string metrics_path;  ///< --metrics=FILE: metrics-registry JSON.
   std::string golden_path;   ///< --golden=FILE: regression snapshot JSON.
+  bool fork = false;         ///< --fork: checkpoint-and-fork sweep mode.
 
   /** True when either observability output was requested. */
   bool enabled() const {
@@ -38,9 +40,12 @@ struct ObsOptions {
 };
 
 /**
- * Parses --trace=FILE / --metrics=FILE / --golden=FILE from the command
- * line; any other argument prints usage and exits (the bench binaries
- * take no positional arguments).
+ * Parses --trace=FILE / --metrics=FILE / --golden=FILE / --fork from the
+ * command line; any other argument prints usage and exits (the bench
+ * binaries take no positional arguments). --fork switches the sweep
+ * benches to the checkpoint-and-fork engine (one shared warmup per sweep
+ * group; see DESIGN.md §13) — numbers differ slightly from the default
+ * straight-through protocol, so golden mode ignores it.
  */
 inline ObsOptions parse_obs_options(int argc, char** argv) {
   ObsOptions o;
@@ -52,10 +57,12 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.metrics_path = a.substr(10);
     } else if (a.rfind("--golden=", 0) == 0) {
       o.golden_path = a.substr(9);
+    } else if (a == "--fork") {
+      o.fork = true;
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--trace=FILE.json] [--metrics=FILE.json]"
-                   " [--golden=FILE.json]\n";
+                   " [--golden=FILE.json] [--fork]\n";
       std::exit(2);
     }
   }
@@ -173,6 +180,29 @@ inline void write_golden(const std::string& path, const std::string& json) {
   }
   f << json;
   std::cout << "Wrote golden snapshot to " << path << "\n";
+}
+
+/**
+ * Emits the canonical golden-snapshot shape shared by the figure benches:
+ *
+ *   { "figure": "<figure>", "<section>": { "<label>": <value>, ... } }
+ *
+ * Entry values are pre-rendered JSON — fmt6() numbers for flat snapshots
+ * (fig14), or nested objects indented to column 4 (fig11) — so one helper
+ * owns the header/separator/footer bytes and the byte-stable ordering.
+ */
+inline void emit_golden_json(
+    const std::string& path, const std::string& figure,
+    const std::string& section,
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::string json =
+      "{\n  \"figure\": \"" + figure + "\",\n  \"" + section + "\": {\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    json += "    \"" + entries[i].first + "\": " + entries[i].second;
+    json += i + 1 < entries.size() ? ",\n" : "\n";
+  }
+  json += "  }\n}\n";
+  write_golden(path, json);
 }
 
 }  // namespace accelflow::bench

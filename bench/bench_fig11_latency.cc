@@ -29,26 +29,25 @@ int run_golden(const std::string& path) {
   }
   const auto results = bench::run_all(configs);
 
-  std::string json = "{\n  \"figure\": \"fig11\",\n  \"architectures\": {\n";
+  std::vector<std::pair<std::string, std::string>> entries;
   for (std::size_t a = 0; a < archs.size(); ++a) {
     const auto& res = results[a];
-    json += "    \"" + std::string(name_of(archs[a])) + "\": {\n";
-    json += "      \"services\": {\n";
+    std::string obj = "{\n      \"services\": {\n";
     for (std::size_t s = 0; s < res.services.size(); ++s) {
       const auto& svc = res.services[s];
-      json += "        \"" + svc.name + "\": {\"completed\": " +
-              std::to_string(svc.completed) +
-              ", \"mean_us\": " + bench::fmt6(svc.mean_us) +
-              ", \"p99_us\": " + bench::fmt6(svc.p99_us) + "}";
-      json += s + 1 < res.services.size() ? ",\n" : "\n";
+      obj += "        \"" + svc.name + "\": {\"completed\": " +
+             std::to_string(svc.completed) +
+             ", \"mean_us\": " + bench::fmt6(svc.mean_us) +
+             ", \"p99_us\": " + bench::fmt6(svc.p99_us) + "}";
+      obj += s + 1 < res.services.size() ? ",\n" : "\n";
     }
-    json += "      },\n";
-    json += "      \"avg_mean_us\": " + bench::fmt6(res.avg_mean_us) + ",\n";
-    json += "      \"avg_p99_us\": " + bench::fmt6(res.avg_p99_us) + "\n";
-    json += a + 1 < archs.size() ? "    },\n" : "    }\n";
+    obj += "      },\n";
+    obj += "      \"avg_mean_us\": " + bench::fmt6(res.avg_mean_us) + ",\n";
+    obj += "      \"avg_p99_us\": " + bench::fmt6(res.avg_p99_us) + "\n";
+    obj += "    }";
+    entries.emplace_back(std::string(name_of(archs[a])), std::move(obj));
   }
-  json += "  }\n}\n";
-  bench::write_golden(path, json);
+  bench::emit_golden_json(path, "fig11", "architectures", entries);
   return 0;
 }
 

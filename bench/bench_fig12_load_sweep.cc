@@ -9,10 +9,12 @@
 
 #include "bench_common.h"
 #include "stats/table.h"
+#include "workload/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accelflow;
 
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
   const std::vector<std::pair<std::string,
                               std::vector<workload::ServiceSpec>>> suites = {
       {"SocialNetwork", workload::social_network_specs()},
@@ -22,21 +24,55 @@ int main() {
   const std::vector<double> loads = {5000.0, 10000.0, 15000.0};
   const auto archs = bench::paper_architectures();
 
-  // All (suite x load x arch) points are independent: build the whole
-  // sweep up front and fan it across the thread pool.
-  std::vector<workload::ExperimentConfig> configs;
-  for (const auto& [suite_name, specs] : suites) {
-    for (const double load : loads) {
+  // Results in (suite x load x arch) order, matching the table loops below.
+  std::vector<workload::ExperimentResult> results;
+  if (obs_opts.fork) {
+    // --fork: one warm SweepSession per (suite, arch) — warmed at the
+    // medium load — forked across the three load points, so each group
+    // simulates its warmup once instead of three times.
+    const double base_load = loads[1];
+    std::vector<workload::ExperimentConfig> groups;
+    std::vector<std::vector<workload::SweepPoint>> points;
+    for (const auto& [suite_name, specs] : suites) {
       for (const auto arch : archs) {
         auto cfg = bench::social_network_config(arch);
         cfg.specs = specs;
         cfg.load_model = workload::LoadGenerator::Model::kPoisson;
-        cfg.per_service_rps.assign(specs.size(), load);
-        configs.push_back(std::move(cfg));
+        cfg.per_service_rps.assign(specs.size(), base_load);
+        groups.push_back(std::move(cfg));
+        std::vector<workload::SweepPoint> pts;
+        for (const double load : loads) {
+          pts.push_back({load / base_load, {}});
+        }
+        points.push_back(std::move(pts));
       }
     }
+    const auto grouped = workload::run_forked_sweeps(groups, points);
+    // Regroup (suite x arch)[load] -> (suite x load x arch).
+    for (std::size_t su = 0; su < suites.size(); ++su) {
+      for (std::size_t li = 0; li < loads.size(); ++li) {
+        for (std::size_t a = 0; a < archs.size(); ++a) {
+          results.push_back(grouped[su * archs.size() + a][li]);
+        }
+      }
+    }
+  } else {
+    // All (suite x load x arch) points are independent: build the whole
+    // sweep up front and fan it across the thread pool.
+    std::vector<workload::ExperimentConfig> configs;
+    for (const auto& [suite_name, specs] : suites) {
+      for (const double load : loads) {
+        for (const auto arch : archs) {
+          auto cfg = bench::social_network_config(arch);
+          cfg.specs = specs;
+          cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+          cfg.per_service_rps.assign(specs.size(), load);
+          configs.push_back(std::move(cfg));
+        }
+      }
+    }
+    results = bench::run_all(configs);
   }
-  const auto results = bench::run_all(configs);
 
   // avg P99 per (load, arch) across suites.
   std::vector<std::vector<double>> p99(loads.size(),

@@ -10,6 +10,7 @@
 #include "bench_common.h"
 #include "core/trace_templates.h"
 #include "stats/table.h"
+#include "workload/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace accelflow;
@@ -78,20 +79,25 @@ int main(int argc, char** argv) {
     jobs.push_back({"AccelFlow+EDF", std::move(cfg)});
   }
 
+  // --fork: every SLO-search probe of one architecture forks from that
+  // architecture's shared warmup checkpoint instead of re-simulating it
+  // (EXPERIMENTS.md "Fork-mode sweeps").
   const std::vector<double> factors =
       workload::ParallelRunner().map(jobs, [&](const SearchJob& job) {
+        if (obs_opts.fork) {
+          workload::SweepSession session(job.cfg);
+          return workload::find_max_load_forked(session, slos, iters);
+        }
         return workload::find_max_load(job.cfg, slos, iters);
       });
 
   if (golden) {
-    std::string json = "{\n  \"figure\": \"fig14\",\n  \"max_load\": {\n";
+    std::vector<std::pair<std::string, std::string>> entries;
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      json += "    \"" + jobs[j].label +
-              "\": " + bench::fmt6(factors[j]);
-      json += j + 1 < jobs.size() ? ",\n" : "\n";
+      entries.emplace_back(jobs[j].label, bench::fmt6(factors[j]));
     }
-    json += "  }\n}\n";
-    bench::write_golden(obs_opts.golden_path, json);
+    bench::emit_golden_json(obs_opts.golden_path, "fig14", "max_load",
+                            entries);
     return 0;
   }
 

@@ -8,16 +8,30 @@
 
 #include "bench_common.h"
 #include "stats/table.h"
+#include "workload/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accelflow;
 
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
   const std::vector<int> pes = {8, 4, 2};
   std::vector<workload::ExperimentResult> results;
-  for (const int n : pes) {
-    auto cfg = bench::social_network_config(core::OrchKind::kAccelFlow);
-    cfg.machine.pes_per_accel = n;
-    results.push_back(workload::run_experiment(cfg));
+  if (obs_opts.fork) {
+    // --fork: warm up once at the default PE count, then fork the
+    // quiescent machine per point and reconfigure the (idle) accelerators.
+    workload::SweepSession session(
+        bench::social_network_config(core::OrchKind::kAccelFlow));
+    session.prepare();
+    for (const int n : pes) {
+      results.push_back(session.run_point(
+          {1.0, [n](core::Machine& m) { m.set_pes_per_accel(n); }}));
+    }
+  } else {
+    for (const int n : pes) {
+      auto cfg = bench::social_network_config(core::OrchKind::kAccelFlow);
+      cfg.machine.pes_per_accel = n;
+      results.push_back(workload::run_experiment(cfg));
+    }
   }
 
   stats::Table t("Figure 19: P99 (us) by PEs per accelerator (paper: "

@@ -9,10 +9,12 @@
 
 #include "bench_common.h"
 #include "stats/table.h"
+#include "workload/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accelflow;
 
+  const bench::ObsOptions obs_opts = bench::parse_obs_options(argc, argv);
   const std::vector<core::Generation> gens = {
       core::Generation::kHaswell, core::Generation::kSkylake,
       core::Generation::kIceLake, core::Generation::kSapphireRapids,
@@ -21,19 +23,48 @@ int main() {
                                              core::OrchKind::kRelief,
                                              core::OrchKind::kAccelFlow};
 
+  // p99_by[arch][gen].
+  std::vector<std::vector<double>> p99_by(archs.size(),
+                                          std::vector<double>(gens.size()));
+  if (obs_opts.fork) {
+    // --fork: one warm session per architecture (warmed at the default
+    // generation), forked across the five generations.
+    std::vector<workload::ExperimentConfig> groups;
+    std::vector<std::vector<workload::SweepPoint>> points;
+    for (const auto kind : archs) {
+      groups.push_back(bench::social_network_config(kind));
+      std::vector<workload::SweepPoint> pts;
+      for (const auto gen : gens) {
+        pts.push_back(
+            {1.0, [gen](core::Machine& m) { m.set_generation(gen); }});
+      }
+      points.push_back(std::move(pts));
+    }
+    const auto grouped = workload::run_forked_sweeps(groups, points);
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      for (std::size_t g = 0; g < gens.size(); ++g) {
+        p99_by[a][g] = grouped[a][g].avg_p99_us;
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < archs.size(); ++a) {
+      for (std::size_t g = 0; g < gens.size(); ++g) {
+        auto cfg = bench::social_network_config(archs[a]);
+        cfg.machine.apply_generation(gens[g]);
+        p99_by[a][g] = workload::run_experiment(cfg).avg_p99_us;
+      }
+    }
+  }
+
   stats::Table t("Figure 20: avg P99 (us) by processor generation");
   t.set_header({"Generation", "Non-acc", "RELIEF", "AccelFlow",
                 "AF reduction vs RELIEF"});
-  for (const auto gen : gens) {
-    std::vector<double> p99;
-    for (const auto kind : archs) {
-      auto cfg = bench::social_network_config(kind);
-      cfg.machine.apply_generation(gen);
-      p99.push_back(workload::run_experiment(cfg).avg_p99_us);
-    }
-    t.add_row({std::string(name_of(gen)), stats::Table::fmt_us(p99[0]),
-               stats::Table::fmt_us(p99[1]), stats::Table::fmt_us(p99[2]),
-               stats::Table::fmt_pct(1.0 - p99[2] / p99[1])});
+  for (std::size_t g = 0; g < gens.size(); ++g) {
+    const double relief = p99_by[1][g], af = p99_by[2][g];
+    t.add_row({std::string(name_of(gens[g])),
+               stats::Table::fmt_us(p99_by[0][g]),
+               stats::Table::fmt_us(relief), stats::Table::fmt_us(af),
+               stats::Table::fmt_pct(1.0 - af / relief)});
   }
   t.print(std::cout);
   std::cout << "Paper: the reduction grows with newer generations "

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Checkpoint-and-fork benchmark: the cost of the snapshot machinery and
+ * the wall-clock payoff of warmup reuse (DESIGN.md §13).
+ *
+ * Part 1 — snapshot microbenchmark. Captures and restores a warm
+ * full-system checkpoint in a loop and reports captures/sec and
+ * restores/sec, plus forked measurement windows/sec. Results land in
+ * BENCH_snapshot.json (override with AF_BENCH_SNAPSHOT_JSON) and are
+ * gated by CI against the checked-in baseline (tools/perf_gate.py).
+ *
+ * Part 2 — warmup-reuse trajectory. Miniature versions of the Fig. 12 /
+ * 14 / 19 / 20 sweeps with warmup-dominated windows (the regime fork mode
+ * targets: short measurement probes off an expensive warm state) run both
+ * straight-through (a fresh session per point) and forked (one shared
+ * warmup). The per-figure and geomean wall-clock speedups land in
+ * BENCH_sweep.json (override with AF_BENCH_SWEEP_JSON); the ISSUE's
+ * acceptance bar is a >= 1.5x geomean.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/machine.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+#include "workload/sweep.h"
+
+namespace accelflow::bench {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/** The warmup-dominated sweep configuration the trajectory measures. */
+workload::ExperimentConfig trajectory_config(core::OrchKind kind) {
+  auto cfg = social_network_config(kind);
+  cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+  cfg.per_service_rps.assign(cfg.specs.size(), 9000.0);
+  // Long warmup, short probes: the regime where re-simulating the warmup
+  // per point dominates a sweep's wall clock.
+  cfg.warmup = sim::milliseconds(12 * time_scale());
+  cfg.measure = sim::milliseconds(4 * time_scale());
+  cfg.drain = sim::milliseconds(2 * time_scale());
+  return cfg;
+}
+
+/** One trajectory entry: a figure-shaped sweep as (config, points). */
+struct FigureSweep {
+  std::string name;
+  workload::ExperimentConfig config;
+  std::vector<workload::SweepPoint> points;
+};
+
+std::vector<FigureSweep> figure_sweeps() {
+  std::vector<FigureSweep> out;
+  {
+    // Fig. 12 kernel: load sweep (low / medium / high rate factors).
+    FigureSweep f{"fig12", trajectory_config(core::OrchKind::kAccelFlow), {}};
+    for (const double factor : {0.5, 1.0, 1.5}) f.points.push_back({factor, {}});
+    out.push_back(std::move(f));
+  }
+  {
+    // Fig. 14 kernel: the SLO search's probe ladder (geometric grid +
+    // refinement steps), as rate factors forked off one warmup.
+    FigureSweep f{"fig14", trajectory_config(core::OrchKind::kAccelFlow), {}};
+    for (const double factor :
+         {0.05, 0.0675, 0.0911, 0.123, 0.166, 0.224, 0.303, 0.409}) {
+      f.points.push_back({factor, {}});
+    }
+    out.push_back(std::move(f));
+  }
+  {
+    // Fig. 19 kernel: PE-count sweep via the idle-machine mutator.
+    FigureSweep f{"fig19", trajectory_config(core::OrchKind::kAccelFlow), {}};
+    for (const int n : {8, 4, 2}) {
+      f.points.push_back(
+          {1.0, [n](core::Machine& m) { m.set_pes_per_accel(n); }});
+    }
+    out.push_back(std::move(f));
+  }
+  {
+    // Fig. 20 kernel: processor-generation sweep.
+    FigureSweep f{"fig20", trajectory_config(core::OrchKind::kAccelFlow), {}};
+    for (const core::Generation g :
+         {core::Generation::kHaswell, core::Generation::kSkylake,
+          core::Generation::kIceLake, core::Generation::kSapphireRapids,
+          core::Generation::kEmeraldRapids}) {
+      f.points.push_back(
+          {1.0, [g](core::Machine& m) { m.set_generation(g); }});
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace accelflow::bench
+
+int main() {
+  using namespace accelflow;
+  using Clock = std::chrono::steady_clock;
+
+  stats::CounterSet snap_out;
+  stats::CounterSet sweep_out;
+
+  // --- Part 1: snapshot capture/restore microbenchmark -------------------
+  {
+    workload::SweepSession session(
+        bench::trajectory_config(core::OrchKind::kAccelFlow));
+    session.prepare();
+    // Direct kernel-level capture/restore loop on the warm machine: a
+    // second checkpoint bundle captured from the restored state, cycled.
+    const int reps = bench::fast_mode() ? 200 : 600;
+
+    // run_point includes restore + generator re-arming + a full
+    // measurement window; time it as the end-to-end fork cost.
+    const auto t0 = Clock::now();
+    const int points = bench::fast_mode() ? 6 : 12;
+    for (int i = 0; i < points; ++i) {
+      (void)session.run_point({1.0, {}});
+    }
+    const double point_secs = bench::seconds_since(t0);
+
+    core::Machine machine(bench::trajectory_config(core::OrchKind::kAccelFlow)
+                              .machine);
+    core::Machine::Checkpoint ck;
+    const auto t1 = Clock::now();
+    for (int i = 0; i < reps; ++i) machine.checkpoint(ck);
+    const double cap_secs = bench::seconds_since(t1);
+    const auto t2 = Clock::now();
+    for (int i = 0; i < reps; ++i) machine.restore(ck);
+    const double res_secs = bench::seconds_since(t2);
+
+    stats::Table t("Snapshot machinery (full-system Machine)");
+    t.set_header({"Operation", "per second"});
+    const double caps = reps / cap_secs;
+    const double ress = reps / res_secs;
+    const double pts = points / point_secs;
+    t.add_row({"checkpoint captures", stats::Table::fmt(caps, 0)});
+    t.add_row({"checkpoint restores", stats::Table::fmt(ress, 0)});
+    t.add_row({"forked sweep points", stats::Table::fmt(pts, 2)});
+    t.print(std::cout);
+
+    snap_out.set("machine_checkpoints_per_sec", caps);
+    snap_out.set("machine_restores_per_sec", ress);
+    snap_out.set("forked_points_per_sec", pts);
+  }
+
+  // --- Part 2: warmup-reuse trajectory over the figure sweeps ------------
+  double geomean = 1.0;
+  {
+    stats::Table t("Warmup reuse: forked sweep vs straight-through");
+    t.set_header({"Sweep", "points", "straight (s)", "forked (s)", "speedup"});
+    const auto sweeps = bench::figure_sweeps();
+    for (const auto& f : sweeps) {
+      // Straight-through: a fresh session per point (re-simulates warmup).
+      const auto t0 = Clock::now();
+      for (const auto& p : f.points) {
+        workload::SweepSession fresh(f.config);
+        fresh.prepare();
+        (void)fresh.run_point(p);
+      }
+      const double straight = bench::seconds_since(t0);
+
+      // Forked: one warmup, every point restored from its checkpoint.
+      const auto t1 = Clock::now();
+      workload::SweepSession shared(f.config);
+      shared.prepare();
+      for (const auto& p : f.points) (void)shared.run_point(p);
+      const double forked = bench::seconds_since(t1);
+
+      const double speedup = straight / forked;
+      geomean *= speedup;
+      t.add_row({f.name, std::to_string(f.points.size()),
+                 stats::Table::fmt(straight, 2), stats::Table::fmt(forked, 2),
+                 stats::Table::fmt(speedup, 2) + "x"});
+      sweep_out.set(f.name + "_points", static_cast<double>(f.points.size()));
+      sweep_out.set(f.name + "_straight_secs", straight);
+      sweep_out.set(f.name + "_forked_secs", forked);
+      sweep_out.set(f.name + "_speedup", speedup);
+    }
+    geomean = std::pow(geomean, 1.0 / static_cast<double>(sweeps.size()));
+    t.add_row({"geomean", "", "", "", stats::Table::fmt(geomean, 2) + "x"});
+    t.print(std::cout);
+    sweep_out.set("geomean_speedup", geomean);
+  }
+
+  {
+    const char* p = std::getenv("AF_BENCH_SNAPSHOT_JSON");
+    const std::string file = p != nullptr ? p : "BENCH_snapshot.json";
+    std::ofstream os(file);
+    snap_out.write_json(os);
+    std::cout << "\nwrote " << file << "\n";
+  }
+  {
+    const char* p = std::getenv("AF_BENCH_SWEEP_JSON");
+    const std::string file = p != nullptr ? p : "BENCH_sweep.json";
+    std::ofstream os(file);
+    sweep_out.write_json(os);
+    std::cout << "wrote " << file << "\n";
+  }
+  // The warmup-reuse bar of the tentpole: >= 1.5x geomean.
+  return geomean >= 1.5 ? 0 : 1;
+}

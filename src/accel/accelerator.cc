@@ -19,6 +19,17 @@ Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
       output_(params.output_queue_entries),
       pes_(static_cast<std::size_t>(params.num_pes)) {}
 
+void Accelerator::set_num_pes(int num_pes) {
+  assert(num_pes > 0);
+  for (const Pe& p : pes_) {
+    assert(!p.busy && "set_num_pes requires an idle accelerator");
+    (void)p;
+  }
+  assert(blocked_.empty() && "set_num_pes requires an idle accelerator");
+  pes_.assign(static_cast<std::size_t>(num_pes), Pe{});
+  params_.num_pes = num_pes;
+}
+
 void Accelerator::set_tracer(obs::Tracer* tracer, std::uint32_t accel_index) {
   tracer_ = tracer;
   tid_base_ = accel_index * kTidStride;

@@ -197,6 +197,17 @@ class Accelerator {
    */
   void set_tracer(obs::Tracer* tracer, std::uint32_t accel_index);
 
+  /**
+   * Resizes the PE array (Section VII-C.3 sensitivity sweeps). Only legal
+   * while the accelerator is idle (no busy PE, no blocked deposit): asserts
+   * otherwise. Used by Machine::set_pes_per_accel to diverge a forked
+   * sweep point from a shared warmup checkpoint.
+   */
+  void set_num_pes(int num_pes);
+
+  /** Adjusts the compute speedup factor (generation sweeps). */
+  void set_speedup(double speedup) { params_.speedup = speedup; }
+
  private:
   struct Pe {
     sim::TimePs free_at = 0;
@@ -213,6 +224,53 @@ class Accelerator {
     sim::TimePs blocked_since = 0;
   };
 
+ public:
+  /** Deep copy of all mutable accelerator state (DESIGN.md §13). */
+  struct Checkpoint {
+    mem::Tlb::Checkpoint tlb;            ///< Translation cache.
+    SramQueue::Checkpoint input;         ///< Input queue.
+    SramQueue::Checkpoint output;        ///< Output queue.
+    std::vector<Pe> pes;                 ///< PE occupancy + inflight entries.
+    std::deque<BlockedDeposit> blocked;  ///< PEs stalled on output space.
+    std::deque<QueueEntry> overflow;     ///< In-memory overflow area.
+    sim::TimePs dispatcher_busy_until = 0;  ///< Output FSM horizon.
+    sim::TimePs dispatcher_busy_accum = 0;  ///< Output FSM busy total.
+    std::uint64_t last_dispatched_seq = 0;  ///< Reorder detection stamp.
+    AccelStats stats;                    ///< Counters + recorders.
+    AccelParams params;                  ///< Divergable knobs (PEs, speedup).
+  };
+
+  /** Captures all mutable state (handler/tracer wiring excluded). */
+  Checkpoint checkpoint() const {
+    return Checkpoint{tlb_.checkpoint(),
+                      input_.checkpoint(),
+                      output_.checkpoint(),
+                      pes_,
+                      blocked_,
+                      overflow_,
+                      dispatcher_busy_until_,
+                      dispatcher_busy_accum_,
+                      last_dispatched_seq_,
+                      stats_,
+                      params_};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    tlb_.restore(c.tlb);
+    input_.restore(c.input);
+    output_.restore(c.output);
+    pes_ = c.pes;
+    blocked_ = c.blocked;
+    overflow_ = c.overflow;
+    dispatcher_busy_until_ = c.dispatcher_busy_until;
+    dispatcher_busy_accum_ = c.dispatcher_busy_accum;
+    last_dispatched_seq_ = c.last_dispatched_seq;
+    stats_ = c.stats;
+    params_ = c.params;
+  }
+
+ private:
   /** Dispatches ready entries to free PEs until one side runs out. */
   void try_dispatch();
 

@@ -70,6 +70,21 @@ class DmaPool {
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /** Deep copy of engine occupancy + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<sim::TimePs> engine_free_at;  ///< Per-engine next-free.
+    DmaStats stats;                           ///< Counters.
+  };
+
+  /** Captures engine occupancy and counters. */
+  Checkpoint checkpoint() const { return Checkpoint{engine_free_at_, stats_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    engine_free_at_ = c.engine_free_at;
+    stats_ = c.stats;
+  }
+
  private:
   sim::Simulator& sim_;
   noc::Interconnect& net_;

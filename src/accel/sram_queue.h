@@ -69,6 +69,29 @@ class SramQueue {
 
   const QueueStats& stats() const { return stats_; }
 
+  /** Deep copy of slots, free list, and counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<std::optional<QueueEntry>> slots;  ///< Slot contents.
+    std::vector<SlotId> free_list;                 ///< Free-slot stack.
+    std::size_t occupancy = 0;                     ///< Occupied count.
+    std::uint64_t next_seq = 0;                    ///< Arrival stamp.
+    QueueStats stats;                              ///< Counters.
+  };
+
+  /** Captures the queue's full state. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{slots_, free_list_, occupancy_, next_seq_, stats_};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    slots_ = c.slots;
+    free_list_ = c.free_list;
+    occupancy_ = c.occupancy;
+    next_seq_ = c.next_seq;
+    stats_ = c.stats;
+  }
+
  private:
   std::vector<std::optional<QueueEntry>> slots_;
   std::vector<SlotId> free_list_;

@@ -186,6 +186,54 @@ class InvariantChecker final : public core::ValidationHooks,
     sim::TimePs started_at = 0;
   };
 
+ public:
+  /**
+   * Deep copy of the checker's observation state (DESIGN.md §13), taken
+   * and restored by the checkpoint-and-fork sweep engine so an attached
+   * checker tracks each forked timeline independently — a restored
+   * request-id cursor reuses flow ids, which would otherwise trip the
+   * "flow finished twice" invariant. Restoring rewinds violations too:
+   * audit (or inspect) a point's violations before running the next.
+   * FlowState::env aliases the caller-owned Service objects, which
+   * outlive the sweep session, so copying the pointers is sound.
+   */
+  struct Checkpoint {
+    sim::TimePs last_event_time = 0;  ///< Monotonicity watermark.
+    std::unordered_map<obs::FlowId, FlowState> active;  ///< In-flight flows.
+    std::unordered_set<obs::FlowId> finished;  ///< Terminated flow ids.
+    std::unordered_map<obs::FlowId, std::vector<StageRecord>>
+        sequences;  ///< record_sequences mode captures.
+    std::vector<std::pair<sim::TimePs, std::uint64_t>>
+        dma_inflight;  ///< Issued, undelivered transfers.
+    std::uint64_t dma_issued_bytes = 0;     ///< DMA bytes issued.
+    std::uint64_t dma_delivered_bytes = 0;  ///< DMA bytes delivered.
+    std::vector<Violation> violations;      ///< Violations so far.
+    CheckerStats stats;                     ///< Activity counters.
+  };
+
+  /** Captures the observation state (the attachment is not captured). */
+  Checkpoint checkpoint() const {
+    return Checkpoint{last_event_time_,     active_,
+                      finished_,            sequences_,
+                      dma_inflight_,        dma_issued_bytes_,
+                      dma_delivered_bytes_, violations_,
+                      stats_};
+  }
+
+  /** Restores state captured by checkpoint() on this same checker. */
+  void restore(const Checkpoint& c) {
+    last_event_time_ = c.last_event_time;
+    active_ = c.active;
+    finished_ = c.finished;
+    sequences_ = c.sequences;
+    dma_inflight_ = c.dma_inflight;
+    dma_issued_bytes_ = c.dma_issued_bytes;
+    dma_delivered_bytes_ = c.dma_delivered_bytes;
+    violations_ = c.violations;
+    stats_ = c.stats;
+  }
+
+ private:
   /** Records (or counts, past the cap) one violation. */
   void violate(std::string what, obs::FlowId flow);
 

@@ -67,6 +67,21 @@ class Atm {
   /** Read/write counters. */
   const AtmStats& stats() const { return stats_; }
 
+  /** Deep copy of the trace slots + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::array<std::optional<Trace>, 256> slots;  ///< SRAM contents.
+    AtmStats stats;                               ///< Counters.
+  };
+
+  /** Captures SRAM contents and counters. */
+  Checkpoint checkpoint() const { return Checkpoint{slots_, stats_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    slots_ = c.slots;
+    stats_ = c.stats;
+  }
+
  private:
   std::array<std::optional<Trace>, 256> slots_;
   sim::TimePs read_latency_;

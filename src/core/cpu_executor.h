@@ -51,6 +51,10 @@ class CpuChainExecutor {
   /** Execution counters. */
   const CpuExecStats& stats() const { return stats_; }
 
+  /** Restores counters captured earlier (DESIGN.md §13). In-flight Run
+   *  state is intentionally not captured: checkpoints are quiescent. */
+  void restore_stats(const CpuExecStats& s) { stats_ = s; }
+
  private:
   struct Run;
   void step(std::shared_ptr<Run> r);

@@ -41,14 +41,13 @@ sim::TimePs AccelFlowEngine::instr_time(double instrs) const {
 }
 
 std::uint32_t AccelFlowEngine::tenant_active(accel::TenantId tenant) const {
-  const auto it = tenant_active_.find(tenant);
-  return it == tenant_active_.end() ? 0 : it->second;
+  return tenant < tenant_active_.size() ? tenant_active_[tenant] : 0;
 }
 
 void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
   // Per-tenant trace throttling (Section IV-D): over-threshold starts wait
   // until one of the tenant's traces retires.
-  auto& active = tenant_active_[ctx->tenant];
+  auto& active = tenant_slot(ctx->tenant);
   if (active >= config_.tenant_max_active) {
     ++stats_.tenant_throttled;
     throttled_.push_back(PendingStart{ctx, first});
@@ -713,13 +712,13 @@ void AccelFlowEngine::complete_chain(ChainContext* ctx,
                tid, now, 0, flow);
     t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
   }
-  auto it = tenant_active_.find(ctx->tenant);
-  if (it != tenant_active_.end() && it->second > 0) --it->second;
+  std::uint32_t& active = tenant_slot(ctx->tenant);
+  if (active > 0) --active;
   ctx->finish(result);
   // Admit a throttled start of any tenant now below its cap.
   while (!throttled_.empty()) {
     const PendingStart next = throttled_.front();
-    if (tenant_active_[next.ctx->tenant] >= config_.tenant_max_active) break;
+    if (tenant_slot(next.ctx->tenant) >= config_.tenant_max_active) break;
     throttled_.pop_front();
     start_chain(next.ctx, next.first);
   }

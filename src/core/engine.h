@@ -178,11 +178,23 @@ class AccelFlowEngine : public accel::OutputHandler {
 
   sim::TimePs instr_time(double instrs) const;
 
+  /** Grow-on-demand slot of the flat per-tenant active-trace counter. */
+  std::uint32_t& tenant_slot(accel::TenantId tenant) {
+    if (tenant >= tenant_active_.size()) {
+      tenant_active_.resize(static_cast<std::size_t>(tenant) + 1, 0);
+    }
+    return tenant_active_[tenant];
+  }
+
   Machine& machine_;
   const TraceLibrary& lib_;
   EngineConfig config_;
   EngineStats stats_;
-  std::unordered_map<accel::TenantId, std::uint32_t> tenant_active_;
+  /** Per-tenant active-trace counts, indexed by tenant id. Tenant ids are
+   *  small and dense (request-engine services), so a flat array replaces
+   *  the old hash map: the Section IV-D throttle check on every chain
+   *  start/finish becomes one indexed load. */
+  std::vector<std::uint32_t> tenant_active_;
   struct PendingStart {
     ChainContext* ctx;
     AtmAddr first;
@@ -193,6 +205,36 @@ class AccelFlowEngine : public accel::OutputHandler {
    *  retries, deferred wait-arms): callbacks capture the 4-byte ticket,
    *  not the ~100-byte entry (see sim/callback.h's capture budget). */
   sim::TicketPool<accel::QueueEntry> parked_;
+
+ public:
+  /**
+   * Deep copy of the engine's orchestration state (DESIGN.md §13).
+   * `throttled` holds raw ChainContext pointers, so a checkpoint is only
+   * meaningful at a quiescent point (no chain in flight), where the deque
+   * is empty — workload::SweepSession guarantees that.
+   */
+  struct Checkpoint {
+    EngineStats stats;                        ///< Counters.
+    std::vector<std::uint32_t> tenant_active; ///< Per-tenant live traces.
+    std::deque<PendingStart> throttled;       ///< Waiting starts (empty).
+    TenantBandwidthLimiter::Checkpoint mba;   ///< Token buckets.
+    sim::TicketPool<accel::QueueEntry>::Checkpoint parked;  ///< In-flight.
+  };
+
+  /** Captures the engine's orchestration state. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{stats_, tenant_active_, throttled_, mba_.checkpoint(),
+                      parked_.checkpoint()};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    stats_ = c.stats;
+    tenant_active_ = c.tenant_active;
+    throttled_ = c.throttled;
+    mba_.restore(c.mba);
+    parked_.restore(c.parked);
+  }
 };
 
 }  // namespace accelflow::core

@@ -173,6 +173,56 @@ void Machine::set_tracer(obs::Tracer* tracer) {
   tracer->name_thread(Subsys::kEngine, obs::kManagerTid, "manager");
 }
 
+void Machine::checkpoint(Checkpoint& out) const {
+  sim_.checkpoint(out.kernel);
+  out.mem = mem_->checkpoint();
+  out.iommu = iommu_->checkpoint();
+  out.net = net_->checkpoint();
+  out.dma = dma_->checkpoint();
+  out.cores = cores_->checkpoint();
+  out.atm = atm_->checkpoint();
+  out.manager = manager_->checkpoint();
+  for (const AccelType t : accel::kAllAccelTypes) {
+    out.accels[accel::index_of(t)] = accel(t).checkpoint();
+  }
+  out.config = config_;
+}
+
+void Machine::restore(const Checkpoint& c) {
+  sim_.restore(c.kernel);
+  mem_->restore(c.mem);
+  iommu_->restore(c.iommu);
+  net_->restore(c.net);
+  dma_->restore(c.dma);
+  cores_->restore(c.cores);
+  atm_->restore(c.atm);
+  manager_->restore(c.manager);
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accels_[accel::index_of(t)]->restore(c.accels[accel::index_of(t)]);
+  }
+  config_ = c.config;
+}
+
+void Machine::set_pes_per_accel(int pes) {
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accels_[accel::index_of(t)]->set_num_pes(pes);
+  }
+  config_.pes_per_accel = pes;
+}
+
+void Machine::set_speedup_scale(double scale) {
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accels_[accel::index_of(t)]->set_speedup(accel::default_speedup(t) *
+                                             scale);
+  }
+  config_.speedup_scale = scale;
+}
+
+void Machine::set_generation(Generation g) {
+  config_.apply_generation(g);
+  cores_->set_speeds(config_.cpu.app_speed, config_.cpu.tax_speed);
+}
+
 void Machine::snapshot_metrics(obs::MetricsRegistry& reg) const {
   using Kind = obs::MetricsRegistry::Kind;
   std::uint64_t tlb_lookups = 0;

@@ -17,6 +17,7 @@
 #include "obs/tracer.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 
 /**
  * @file
@@ -182,6 +183,59 @@ class Machine {
    * metrics are added separately by the engine.
    */
   void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
+  // --- Checkpoint / fork (DESIGN.md §13) --------------------------------
+
+  /**
+   * Deep copy of the machine's full deterministic state: the event-kernel
+   * snapshot plus every hardware component's Checkpoint. Captured once
+   * after a shared warmup and restored per sweep point by
+   * workload::SweepSession. Move-only (the kernel snapshot owns cloned
+   * callbacks) but restorable any number of times.
+   */
+  struct Checkpoint {
+    sim::Snapshot kernel;                       ///< Event calendar + pool.
+    mem::MemorySystem::Checkpoint mem;          ///< LLC/DRAM channels.
+    mem::Iommu::Checkpoint iommu;               ///< Walkers + fault RNG.
+    noc::Interconnect::Checkpoint net;          ///< Meshes + links.
+    accel::DmaPool::Checkpoint dma;             ///< A-DMA engines.
+    cpu::CoreCluster::Checkpoint cores;         ///< Core occupancy.
+    Atm::Checkpoint atm;                        ///< Trace memory.
+    sim::FifoServer::Checkpoint manager;        ///< RELIEF manager.
+    std::array<accel::Accelerator::Checkpoint, accel::kNumAccelTypes>
+        accels;                                 ///< Per-accelerator state.
+    MachineConfig config;                       ///< Knobs at capture time.
+  };
+
+  /**
+   * Captures the machine's full state into `out`. Pending kernel callbacks
+   * must be clonable (see Simulator::checkpoint); SweepSession avoids the
+   * issue by checkpointing at quiescence, when the calendar is empty.
+   */
+  void checkpoint(Checkpoint& out) const;
+
+  /**
+   * Restores state captured by checkpoint(), in place — the fork
+   * operation. Component objects are reused (raw pointers held by model
+   * callbacks stay valid); divergence knobs (PE counts, speed factors)
+   * reset to their captured values. Tracer/checker attachments are
+   * orthogonal run-scoped wiring and are left as-is.
+   */
+  void restore(const Checkpoint& c);
+
+  // --- Divergence knobs for forked sweep points -------------------------
+
+  /**
+   * Re-sizes every accelerator's PE array (Fig. 19 sweeps). Requires all
+   * accelerators idle — call only at a quiescent fork point.
+   */
+  void set_pes_per_accel(int pes);
+
+  /** Re-derives every accelerator's speedup for `scale` (Fig. 13/20). */
+  void set_speedup_scale(double scale);
+
+  /** Applies a processor generation's core speed factors (Fig. 20). */
+  void set_generation(Generation g);
 
  private:
   MachineConfig config_;

@@ -60,12 +60,70 @@ BaselineOrchestrator::default_cohort_links() {
   return kLinks;
 }
 
+const std::vector<LogicalOp>& BaselineOrchestrator::walk_ops(
+    AtmAddr first, const accel::PayloadFlags& flags) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(first) << 8) |
+      (static_cast<std::uint64_t>(flags.compressed) << 0) |
+      (static_cast<std::uint64_t>(flags.hit) << 1) |
+      (static_cast<std::uint64_t>(flags.found) << 2) |
+      (static_cast<std::uint64_t>(flags.exception) << 3) |
+      (static_cast<std::uint64_t>(flags.c_compressed) << 4);
+  auto it = walk_cache_.find(key);
+  if (it == walk_cache_.end()) {
+    it = walk_cache_
+             .emplace(key, std::make_unique<const std::vector<LogicalOp>>(
+                               walk_chain(lib_, first, flags).ops))
+             .first;
+  }
+  return *it->second;
+}
+
+BaselineOrchestrator::Checkpoint BaselineOrchestrator::checkpoint() const {
+  Checkpoint c;
+  c.rng = rng_.state();
+  c.stats = stats_;
+  c.cpu_exec = cpu_exec_->stats();
+  c.central_tokens = central_tokens_;
+  c.central_pump_scheduled = central_pump_scheduled_;
+  return c;
+}
+
+void BaselineOrchestrator::restore(const Checkpoint& c) {
+  rng_.set_state(c.rng);
+  stats_ = c.stats;
+  cpu_exec_->restore_stats(c.cpu_exec);
+  central_tokens_ = c.central_tokens;
+  central_pump_scheduled_ = c.central_pump_scheduled;
+  chains_.clear();
+  central_fifo_.clear();
+}
+
+namespace {
+/** Checkpoint payload of BaselineOrchestrator. */
+struct BaselineOrchCheckpoint : OrchCheckpoint {
+  BaselineOrchestrator::Checkpoint state;
+};
+}  // namespace
+
+std::unique_ptr<OrchCheckpoint> BaselineOrchestrator::save_checkpoint()
+    const {
+  auto out = std::make_unique<BaselineOrchCheckpoint>();
+  out->state = checkpoint();
+  return out;
+}
+
+void BaselineOrchestrator::restore_checkpoint(const OrchCheckpoint& c) {
+  const auto* ck = dynamic_cast<const BaselineOrchCheckpoint*>(&c);
+  assert(ck != nullptr && "checkpoint from a different orchestrator");
+  restore(ck->state);
+}
+
 void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
   ++stats_.chains;
   if (ValidationHooks* v = machine_.checker()) v->on_chain_start(*ctx, first);
   if (mode_ == BaselineMode::kNonAcc) {
-    const ChainWalk walk = walk_chain(lib_, first, ctx->flags);
-    cpu_exec_->run(ctx, walk.ops, ctx->initial_bytes,
+    cpu_exec_->run(ctx, walk_ops(first, ctx->flags), ctx->initial_bytes,
                    [this, ctx](bool timed_out) {
                      ++stats_.completed;
                      ChainResult r;
@@ -83,7 +141,7 @@ void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
   auto chain = std::make_unique<Chain>();
   Chain* c = chain.get();
   c->ctx = ctx;
-  c->ops = walk_chain(lib_, first, ctx->flags).ops;
+  c->ops = &walk_ops(first, ctx->flags);
   c->bytes = ctx->initial_bytes;
   chains_[ctx] = std::move(chain);
 
@@ -107,8 +165,8 @@ void BaselineOrchestrator::run_chain(ChainContext* ctx, AtmAddr first) {
 void BaselineOrchestrator::step(Chain* c, sim::TimePs ready) {
   ChainContext* ctx = c->ctx;
   auto& cores = machine_.cores();
-  while (c->i < c->ops.size()) {
-    const LogicalOp& op = c->ops[c->i];
+  while (c->i < c->ops->size()) {
+    const LogicalOp& op = (*c->ops)[c->i];
     switch (op.kind) {
       case LogicalOp::Kind::kInvoke:
         issue_invoke(c, ready, /*direct_hop=*/false);
@@ -215,9 +273,9 @@ void BaselineOrchestrator::step(Chain* c, sim::TimePs ready) {
 void BaselineOrchestrator::issue_invoke(Chain* c, sim::TimePs ready,
                                         bool direct_hop) {
   ChainContext* ctx = c->ctx;
-  assert(c->i < c->ops.size() &&
-         c->ops[c->i].kind == LogicalOp::Kind::kInvoke);
-  const AccelType target = c->ops[c->i].accel;
+  assert(c->i < c->ops->size() &&
+         (*c->ops)[c->i].kind == LogicalOp::Kind::kInvoke);
+  const AccelType target = (*c->ops)[c->i].accel;
   accel::Accelerator& dst = machine_.accel(target);
 
   // Who launches the op, and from where does the payload move?
@@ -329,7 +387,8 @@ void BaselineOrchestrator::try_issue(std::shared_ptr<Issue> issue,
     if (++issue->attempts >= costs_.enqueue_retries) {
       ++stats_.fallbacks;
       std::vector<LogicalOp> rest(
-          c->ops.begin() + static_cast<std::ptrdiff_t>(c->i), c->ops.end());
+          c->ops->begin() + static_cast<std::ptrdiff_t>(c->i),
+          c->ops->end());
       cpu_exec_->run(c->ctx, std::move(rest), c->bytes,
                      [this, c](bool timed_out) {
                        finish(c, timed_out, /*fell_back=*/true);
@@ -428,9 +487,9 @@ void BaselineOrchestrator::handle_output(accel::Accelerator& acc,
     case BaselineMode::kCohort: {
       // Linked pair: hand off directly. Otherwise the core polls the
       // software queue and coordinates the next step.
-      if (c->i < c->ops.size() &&
-          c->ops[c->i].kind == LogicalOp::Kind::kInvoke &&
-          cohort_links_.count({acc.type(), c->ops[c->i].accel}) > 0) {
+      if (c->i < c->ops->size() &&
+          (*c->ops)[c->i].kind == LogicalOp::Kind::kInvoke &&
+          cohort_links_.count({acc.type(), (*c->ops)[c->i].accel}) > 0) {
         issue_invoke(c, fsm_done, /*direct_hop=*/true);
       } else {
         ++stats_.polls;

@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_CORE_ORCH_BASELINES_H_
 #define ACCELFLOW_CORE_ORCH_BASELINES_H_
 
+#include <array>
 #include <deque>
 #include <memory>
 #include <set>
@@ -100,6 +101,8 @@ class BaselineOrchestrator : public Orchestrator,
   void run_chain(ChainContext* ctx, AtmAddr first) override;
   std::string_view name() const override;
   void handle_output(accel::Accelerator& acc, accel::SlotId slot) override;
+  std::unique_ptr<OrchCheckpoint> save_checkpoint() const override;
+  void restore_checkpoint(const OrchCheckpoint& c) override;
 
   const BaselineStats& stats() const { return stats_; }
 
@@ -107,15 +110,47 @@ class BaselineOrchestrator : public Orchestrator,
   static const std::set<std::pair<accel::AccelType, accel::AccelType>>&
   default_cohort_links();
 
+  /**
+   * Deep copy of the orchestrator's mutable state (DESIGN.md §13). Only
+   * meaningful at a quiescent point: in-flight chains and central-queue
+   * issues hold raw pointers and are cleared on restore rather than
+   * captured (workload::SweepSession checkpoints with none in flight).
+   */
+  struct Checkpoint {
+    std::array<std::uint64_t, 4> rng{};     ///< Tail/stall draw stream.
+    BaselineStats stats;                    ///< Counters.
+    CpuExecStats cpu_exec;                  ///< CPU-executor counters.
+    std::size_t central_tokens = 64;        ///< RELIEF in-flight budget.
+    bool central_pump_scheduled = false;    ///< Pump event pending.
+  };
+
+  /** Captures the orchestrator's counters and RNG stream. */
+  Checkpoint checkpoint() const;
+
+  /** Restores state captured by checkpoint(); drops in-flight chains. */
+  void restore(const Checkpoint& c);
+
  private:
   struct Chain {
     ChainContext* ctx = nullptr;
-    std::vector<LogicalOp> ops;
+    /** The memoized logical-op program (owned by walk_cache_). */
+    const std::vector<LogicalOp>* ops = nullptr;
     std::size_t i = 0;  ///< Next op to execute.
     std::uint64_t bytes = 0;
     accel::AccelType last_accel{};
     bool has_last_accel = false;
   };
+
+  /**
+   * Memoized walk_chain: one walk per distinct (start, flags) pair per
+   * run instead of one per chain. walk_chain is deterministic given the
+   * immutable trace library, so sharing the op vectors is behavior-
+   * neutral; the returned pointer is stable for the orchestrator's
+   * lifetime (the "trace-program node" arena of the hot-path memory
+   * pass).
+   */
+  const std::vector<LogicalOp>& walk_ops(AtmAddr first,
+                                         const accel::PayloadFlags& flags);
 
   /** Advances the chain from ops[i] at `ready`. */
   void step(Chain* c, sim::TimePs ready);
@@ -152,6 +187,11 @@ class BaselineOrchestrator : public Orchestrator,
   BaselineStats stats_;
   std::unique_ptr<CpuChainExecutor> cpu_exec_;
   std::unordered_map<ChainContext*, std::unique_ptr<Chain>> chains_;
+  /** walk_chain memo: key packs (start address, payload-flag bits). Not
+   *  checkpointed — a pure function of the immutable trace library. */
+  std::unordered_map<std::uint64_t,
+                     std::unique_ptr<const std::vector<LogicalOp>>>
+      walk_cache_;
   std::set<std::pair<accel::AccelType, accel::AccelType>> cohort_links_;
   // RELIEF central queue (base design): FIFO of pending issues sharing
   // one 64-entry budget across all accelerator types.

@@ -1,5 +1,6 @@
 #include "core/orchestrator.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "core/orch_baselines.h"
@@ -7,6 +8,11 @@
 namespace accelflow::core {
 
 namespace {
+
+/** Checkpoint payload of AccelFlowOrchestrator: the engine's state. */
+struct EngineOrchCheckpoint : OrchCheckpoint {
+  AccelFlowEngine::Checkpoint engine;
+};
 
 /** Wraps the AccelFlow engine (and its Ideal/ablation variants). */
 class AccelFlowOrchestrator : public Orchestrator {
@@ -20,6 +26,18 @@ class AccelFlowOrchestrator : public Orchestrator {
   }
   std::string_view name() const override { return name_; }
   const AccelFlowEngine* engine() const override { return &engine_; }
+
+  std::unique_ptr<OrchCheckpoint> save_checkpoint() const override {
+    auto out = std::make_unique<EngineOrchCheckpoint>();
+    out->engine = engine_.checkpoint();
+    return out;
+  }
+
+  void restore_checkpoint(const OrchCheckpoint& c) override {
+    const auto* ck = dynamic_cast<const EngineOrchCheckpoint*>(&c);
+    assert(ck != nullptr && "checkpoint from a different orchestrator");
+    engine_.restore(ck->engine);
+  }
 
  private:
   std::string_view name_;

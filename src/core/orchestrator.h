@@ -20,6 +20,16 @@
 
 namespace accelflow::core {
 
+/**
+ * Opaque snapshot of an orchestrator's mutable state, produced by
+ * Orchestrator::save_checkpoint() and consumed by restore_checkpoint().
+ * Each concrete orchestrator defines its own derived payload (DESIGN.md
+ * §13); callers only move the handle around.
+ */
+struct OrchCheckpoint {
+  virtual ~OrchCheckpoint() = default;
+};
+
 /** Executes trace chains on a Machine. */
 class Orchestrator {
  public:
@@ -35,6 +45,17 @@ class Orchestrator {
 
   /** The engine, when this orchestrator is AccelFlow-based (else null). */
   virtual const AccelFlowEngine* engine() const { return nullptr; }
+
+  /**
+   * Captures the orchestrator's mutable state (counters, RNG streams,
+   * admission budgets) for the checkpoint-and-fork sweep engine. Only
+   * meaningful at a quiescent point — no chain in flight.
+   */
+  virtual std::unique_ptr<OrchCheckpoint> save_checkpoint() const = 0;
+
+  /** Restores state captured by save_checkpoint() on this same
+   *  orchestrator type (asserts on a mismatched handle). */
+  virtual void restore_checkpoint(const OrchCheckpoint& c) = 0;
 };
 
 /** The architectures and ablations evaluated in the paper. */

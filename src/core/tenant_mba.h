@@ -72,6 +72,21 @@ class TenantBandwidthLimiter {
     MbaTenantStats stats;
   };
 
+ public:
+  /** Deep copy of every tenant's bucket (DESIGN.md §13). Only keyed
+   *  lookups touch the map, so unordered iteration cannot leak into
+   *  results. */
+  struct Checkpoint {
+    std::unordered_map<accel::TenantId, Bucket> tenants;  ///< Buckets.
+  };
+
+  /** Captures all token buckets. */
+  Checkpoint checkpoint() const { return Checkpoint{tenants_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) { tenants_ = c.tenants; }
+
+ private:
   sim::Simulator& sim_;
   MbaConfig config_;
   std::unordered_map<accel::TenantId, Bucket> tenants_;

@@ -97,6 +97,33 @@ class CoreCluster {
 
   const CpuStats& stats() const { return stats_; }
 
+  /**
+   * Adjusts the generation speed factors (Section VII-C.4). Used by
+   * Machine::set_generation when a forked sweep point diverges from a
+   * shared warmup checkpoint; already-scheduled segments are unaffected.
+   */
+  void set_speeds(double app_speed, double tax_speed) {
+    params_.app_speed = app_speed;
+    params_.tax_speed = tax_speed;
+  }
+
+  /** Deep copy of core occupancy + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<sim::TimePs> free_at;  ///< Per-core next-free times.
+    CpuStats stats;                    ///< Counters.
+    CpuParams params;                  ///< Speed factors (divergable).
+  };
+
+  /** Captures core occupancy, counters, and the (divergable) params. */
+  Checkpoint checkpoint() const { return Checkpoint{free_at_, stats_, params_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    free_at_ = c.free_at;
+    stats_ = c.stats;
+    params_ = c.params;
+  }
+
  private:
   sim::TimePs occupy(int core, sim::TimePs duration, Callback done);
 

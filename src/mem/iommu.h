@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_MEM_IOMMU_H_
 #define ACCELFLOW_MEM_IOMMU_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -71,6 +72,25 @@ class Iommu {
    * walk timing (see obs/tracer.h).
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /** Deep copy of the walker occupancy + RNG + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    sim::FifoServer::Checkpoint walkers;        ///< Walk state machines.
+    std::array<std::uint64_t, 4> rng{};         ///< Fault/LLC draw stream.
+    IommuStats stats;                           ///< Counters.
+  };
+
+  /** Captures walker occupancy, RNG stream, and counters. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{walkers_.checkpoint(), rng_.state(), stats_};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    walkers_.restore(c.walkers);
+    rng_.set_state(c.rng);
+    stats_ = c.stats;
+  }
 
  private:
   sim::Simulator& sim_;

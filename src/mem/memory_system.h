@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_MEM_MEMORY_SYSTEM_H_
 #define ACCELFLOW_MEM_MEMORY_SYSTEM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -78,6 +79,37 @@ class MemorySystem {
 
   /** Aggregate DRAM bandwidth utilization in [0,1]. */
   double dram_utilization() const;
+
+  /** Deep copy of channel occupancy + RNG + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<sim::Channel::Checkpoint> controllers;  ///< Per controller.
+    sim::Channel::Checkpoint llc;                       ///< LLC channel.
+    std::array<std::uint64_t, 4> rng{};                 ///< Hit-draw stream.
+    std::size_t next_controller = 0;                    ///< Round-robin cursor.
+    MemStats stats;                                     ///< Counters.
+  };
+
+  /** Captures channel occupancy, RNG stream, and counters. */
+  Checkpoint checkpoint() const {
+    Checkpoint c;
+    for (const auto& ch : controllers_) c.controllers.push_back(ch.checkpoint());
+    c.llc = llc_.checkpoint();
+    c.rng = rng_.state();
+    c.next_controller = next_controller_;
+    c.stats = stats_;
+    return c;
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    for (std::size_t i = 0; i < controllers_.size(); ++i) {
+      controllers_[i].restore(c.controllers[i]);
+    }
+    llc_.restore(c.llc);
+    rng_.set_state(c.rng);
+    next_controller_ = c.next_controller;
+    stats_ = c.stats;
+  }
 
  private:
   MemAccess transfer(std::uint64_t bytes, double llc_hit_prob, bool is_read);

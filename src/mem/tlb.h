@@ -89,6 +89,26 @@ class Tlb {
     std::uint64_t last_use = 0;
   };
 
+ public:
+  /** Deep copy of the cache contents + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<Entry> entries;  ///< All ways of all sets.
+    std::uint64_t tick = 0;      ///< LRU age counter.
+    TlbStats stats;              ///< Lookup counters.
+  };
+
+  /** Captures cache contents and counters. */
+  Checkpoint checkpoint() const { return Checkpoint{entries_, tick_, stats_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    entries_ = c.entries;
+    tick_ = c.tick;
+    stats_ = c.stats;
+  }
+
+ private:
+
   std::size_t set_index(std::uint32_t process_id, PageNum vpn) const;
   Entry* find(std::uint32_t process_id, PageNum vpn);
 

@@ -91,6 +91,33 @@ class Interconnect {
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /** Deep copy of mesh + link occupancy + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<Mesh::Checkpoint> meshes;        ///< Per-chiplet meshes.
+    std::vector<sim::Channel::Checkpoint> links; ///< Inter-chiplet links.
+    InterconnectStats stats;                     ///< Counters.
+  };
+
+  /** Captures all mesh/link occupancy and counters. */
+  Checkpoint checkpoint() const {
+    Checkpoint c;
+    for (const auto& m : meshes_) c.meshes.push_back(m->checkpoint());
+    for (const auto& l : links_) c.links.push_back(l.checkpoint());
+    c.stats = stats_;
+    return c;
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    for (std::size_t i = 0; i < meshes_.size(); ++i) {
+      meshes_[i]->restore(c.meshes[i]);
+    }
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      links_[i].restore(c.links[i]);
+    }
+    stats_ = c.stats;
+  }
+
  private:
   sim::Channel& link(int a, int b);
   const sim::Channel& link(int a, int b) const;

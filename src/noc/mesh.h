@@ -69,6 +69,21 @@ class Mesh {
     return c.x >= 0 && c.x < params_.width && c.y >= 0 && c.y < params_.height;
   }
 
+  /** Deep copy of link occupancy + counters (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<sim::TimePs> link_free_at;  ///< Per-directional-link times.
+    MeshStats stats;                        ///< Counters.
+  };
+
+  /** Captures link occupancy and counters (route scratch excluded). */
+  Checkpoint checkpoint() const { return Checkpoint{link_free_at_, stats_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    link_free_at_ = c.link_free_at;
+    stats_ = c.stats;
+  }
+
  private:
   // Links are directional; index encodes (node, direction).
   enum Direction { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };

@@ -23,52 +23,48 @@ bool MetricsRegistry::valid_name(std::string_view name) {
 }
 
 MetricsRegistry::Metric* MetricsRegistry::find(std::string_view name) {
-  for (auto& m : metrics_) {
-    if (m.name == name) return &m;
-  }
-  return nullptr;
+  const auto it = index_.find(name);
+  return it != index_.end() ? &metrics_[it->second] : nullptr;
 }
 
 const MetricsRegistry::Metric* MetricsRegistry::find(
     std::string_view name) const {
-  for (const auto& m : metrics_) {
-    if (m.name == name) return &m;
-  }
-  return nullptr;
+  const auto it = index_.find(name);
+  return it != index_.end() ? &metrics_[it->second] : nullptr;
 }
 
 bool MetricsRegistry::set(std::string_view name, double value, Kind kind) {
-  if (!valid_name(name)) {
-    ++collisions_;
-    return false;
-  }
-  if (Metric* m = find(name)) {
-    if (m->kind != kind) {
-      ++collisions_;
-      return false;
-    }
-    m->value = value;
-    return true;
-  }
-  metrics_.push_back(Metric{std::string(name), value, kind});
+  const MetricId id = intern(name, kind);
+  if (id == kInvalidMetric) return false;
+  metrics_[id].value = value;
   return true;
 }
 
 bool MetricsRegistry::add(std::string_view name, double delta, Kind kind) {
+  const MetricId id = intern(name, kind);
+  if (id == kInvalidMetric) return false;
+  metrics_[id].value += delta;
+  return true;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::intern(std::string_view name,
+                                                  Kind kind) {
+  if (const auto it = index_.find(name); it != index_.end()) {
+    if (metrics_[it->second].kind != kind) {
+      ++collisions_;
+      return kInvalidMetric;
+    }
+    return static_cast<MetricId>(it->second);
+  }
   if (!valid_name(name)) {
     ++collisions_;
-    return false;
+    return kInvalidMetric;
   }
-  if (Metric* m = find(name)) {
-    if (m->kind != kind) {
-      ++collisions_;
-      return false;
-    }
-    m->value += delta;
-    return true;
-  }
-  metrics_.push_back(Metric{std::string(name), delta, kind});
-  return true;
+  const std::size_t id = metrics_.size();
+  metrics_.push_back(Metric{std::string(name), 0.0, kind});
+  index_.emplace(metrics_.back().name, id);
+  sorted_valid_ = false;  // A new name changes the serialization order.
+  return static_cast<MetricId>(id);
 }
 
 double MetricsRegistry::get(std::string_view name, double fallback) const {
@@ -81,13 +77,19 @@ bool MetricsRegistry::contains(std::string_view name) const {
 }
 
 stats::CounterSet MetricsRegistry::to_counter_set() const {
-  std::vector<const Metric*> sorted;
-  sorted.reserve(metrics_.size());
-  for (const auto& m : metrics_) sorted.push_back(&m);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  if (!sorted_valid_) {
+    sorted_.resize(metrics_.size());
+    for (std::size_t i = 0; i < sorted_.size(); ++i) sorted_[i] = i;
+    std::sort(sorted_.begin(), sorted_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return metrics_[a].name < metrics_[b].name;
+              });
+    sorted_valid_ = true;
+  }
   stats::CounterSet out;
-  for (const Metric* m : sorted) out.set(m->name, m->value);
+  for (const std::size_t i : sorted_) {
+    out.set(metrics_[i].name, metrics_[i].value);
+  }
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "stats/counters.h"
@@ -45,6 +46,17 @@ class MetricsRegistry {
   };
 
   /**
+   * Interned handle to one registered metric, returned by intern(). Hot
+   * writers resolve their dotted names once and then write through the
+   * id — set_by_id()/add_by_id() are array indexing, no hashing — so a
+   * snapshot taken every sweep point stops re-hashing every name.
+   */
+  using MetricId = std::uint32_t;
+
+  /** intern() result for a malformed name or a kind collision. */
+  static constexpr MetricId kInvalidMetric = 0xFFFFFFFFu;
+
+  /**
    * Sets `name` to `value`, registering it on first use.
    * @return false (and leaves the registry unchanged) if `name` is
    *         malformed or already registered with a different kind.
@@ -53,6 +65,23 @@ class MetricsRegistry {
 
   /** Adds `delta` to `name` (registering it at 0 on first use). */
   bool add(std::string_view name, double delta, Kind kind = Kind::kCounter);
+
+  /**
+   * Registers `name` (at 0 on first use) and returns its stable id; on a
+   * malformed name or kind collision, counts the rejection and returns
+   * kInvalidMetric. Ids stay valid for the registry's lifetime.
+   */
+  MetricId intern(std::string_view name, Kind kind = Kind::kCounter);
+
+  /** Sets the interned metric to `value` (no-op for kInvalidMetric). */
+  void set_by_id(MetricId id, double value) {
+    if (id < metrics_.size()) metrics_[id].value = value;
+  }
+
+  /** Adds `delta` to the interned metric (no-op for kInvalidMetric). */
+  void add_by_id(MetricId id, double delta) {
+    if (id < metrics_.size()) metrics_[id].value += delta;
+  }
 
   /** Value of `name`, or `fallback` when absent. */
   double get(std::string_view name, double fallback = 0.0) const;
@@ -75,7 +104,9 @@ class MetricsRegistry {
   /**
    * Flattens the registry to a CounterSet, sorted by name so sibling
    * metrics of one hierarchy level serialize adjacently and the JSON
-   * diffs cleanly across runs.
+   * diffs cleanly across runs. The sort order is computed once per set of
+   * registered names and cached; repeated snapshots (a sweep exporting
+   * after every point) only pay the value copies.
    */
   stats::CounterSet to_counter_set() const;
 
@@ -89,10 +120,31 @@ class MetricsRegistry {
     Kind kind = Kind::kCounter;
   };
 
+  /** Heterogeneous string hashing: find by string_view, store strings. */
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  /** Heterogeneous string equality (see SvHash). */
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
   Metric* find(std::string_view name);
   const Metric* find(std::string_view name) const;
 
   std::vector<Metric> metrics_;
+  /** Name -> index into metrics_; owns key copies (metrics_ reallocates). */
+  std::unordered_map<std::string, std::size_t, SvHash, SvEq> index_;
+  /** Cached name-sorted order of metrics_ for to_counter_set(); rebuilt
+   *  only when a registration invalidates it (values don't affect it). */
+  mutable std::vector<std::size_t> sorted_;
+  mutable bool sorted_valid_ = false;
   std::uint64_t collisions_ = 0;
 };
 

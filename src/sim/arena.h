@@ -1,0 +1,130 @@
+#ifndef ACCELFLOW_SIM_ARENA_H_
+#define ACCELFLOW_SIM_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/**
+ * @file
+ * Per-run arena allocator for hot-path model objects.
+ *
+ * The engine allocates and frees one ChainContext per chain and a handful
+ * of bookkeeping records per request — tens of millions of make_unique /
+ * delete pairs per experiment. Arena<T> replaces them with slab-pooled
+ * slots: create() placement-news into a free slot (allocating a new slab
+ * of kBlockSize slots only when the free list is empty), destroy() runs
+ * the destructor and recycles the slot, and clear() bulk-frees everything
+ * still live at end of run.
+ *
+ * Determinism: slabs never move, so object addresses are stable for the
+ * object's lifetime, and slot reuse follows a canonical LIFO free list —
+ * the same allocation sequence always yields the same addresses within a
+ * run. Nothing in the model orders by pointer value, so address reuse
+ * cannot perturb results (the determinism tests cover this).
+ */
+
+namespace accelflow::sim {
+
+/**
+ * Slab-backed object pool with O(1) create/destroy and bulk clear().
+ *
+ * Not thread safe (one arena per simulation, like the Simulator itself).
+ * T's destructor runs in destroy()/clear(); the arena never hands memory
+ * back to the system until it is itself destroyed.
+ */
+template <typename T>
+class Arena {
+ public:
+  /** Slots allocated per slab; amortizes allocation without hoarding. */
+  static constexpr std::size_t kBlockSize = 64;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { clear(); }
+
+  /** Constructs a T in a pooled slot and returns it (stable address). */
+  template <typename... Args>
+  T* create(Args&&... args) {
+    if (free_.empty()) grow();
+    Slot* s = free_.back();
+    free_.pop_back();
+    T* obj = ::new (static_cast<void*>(s->storage)) T(
+        std::forward<Args>(args)...);
+    s->live = true;
+    ++live_;
+    return obj;
+  }
+
+  /** Destroys an object previously returned by create(). */
+  void destroy(T* obj) {
+    assert(obj != nullptr);
+    Slot* s = slot_of(obj);
+    assert(s->live && "double destroy or foreign pointer");
+    obj->~T();
+    s->live = false;
+    --live_;
+    free_.push_back(s);
+  }
+
+  /**
+   * Destroys every live object and rebuilds the canonical free list
+   * (slabs retained, addresses reused deterministically next run).
+   */
+  void clear() {
+    free_.clear();
+    // Newest slab pushed first so the oldest slab's slot 0 sits on top of
+    // the LIFO: post-clear allocation order replays the cold growth order
+    // exactly, which is what makes forked-run addresses reproducible.
+    for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+      for (std::size_t i = kBlockSize; i-- > 0;) {
+        Slot& s = (*it)[i];
+        if (s.live) {
+          reinterpret_cast<T*>(s.storage)->~T();
+          s.live = false;
+        }
+        free_.push_back(&s);
+      }
+    }
+    live_ = 0;
+  }
+
+  /** Number of currently live objects. */
+  std::size_t live() const { return live_; }
+
+  /** Total slots across all slabs (capacity). */
+  std::size_t capacity() const { return blocks_.size() * kBlockSize; }
+
+ private:
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+    bool live = false;
+  };
+
+  static Slot* slot_of(T* obj) {
+    // storage is the first member, so the object address is the slot's.
+    return reinterpret_cast<Slot*>(reinterpret_cast<unsigned char*>(obj) -
+                                   offsetof(Slot, storage));
+  }
+
+  void grow() {
+    blocks_.push_back(std::make_unique<Slot[]>(kBlockSize));
+    Slot* block = blocks_.back().get();
+    // LIFO free list handing out slot 0 first: push in reverse order.
+    for (std::size_t i = kBlockSize; i-- > 0;) free_.push_back(&block[i]);
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  std::vector<Slot*> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_ARENA_H_

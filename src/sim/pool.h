@@ -65,6 +65,23 @@ class TicketPool {
   /** Values currently parked (for leak checks in tests). */
   std::size_t parked() const { return parked_; }
 
+  /** Deep copy of the pool (requires T copyable; DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<T> slab;            ///< Slot values (live and free).
+    std::vector<Ticket> free_list;  ///< Recycled-ticket stack.
+    std::size_t parked = 0;         ///< Live-value count.
+  };
+
+  /** Captures the pool's slots and free list. */
+  Checkpoint checkpoint() const { return Checkpoint{slab_, free_, parked_}; }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    slab_ = c.slab;
+    free_ = c.free_list;
+    parked_ = c.parked;
+  }
+
  private:
   void release(Ticket t) {
     assert(parked_ > 0);

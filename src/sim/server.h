@@ -76,6 +76,27 @@ class FifoServer {
    */
   double utilization() const;
 
+  /** Deep copy of the bank's mutable state (DESIGN.md §13). */
+  struct Checkpoint {
+    std::vector<TimePs> free_at;  ///< Per-server next-free times.
+    TimePs busy_time = 0;         ///< Accumulated busy time.
+    TimePs wait_time = 0;         ///< Accumulated queueing time.
+    std::uint64_t jobs = 0;       ///< Jobs completed.
+  };
+
+  /** Captures the bank's mutable state. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{free_at_, busy_time_, wait_time_, jobs_};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    free_at_ = c.free_at;
+    busy_time_ = c.busy_time;
+    wait_time_ = c.wait_time;
+    jobs_ = c.jobs;
+  }
+
  private:
   Simulator& sim_;
   std::vector<TimePs> free_at_;
@@ -118,6 +139,25 @@ class Channel {
 
   /** Mean utilization over [0, now]. */
   double utilization() const;
+
+  /** Deep copy of the channel's mutable state (DESIGN.md §13). */
+  struct Checkpoint {
+    TimePs busy_until = 0;     ///< End of the last reserved transfer.
+    TimePs busy_time = 0;      ///< Accumulated serialization time.
+    std::uint64_t bytes = 0;   ///< Total bytes moved.
+  };
+
+  /** Captures the channel's mutable state. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{busy_until_, busy_time_, bytes_};
+  }
+
+  /** Restores state captured by checkpoint(). */
+  void restore(const Checkpoint& c) {
+    busy_until_ = c.busy_until;
+    busy_time_ = c.busy_time;
+    bytes_ = c.bytes;
+  }
 
  private:
   Simulator& sim_;

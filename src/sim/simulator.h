@@ -31,6 +31,8 @@
 
 namespace accelflow::sim {
 
+struct Snapshot;  // sim/snapshot.h
+
 /**
  * Handle to a scheduled event, usable for cancellation.
  *
@@ -156,6 +158,23 @@ class Simulator {
 
   /** The attached probe, or nullptr when none. */
   EventProbe* probe() const { return probe_; }
+
+  /**
+   * Deep-copies the calendar, event pool, and kernel scalars into `out`
+   * (see sim/snapshot.h). Every pending callback must be clonable
+   * (InlineCallback::clonable()); debug builds assert, release builds
+   * capture such callbacks as empty. The probe pointer is not captured:
+   * observers are attached per run, not per state.
+   */
+  void checkpoint(Snapshot& out) const;
+
+  /**
+   * Restores state captured by checkpoint(), in place. The snapshot is
+   * not consumed: callbacks are cloned again on every restore, so one
+   * snapshot can seed any number of forked runs. After restore the next
+   * run_until() continues bit-identically to the original run.
+   */
+  void restore(const Snapshot& snap);
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;

@@ -2,8 +2,11 @@
 #define ACCELFLOW_STATS_COUNTERS_H_
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -23,20 +26,20 @@ namespace accelflow::stats {
 class CounterSet {
  public:
   void set(std::string name, double value) {
-    for (auto& [n, v] : items_) {
-      if (n == name) {
-        v = value;
-        return;
-      }
+    // Hash lookup instead of a linear scan: a registry snapshot re-sets
+    // hundreds of dotted names per sweep point.
+    if (const auto it = index_.find(std::string_view(name));
+        it != index_.end()) {
+      items_[it->second].second = value;
+      return;
     }
+    index_.emplace(name, items_.size());
     items_.emplace_back(std::move(name), value);
   }
 
   double get(const std::string& name, double fallback = 0) const {
-    for (const auto& [n, v] : items_) {
-      if (n == name) return v;
-    }
-    return fallback;
+    const auto it = index_.find(std::string_view(name));
+    return it != index_.end() ? items_[it->second].second : fallback;
   }
 
   const std::vector<std::pair<std::string, double>>& items() const {
@@ -67,7 +70,24 @@ class CounterSet {
     }
   }
 
+  /** Heterogeneous string hashing: look up by string_view, store strings. */
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  /** Heterogeneous string equality (see SvHash). */
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
   std::vector<std::pair<std::string, double>> items_;
+  /** Name -> index into items_ (copies with the set; indices stay valid). */
+  std::unordered_map<std::string, std::size_t, SvHash, SvEq> index_;
 };
 
 }  // namespace accelflow::stats

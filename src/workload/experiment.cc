@@ -10,15 +10,80 @@
 
 namespace accelflow::workload {
 
-namespace {
-
-/** AF_CHECK=1 (anything but "0"/"") attaches a checker to every run. */
 bool af_check_enabled() {
   const char* v = std::getenv("AF_CHECK");
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
-}  // namespace
+ExperimentResult harvest_result(core::Machine& machine,
+                                const core::Orchestrator& orch,
+                                const RequestEngine& engine,
+                                obs::MetricsRegistry* metrics) {
+  ExperimentResult out;
+  out.services.resize(engine.num_services());
+  double sum_mean = 0, sum_p99 = 0;
+  std::size_t measured = 0;
+  for (std::size_t s = 0; s < engine.num_services(); ++s) {
+    ServiceResult& r = out.services[s];
+    const ServiceStats& st = engine.stats(s);
+    r.name = engine.service(s).name();
+    r.completed = st.completed;
+    r.failed = st.failed;
+    r.fallbacks = st.fallbacks;
+    r.latency = st.latency;
+    if (st.latency.count() > 0) {
+      r.mean_us = sim::to_microseconds(
+          static_cast<sim::TimePs>(st.latency.mean()));
+      r.p50_us = sim::to_microseconds(st.latency.p50());
+      r.p99_us = sim::to_microseconds(st.latency.p99());
+      sum_mean += r.mean_us;
+      sum_p99 += r.p99_us;
+      ++measured;
+    }
+  }
+  if (measured > 0) {
+    out.avg_mean_us = sum_mean / static_cast<double>(measured);
+    out.avg_p99_us = sum_p99 / static_cast<double>(measured);
+  }
+
+  // Machine activity.
+  out.elapsed = machine.sim().now();
+  out.core_utilization = machine.cores().utilization();
+  out.core_busy = machine.cores().stats().busy_time;
+  out.dma_utilization = machine.dma().utilization();
+  out.dma_busy = machine.dma().stats().busy_time;
+  out.manager_busy = machine.manager().total_busy_time();
+  out.interrupts = machine.cores().stats().interrupts;
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    const auto& acc = machine.accel(t);
+    out.accel_utilization[accel::index_of(t)] = acc.pe_utilization();
+    out.accel_busy += acc.stats().pe_busy_time;
+    out.accel_busy_by_type[accel::index_of(t)] = acc.stats().pe_busy_time;
+    out.dispatcher_busy += acc.dispatcher_busy_time();
+    out.overflow_enqueues += acc.stats().overflow_enqueues;
+    out.overflow_rejections += acc.stats().overflow_rejections;
+    out.accel_invocations += acc.stats().jobs;
+    out.tlb_lookups += acc.tlb_stats().lookups;
+    out.tlb_misses += acc.tlb_stats().misses();
+    out.page_faults += acc.stats().faults;
+    out.deadline_misses += acc.stats().deadline_misses;
+  }
+  if (const auto* eng = orch.engine()) {
+    out.engine = eng->stats();
+  } else if (const auto* base =
+                 dynamic_cast<const core::BaselineOrchestrator*>(&orch)) {
+    out.baseline = base->stats();
+    out.orchestration_time = base->stats().orchestration_time;
+    out.manager_events = base->stats().manager_events;
+  }
+  if (metrics != nullptr) {
+    machine.snapshot_metrics(*metrics);
+    if (const auto* eng = orch.engine()) {
+      eng->snapshot_metrics(*metrics);
+    }
+  }
+  return out;
+}
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::Machine machine(config.machine);
@@ -69,70 +134,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   engine.reset_stats();
   machine.sim().run_until(issue_until + config.drain);
 
-  ExperimentResult out;
-  out.services.resize(services.size());
-  double sum_mean = 0, sum_p99 = 0;
-  std::size_t measured = 0;
-  for (std::size_t s = 0; s < services.size(); ++s) {
-    ServiceResult& r = out.services[s];
-    const ServiceStats& st = engine.stats(s);
-    r.name = services[s]->name();
-    r.completed = st.completed;
-    r.failed = st.failed;
-    r.fallbacks = st.fallbacks;
-    r.latency = st.latency;
-    if (st.latency.count() > 0) {
-      r.mean_us = sim::to_microseconds(
-          static_cast<sim::TimePs>(st.latency.mean()));
-      r.p50_us = sim::to_microseconds(st.latency.p50());
-      r.p99_us = sim::to_microseconds(st.latency.p99());
-      sum_mean += r.mean_us;
-      sum_p99 += r.p99_us;
-      ++measured;
-    }
-  }
-  if (measured > 0) {
-    out.avg_mean_us = sum_mean / static_cast<double>(measured);
-    out.avg_p99_us = sum_p99 / static_cast<double>(measured);
-  }
-
-  // Machine activity.
-  out.elapsed = machine.sim().now();
-  out.core_utilization = machine.cores().utilization();
-  out.core_busy = machine.cores().stats().busy_time;
-  out.dma_utilization = machine.dma().utilization();
-  out.dma_busy = machine.dma().stats().busy_time;
-  out.manager_busy = machine.manager().total_busy_time();
-  out.interrupts = machine.cores().stats().interrupts;
-  for (const accel::AccelType t : accel::kAllAccelTypes) {
-    const auto& acc = machine.accel(t);
-    out.accel_utilization[accel::index_of(t)] = acc.pe_utilization();
-    out.accel_busy += acc.stats().pe_busy_time;
-    out.accel_busy_by_type[accel::index_of(t)] = acc.stats().pe_busy_time;
-    out.dispatcher_busy += acc.dispatcher_busy_time();
-    out.overflow_enqueues += acc.stats().overflow_enqueues;
-    out.overflow_rejections += acc.stats().overflow_rejections;
-    out.accel_invocations += acc.stats().jobs;
-    out.tlb_lookups += acc.tlb_stats().lookups;
-    out.tlb_misses += acc.tlb_stats().misses();
-    out.page_faults += acc.stats().faults;
-    out.deadline_misses += acc.stats().deadline_misses;
-  }
-  if (const auto* eng = orch->engine()) {
-    out.engine = eng->stats();
-  } else if (const auto* base =
-                 dynamic_cast<const core::BaselineOrchestrator*>(
-                     orch.get())) {
-    out.baseline = base->stats();
-    out.orchestration_time = base->stats().orchestration_time;
-    out.manager_events = base->stats().manager_events;
-  }
-  if (config.metrics != nullptr) {
-    machine.snapshot_metrics(*config.metrics);
-    if (const auto* eng = orch->engine()) {
-      eng->snapshot_metrics(*config.metrics);
-    }
-  }
+  ExperimentResult out =
+      harvest_result(machine, *orch, engine, config.metrics);
   if (checker != nullptr) {
     checker->final_audit();
     if (env_checker != nullptr && !checker->ok()) {

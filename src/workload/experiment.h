@@ -123,6 +123,23 @@ struct ExperimentResult {
 /** Runs one experiment. */
 ExperimentResult run_experiment(const ExperimentConfig& config);
 
+/** True when AF_CHECK=1 (anything but "0"/"") is set in the environment:
+ *  every run attaches an internal invariant checker and aborts on any
+ *  violation. The test suite runs this way (TESTING.md). */
+bool af_check_enabled();
+
+/**
+ * Collects the end-of-run measurements — per-service latency, machine
+ * activity, orchestrator counters, and (optionally) a metrics-registry
+ * snapshot — from a machine that has finished simulating. Shared by
+ * run_experiment() and the checkpoint-and-fork SweepSession so both
+ * report byte-identical structures for the same simulated timeline.
+ */
+ExperimentResult harvest_result(core::Machine& machine,
+                                const core::Orchestrator& orch,
+                                const RequestEngine& engine,
+                                obs::MetricsRegistry* metrics = nullptr);
+
 /**
  * Unloaded per-service latency (P50 at a trickle load) — the basis of the
  * paper's SLO = 5x unloaded service execution time.

@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_WORKLOAD_LOAD_GENERATOR_H_
 #define ACCELFLOW_WORKLOAD_LOAD_GENERATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -47,6 +48,55 @@ class LoadGenerator {
                 sim::TimePs until, std::uint64_t seed);
 
   std::uint64_t generated() const { return generated_; }
+
+  /**
+   * Deep copy of the generator's arrival-process state (DESIGN.md §13).
+   * The pending self-scheduling event lives in the simulator calendar and
+   * is captured by sim::Snapshot, not here; a *stopped* generator (one
+   * whose last event fell past `until_`) is revived via resume().
+   */
+  struct Checkpoint {
+    double rps = 0;                        ///< Mean arrival rate.
+    sim::TimePs until = 0;                 ///< Issue cutoff.
+    std::array<std::uint64_t, 4> rng{};    ///< Arrival stream state.
+    std::uint64_t generated = 0;           ///< Invocations issued so far.
+    double rate_multiplier = 1.0;          ///< kTrace window multiplier.
+    sim::TimePs window_end = 0;            ///< kTrace window boundary.
+    bool on = false;                       ///< kBursty ON/OFF state.
+    sim::TimePs phase_end = 0;             ///< kBursty phase boundary.
+  };
+
+  /** Captures the arrival-process state. */
+  Checkpoint checkpoint() const {
+    return Checkpoint{rps_,        until_,           rng_.state(),
+                      generated_,  rate_multiplier_, window_end_,
+                      on_,         phase_end_};
+  }
+
+  /** Restores state captured by checkpoint(). Does not schedule events:
+   *  pair with resume() (or a simulator-calendar restore). */
+  void restore(const Checkpoint& c) {
+    rps_ = c.rps;
+    until_ = c.until;
+    rng_.set_state(c.rng);
+    generated_ = c.generated;
+    rate_multiplier_ = c.rate_multiplier;
+    window_end_ = c.window_end;
+    on_ = c.on;
+    phase_end_ = c.phase_end;
+  }
+
+  /**
+   * Revives a stopped generator at the current simulated time: sets a new
+   * rate and cutoff, then schedules the next arrival. Used by the fork
+   * engine to re-arm warmup generators at each sweep point's target rate.
+   * Only call when no arrival event for this generator is pending.
+   */
+  void resume(double rps, sim::TimePs until) {
+    rps_ = rps;
+    until_ = until;
+    schedule_next();
+  }
 
  private:
   void schedule_next();

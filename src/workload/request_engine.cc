@@ -70,8 +70,7 @@ mem::VirtAddr RequestEngine::buffer_for(std::size_t service,
 
 RequestEngine::ActiveRequest* RequestEngine::create_request(std::size_t s) {
   assert(s < services_.size());
-  auto r = std::make_unique<ActiveRequest>();
-  ActiveRequest* req = r.get();
+  ActiveRequest* req = request_arena_.create();
   req->service = s;
   req->id = next_id_++;
   req->arrived = machine_.sim().now();
@@ -80,7 +79,7 @@ RequestEngine::ActiveRequest* RequestEngine::create_request(std::size_t s) {
   // least-loaded core.
   req->core = machine_.cores().least_loaded();
   ++stats_[s].issued;
-  active_[req->id] = std::move(r);
+  active_[req->id] = req;
   return req;
 }
 
@@ -122,7 +121,7 @@ void RequestEngine::launch_chains(ActiveRequest* r, const StageSpec& stage) {
   const std::size_t stage_index = r->stage;
   ++r->stage;
 
-  r->chains.clear();
+  release_chains(r);
   int total = 0;
   for (const ChainGroup& g : stage.groups) total += g.count;
   r->pending_chains = total;
@@ -133,7 +132,7 @@ void RequestEngine::launch_chains(ActiveRequest* r, const StageSpec& stage) {
     const ChainGroup& group = stage.groups[g];
     const core::AtmAddr addr = svc.group_addr(stage_index, g);
     for (int k = 0; k < group.count; ++k) {
-      auto ctx = std::make_unique<core::ChainContext>();
+      core::ChainContext* ctx = chain_arena_.create();
       ctx->request = r->id;
       ctx->chain = chain_no++;
       ctx->tenant = static_cast<accel::TenantId>(r->service);
@@ -155,9 +154,8 @@ void RequestEngine::launch_chains(ActiveRequest* r, const StageSpec& stage) {
         if (res.cpu_fallback) r->fell_back = true;
         if (--r->pending_chains == 0) advance(r);
       };
-      core::ChainContext* raw = ctx.get();
-      r->chains.push_back(std::move(ctx));
-      orch_.run_chain(raw, addr);
+      r->chains.push_back(ctx);
+      orch_.run_chain(ctx, addr);
     }
   }
 }
@@ -181,7 +179,40 @@ void RequestEngine::complete(ActiveRequest* r) {
         r->wire_rtt,
         [cb = std::move(r->on_complete), resp] { cb(resp); });
   }
+  release_chains(r);
   active_.erase(r->id);
+  request_arena_.destroy(r);
+}
+
+void RequestEngine::release_chains(ActiveRequest* r) {
+  for (core::ChainContext* c : r->chains) chain_arena_.destroy(c);
+  r->chains.clear();
+}
+
+RequestEngine::Checkpoint RequestEngine::checkpoint() const {
+  Checkpoint c;
+  c.stats = stats_;
+  c.next_id = next_id_;
+  c.step_budgets = step_budgets_;
+  c.pool_next.reserve(pools_.size());
+  for (const BufferPool& p : pools_) c.pool_next.push_back(p.next);
+  return c;
+}
+
+void RequestEngine::restore(const Checkpoint& c) {
+  assert(c.stats.size() == stats_.size());
+  assert(c.pool_next.size() == pools_.size());
+  stats_ = c.stats;
+  next_id_ = c.next_id;
+  step_budgets_ = c.step_budgets;
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    pools_[i].next = c.pool_next[i];
+  }
+  // Any in-flight requests belong to the timeline being abandoned; their
+  // calendar events are replaced wholesale by the simulator restore.
+  active_.clear();
+  chain_arena_.clear();
+  request_arena_.clear();
 }
 
 void RequestEngine::reset_stats() {

@@ -9,6 +9,7 @@
 #include "core/machine.h"
 #include "core/orchestrator.h"
 #include "mem/address.h"
+#include "sim/arena.h"
 #include "stats/latency_recorder.h"
 #include "workload/service.h"
 
@@ -81,6 +82,28 @@ class RequestEngine {
     step_budgets_ = std::move(budgets);
   }
 
+  /**
+   * Deep copy of the engine's measurement and determinism state
+   * (DESIGN.md §13). In-flight requests hold raw pointers into the
+   * simulator calendar and are *not* captured: restore() drops them
+   * (workload::SweepSession only checkpoints at a quiescent point where
+   * none exist). The request-id cursor is captured so forked runs draw
+   * the same per-request RNG streams as a straight-through run.
+   */
+  struct Checkpoint {
+    std::vector<ServiceStats> stats;       ///< Per-service recorders.
+    accel::RequestId next_id = 1;          ///< Request-id cursor.
+    std::vector<sim::TimePs> step_budgets; ///< SLO step budgets.
+    std::vector<std::size_t> pool_next;    ///< Buffer-pool cursors.
+  };
+
+  /** Captures stats, cursors, and SLO budgets. */
+  Checkpoint checkpoint() const;
+
+  /** Restores state captured by checkpoint(); drops in-flight requests
+   *  and bulk-frees their arena storage. */
+  void restore(const Checkpoint& c);
+
  private:
   struct ActiveRequest {
     std::size_t service = 0;
@@ -92,7 +115,8 @@ class RequestEngine {
     bool fell_back = false;
     sim::TimePs arrived = 0;
     sim::Rng rng;
-    std::vector<std::unique_ptr<core::ChainContext>> chains;
+    /** Arena-backed chain contexts of the current stage (chain_arena_). */
+    std::vector<core::ChainContext*> chains;
     /** Set for nested sub-requests: fired with the response size. */
     std::function<void(std::uint64_t)> on_complete;
     sim::TimePs wire_rtt = 0;
@@ -102,6 +126,8 @@ class RequestEngine {
   void advance(ActiveRequest* r);
   void launch_chains(ActiveRequest* r, const StageSpec& stage);
   void complete(ActiveRequest* r);
+  /** Returns the current stage's chain contexts to the arena. */
+  void release_chains(ActiveRequest* r);
   mem::VirtAddr buffer_for(std::size_t service, std::uint64_t bytes);
 
   core::Machine& machine_;
@@ -111,8 +137,12 @@ class RequestEngine {
   std::uint64_t seed_;
   accel::RequestId next_id_ = 1;
   std::vector<sim::TimePs> step_budgets_;
-  std::unordered_map<accel::RequestId, std::unique_ptr<ActiveRequest>>
-      active_;
+  std::unordered_map<accel::RequestId, ActiveRequest*> active_;
+  // Hot-path arenas: requests and chain contexts churn at the arrival
+  // rate; slab recycling avoids a malloc/free pair per object and lets
+  // restore() bulk-free everything in flight.
+  sim::Arena<ActiveRequest> request_arena_;
+  sim::Arena<core::ChainContext> chain_arena_;
   // Per-service rotating buffer pools: realistic TLB locality.
   struct BufferPool {
     std::unique_ptr<mem::AddressSpace> space;

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Regenerates the golden regression snapshots in tests/golden/ after an
-# intentional behavior change (see TESTING.md, "Golden regression tests").
+# Regenerates the golden regression snapshots in tests/golden/ and the
+# perf-gate baselines at the repo root after an intentional behavior or
+# performance change (see TESTING.md, "Golden regression tests", and
+# tools/perf_gate.py). Perf baselines are measured with AF_BENCH_FAST=1,
+# matching how CI measures before gating.
 # Usage: tools/update_goldens.sh [build-dir]   (default: ./build)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 
-cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput -j
+cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput \
+  bench_kernel_events bench_snapshot_fork -j
 "$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
 "$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
 
+AF_BENCH_FAST=1 AF_BENCH_KERNEL_JSON="$root/BENCH_kernel.json" \
+  "$build/bench/bench_kernel_events"
+AF_BENCH_FAST=1 AF_BENCH_SNAPSHOT_JSON="$root/BENCH_snapshot.json" \
+  AF_BENCH_SWEEP_JSON="$root/BENCH_sweep.json" \
+  "$build/bench/bench_snapshot_fork"
+
 echo "Goldens updated; review the diff with: git diff $root/tests/golden"
+echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json BENCH_sweep.json"
