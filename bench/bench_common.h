@@ -59,10 +59,16 @@ inline ObsOptions parse_obs_options(int argc, char** argv) {
       o.golden_path = a.substr(9);
     } else if (a == "--fork") {
       o.fork = true;
+    } else if (a.rfind("--faults=", 0) == 0) {
+      // Uniform fault injection at the given rate (DESIGN.md §14).
+      // Routed through the AF_FAULTS environment knob so every
+      // experiment the binary runs — including ones built deep inside a
+      // sweep — picks it up without per-bench plumbing.
+      setenv("AF_FAULTS", a.substr(9).c_str(), /*overwrite=*/1);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--trace=FILE.json] [--metrics=FILE.json]"
-                   " [--golden=FILE.json] [--fork]\n";
+                   " [--golden=FILE.json] [--fork] [--faults=RATE]\n";
       std::exit(2);
     }
   }

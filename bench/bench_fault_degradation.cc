@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Degraded-mode throughput vs injected fault rate (DESIGN.md §14).
+ *
+ * Sweeps a uniform fault rate from 0 to 5% across every fault class and
+ * all nine accelerator types on the AccelFlow orchestrator, and reports
+ * sustained request throughput, tail latency, and the resilience policy's
+ * recovery actions (retries, probes, health-quarantine re-routes, CPU
+ * fallbacks) at each point. Every point runs under the invariant checker:
+ * an injected fault that loses a chain fails the binary, so this bench
+ * doubles as the acceptance run for the no-lost-chains bar.
+ *
+ * Throughputs land in BENCH_fault.json (override with AF_BENCH_FAULT_JSON)
+ * as *_per_sec keys in the simulated domain — deterministic, so the CI
+ * perf gate (tools/perf_gate.py) pins the degradation curve itself: a
+ * policy regression that silently costs >20% of degraded-mode throughput
+ * at any fault rate fails the gate.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "check/invariant_checker.h"
+#include "fault/fault_plan.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+
+namespace accelflow::bench {
+namespace {
+
+workload::ExperimentConfig faulted_config(double rate) {
+  auto cfg = social_network_config(core::OrchKind::kAccelFlow);
+  cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+  cfg.per_service_rps.assign(cfg.specs.size(), 9000.0);
+  cfg.warmup = sim::milliseconds(5 * time_scale());
+  cfg.measure = sim::milliseconds(40 * time_scale());
+  cfg.drain = sim::milliseconds(15 * time_scale());
+  if (rate > 0) cfg.faults = fault::FaultPlan::uniform(rate);
+  return cfg;
+}
+
+/** JSON key fragment for one fault rate: 0.01 -> "1.0pct". */
+std::string rate_key(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1fpct", rate * 100.0);
+  return buf;
+}
+
+}  // namespace
+}  // namespace accelflow::bench
+
+int main(int argc, char** argv) {
+  using namespace accelflow;
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
+  (void)obs;  // No golden mode: the sweep is perf-gated, not byte-compared.
+
+  const std::vector<double> rates = {0.0, 0.005, 0.01, 0.02, 0.05};
+  std::vector<workload::ExperimentConfig> configs;
+  configs.reserve(rates.size());
+  for (const double r : rates) configs.push_back(bench::faulted_config(r));
+
+  // One checker per point (the points run on the shared pool): the
+  // acceptance bar is zero lost chains at *every* fault rate.
+  std::vector<check::InvariantChecker> checkers(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].checker = &checkers[i];
+  }
+
+  const std::vector<workload::ExperimentResult> results =
+      bench::run_all(configs);
+
+  stats::Table t("Degraded-mode throughput vs injected fault rate "
+                 "(AccelFlow, uniform plan over all classes and types)");
+  t.set_header({"Fault rate", "kRPS", "P99 (us)", "faults", "retries",
+                "probes", "health rr", "CPU fb", "faulted req"});
+  stats::CounterSet out;
+  bool lost_chains = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const workload::ExperimentResult& r = results[i];
+    const double secs = sim::to_seconds(configs[i].measure);
+    const double rps = static_cast<double>(r.total_completed()) / secs;
+    std::uint64_t faulted_requests = 0;
+    for (const auto& s : r.services) faulted_requests += s.faulted;
+    const std::uint64_t cpu_fb = r.engine.retry_exhausted_fallbacks +
+                                 r.engine.health_fallbacks +
+                                 r.engine.enqueue_fallbacks +
+                                 r.engine.overflow_fallbacks;
+    t.add_row({bench::rate_key(rates[i]), stats::Table::fmt(rps / 1000.0, 1),
+               stats::Table::fmt(r.avg_p99_us, 1),
+               std::to_string(r.faults.total()),
+               std::to_string(r.engine.hop_retries),
+               std::to_string(r.engine.hop_probes),
+               std::to_string(r.engine.health_fallbacks),
+               std::to_string(cpu_fb), std::to_string(faulted_requests)});
+    out.set("faults_" + bench::rate_key(rates[i]) + "_requests_per_sec",
+            rps);
+    if (!checkers[i].ok()) {
+      lost_chains = true;
+      std::cerr << "\nlost chains at fault rate " << rates[i] << ":\n"
+                << checkers[i].report();
+    }
+  }
+  t.print(std::cout);
+
+  {
+    const char* p = std::getenv("AF_BENCH_FAULT_JSON");
+    const std::string file = p != nullptr ? p : "BENCH_fault.json";
+    std::ofstream os(file);
+    out.write_json(os);
+    std::cout << "\nwrote " << file << "\n";
+  }
+  // The no-lost-chains acceptance bar: every injected fault recovered or
+  // accounted, at every swept rate.
+  return lost_chains ? 1 : 0;
+}

@@ -38,6 +38,13 @@ void Accelerator::set_tracer(obs::Tracer* tracer, std::uint32_t accel_index) {
 }
 
 SlotId Accelerator::try_enqueue(QueueEntry e) {
+  // Injected queue-full storm: refuse admission before touching the SRAM
+  // queue, so its alloc/release identities stay intact and the caller
+  // exercises its real full-queue path (retry / overflow / fallback).
+  if (fault_hooks_ != nullptr && fault_hooks_->queue_reject(fault_unit_)) {
+    ++stats_.injected_rejections;
+    return kInvalidSlot;
+  }
   e.enqueued_at = sim_.now();
   return input_.allocate(std::move(e));
 }
@@ -93,6 +100,28 @@ void Accelerator::drain_overflow() {
     assert(slot != kInvalidSlot);
     sim_.schedule_at(done, [this, slot] { deliver_data(slot); });
   }
+}
+
+bool Accelerator::holds_chain(const core::ChainContext* ctx) const {
+  bool held = false;
+  input_.for_each_occupied([&](SlotId, const QueueEntry& e) {
+    if (e.ctx == ctx) held = true;
+  });
+  if (held) return true;
+  for (const QueueEntry& e : overflow_) {
+    if (e.ctx == ctx) return true;
+  }
+  for (const Pe& p : pes_) {
+    // A killed PE's entry will never surface; don't report it as alive.
+    if (p.busy && !p.killed && p.inflight.ctx == ctx) return true;
+  }
+  for (const BlockedDeposit& b : blocked_) {
+    if (b.entry.ctx == ctx) return true;
+  }
+  output_.for_each_occupied([&](SlotId, const QueueEntry& e) {
+    if (e.ctx == ctx) held = true;
+  });
+  return held;
 }
 
 sim::TimePs Accelerator::translate(TenantId tenant, mem::VirtAddr va,
@@ -178,6 +207,20 @@ void Accelerator::try_dispatch() {
     p.busy = true;
     sim::TimePs t = sim_.now();
 
+    // Fault injection (DESIGN.md §14): a stall stretches this job's
+    // service time; a kill lets the PE run but drops its result at
+    // on_pe_done. Both are decided here so the completion callback still
+    // captures only the PE index.
+    p.killed = false;
+    if (fault_hooks_ != nullptr) {
+      const sim::TimePs stall = fault_hooks_->pe_stall(fault_unit_);
+      if (stall > 0) {
+        t += stall;
+        stats_.injected_stall_time += stall;
+      }
+      p.killed = fault_hooks_->pe_kill(fault_unit_);
+    }
+
     // Tenant isolation: clear PE + scratchpad between tenants (IV-D).
     if (p.has_tenant && p.last_tenant != entry.tenant) {
       t += sim::nanoseconds(params_.tenant_wipe_ns);
@@ -231,6 +274,18 @@ void Accelerator::try_dispatch() {
 
 void Accelerator::on_pe_done(int pe) {
   Pe& p = pes_[static_cast<std::size_t>(pe)];
+  if (p.killed) {
+    // Injected hard-failure: the result never reaches the output queue.
+    // Accounted in killed_jobs (the checker's quiescence identity becomes
+    // jobs == output deposits + killed_jobs); the orchestrator's hop
+    // watchdog notices the missing hop and retries or falls back.
+    p.killed = false;
+    p.inflight = QueueEntry{};
+    ++stats_.killed_jobs;
+    p.busy = false;
+    try_dispatch();
+    return;
+  }
   if (output_.full()) {
     // PE is non-preemptible and has nowhere to put its result: it blocks
     // until the output dispatcher frees a slot.

@@ -13,6 +13,7 @@
 #include "mem/tlb.h"
 #include "noc/interconnect.h"
 #include "obs/tracer.h"
+#include "sim/fault_hooks.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "stats/latency_recorder.h"
@@ -73,6 +74,15 @@ struct AccelStats {
   std::uint64_t deadline_misses = 0;      ///< Dispatched past the deadline.
   std::uint64_t reorders = 0;             ///< Non-FIFO dispatch decisions.
   std::uint64_t faults = 0;
+  /** Jobs consumed by an injected PE hard-failure: the PE ran but produced
+   *  no output (DESIGN.md §14). At quiescence the invariant checker expects
+   *  jobs == output deposits + killed_jobs. */
+  std::uint64_t killed_jobs = 0;
+  /** Enqueue attempts refused by an injected queue-full storm (the SRAM
+   *  queue itself was not touched, so its alloc counters stay clean). */
+  std::uint64_t injected_rejections = 0;
+  /** Total injected PE stall latency (subset of pe_busy_time). */
+  sim::TimePs injected_stall_time = 0;
   stats::LatencyRecorder input_queue_delay;
   /** Payload sizes consumed / produced (Figure 5). */
   stats::Histogram input_bytes;
@@ -144,6 +154,16 @@ class Accelerator {
   std::size_t input_occupancy() const { return input_.occupancy(); }
   std::size_t overflow_occupancy() const { return overflow_.size(); }
 
+  /**
+   * True if any entry belonging to `ctx` is still resident in this
+   * accelerator: input queue, overflow area, a PE (unless the PE was
+   * killed — a killed job's result will never surface), a blocked
+   * deposit, or the output queue. The orchestrator's hop watchdog uses
+   * this to distinguish a slow-but-alive hop (re-arm and keep waiting)
+   * from a genuinely lost one (retry or fall back) — see DESIGN.md §14.
+   */
+  bool holds_chain(const core::ChainContext* ctx) const;
+
   /** Direct access to a queued entry (e.g. to attach a response payload). */
   QueueEntry& input_entry(SlotId slot) { return input_.at(slot); }
 
@@ -198,6 +218,18 @@ class Accelerator {
   void set_tracer(obs::Tracer* tracer, std::uint32_t accel_index);
 
   /**
+   * Attaches (nullptr: detaches) the fault-injection sink consulted at
+   * queue admission and PE dispatch/completion (DESIGN.md §14). `unit` is
+   * this accelerator's index in the machine, keying the injector's
+   * per-accelerator random streams. Unlike the tracer, an attached sink
+   * perturbs simulated time; it is part of the deterministic run state.
+   */
+  void set_fault_hooks(sim::FaultHooks* hooks, int unit) {
+    fault_hooks_ = hooks;
+    fault_unit_ = unit;
+  }
+
+  /**
    * Resizes the PE array (Section VII-C.3 sensitivity sweeps). Only legal
    * while the accelerator is idle (no busy PE, no blocked deposit): asserts
    * otherwise. Used by Machine::set_pes_per_accel to diverge a forked
@@ -213,6 +245,9 @@ class Accelerator {
     sim::TimePs free_at = 0;
     bool busy = false;
     bool has_tenant = false;
+    /** Injected hard-failure: the PE runs to completion but its result is
+     *  dropped at on_pe_done (counted in AccelStats::killed_jobs). */
+    bool killed = false;
     TenantId last_tenant = 0;
     /** The entry this PE is computing on. Held here (not in the completion
      *  callback) so the kernel callback captures only the PE index. */
@@ -307,6 +342,8 @@ class Accelerator {
   AccelStats stats_;
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t tid_base_ = 0;  ///< First trace track of this accelerator.
+  sim::FaultHooks* fault_hooks_ = nullptr;  ///< Null: fault-free run.
+  int fault_unit_ = 0;  ///< This accelerator's unit id at the injector.
 };
 
 }  // namespace accelflow::accel

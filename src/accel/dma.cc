@@ -25,9 +25,20 @@ sim::TimePs DmaPool::transfer(noc::Location src, noc::Location dst,
 
   const auto ser = static_cast<sim::TimePs>(
       static_cast<double>(bytes) / bytes_per_ps_ + 0.5);
-  const sim::TimePs engine_done = start + latency_ + ser;
+  sim::TimePs occupied = latency_ + ser;
+  if (fault_hooks_ != nullptr) {
+    // Injected transfer error: the engine detects the corruption and
+    // replays the descriptor, occupying itself for the penalty too.
+    const sim::TimePs penalty = fault_hooks_->dma_error_penalty(
+        static_cast<int>(it - engine_free_at_.begin()));
+    if (penalty > 0) {
+      ++stats_.injected_errors;
+      occupied += penalty;
+    }
+  }
+  const sim::TimePs engine_done = start + occupied;
   *it = engine_done;
-  stats_.busy_time += latency_ + ser;
+  stats_.busy_time += occupied;
   if (tracer_ != nullptr) {
     tracer_->complete(obs::Subsys::kDma, obs::SpanKind::kDmaTransfer,
                       static_cast<std::uint32_t>(it - engine_free_at_.begin()),

@@ -6,6 +6,7 @@
 
 #include "noc/interconnect.h"
 #include "obs/tracer.h"
+#include "sim/fault_hooks.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -31,6 +32,7 @@ struct DmaStats {
   std::uint64_t bytes = 0;
   sim::TimePs engine_wait = 0;  ///< Time spent waiting for a free engine.
   sim::TimePs busy_time = 0;
+  std::uint64_t injected_errors = 0;  ///< Transfers hit by a fault window.
 };
 
 /**
@@ -70,6 +72,14 @@ class DmaPool {
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /**
+   * Attaches (nullptr: detaches) the fault-injection sink. Each transfer
+   * consults it for a retry penalty — modelling a corrupted descriptor
+   * re-fetched and replayed — keyed by the occupied engine's index
+   * (DESIGN.md §14). Perturbs simulated time, unlike the tracer.
+   */
+  void set_fault_hooks(sim::FaultHooks* hooks) { fault_hooks_ = hooks; }
+
   /** Deep copy of engine occupancy + counters (DESIGN.md §13). */
   struct Checkpoint {
     std::vector<sim::TimePs> engine_free_at;  ///< Per-engine next-free.
@@ -94,6 +104,7 @@ class DmaPool {
   std::vector<sim::TimePs> engine_free_at_;
   DmaStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  sim::FaultHooks* fault_hooks_ = nullptr;  ///< Null: fault-free run.
 };
 
 }  // namespace accelflow::accel

@@ -67,6 +67,14 @@ class SramQueue {
     }
   }
 
+  /** Read-only overload for inspection passes. */
+  template <typename Fn>
+  void for_each_occupied(Fn&& fn) const {
+    for (SlotId s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    }
+  }
+
   const QueueStats& stats() const { return stats_; }
 
   /** Deep copy of slots, free list, and counters (DESIGN.md §13). */

@@ -276,11 +276,15 @@ void InvariantChecker::final_audit() {
   for (const AccelType t : accel::kAllAccelTypes) {
     const accel::Accelerator& acc = machine_->accel(t);
     const accel::AccelStats& st = acc.stats();
-    if (st.jobs != st.output_bytes.count()) {
+    // Fault-injected runs kill some dispatched jobs before they deposit
+    // output (DESIGN.md §14); every such loss must be explicitly counted,
+    // never silent — the identity covers fault-free runs as a special case.
+    if (st.jobs != st.output_bytes.count() + st.killed_jobs) {
       violate(std::string(accel::name_of(t)) +
                   " lost jobs at quiescence: " + std::to_string(st.jobs) +
                   " dispatched, " +
-                  std::to_string(st.output_bytes.count()) + " deposited",
+                  std::to_string(st.output_bytes.count()) + " deposited, " +
+                  std::to_string(st.killed_jobs) + " killed by faults",
               0);
     }
     if (acc.input_occupancy() != 0 || acc.output_occupancy() != 0 ||

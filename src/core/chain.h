@@ -74,6 +74,7 @@ struct ChainResult {
   bool ok = true;
   bool cpu_fallback = false;  ///< Part or all ran on the CPU.
   bool timeout = false;       ///< A TCP wait slot timed out.
+  bool faulted = false;       ///< Needed fault recovery (DESIGN.md §14).
   sim::TimePs completed_at = 0;
 };
 
@@ -107,6 +108,10 @@ struct ChainContext {
   std::uint32_t transforms = 0;
   std::uint32_t mid_notifies = 0;
   std::uint32_t remote_calls = 0;
+  /** Set by the orchestrator when this chain needed fault recovery (a lost
+   *  hop was re-issued, or work re-routed around a quarantined
+   *  accelerator); copied into ChainResult::faulted on completion. */
+  bool faulted = false;
   bool done = false;
 
   /** Convenience: finishes the chain exactly once. */

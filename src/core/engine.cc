@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <string>
 
 
@@ -61,6 +62,17 @@ void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
   const TraceOp op0 = decode_op(tr.word, 0);
   assert(op0.kind == TraceOp::Kind::kInvoke &&
          "a chain must start by invoking an accelerator");
+
+  // Graceful degradation (DESIGN.md §14): while the first accelerator is
+  // quarantined, the whole chain starts on the CPU instead.
+  if (reroute_unhealthy(op0.accel)) {
+    ++stats_.health_fallbacks;
+    ++stats_.fallbacks_by_type[accel::index_of(op0.accel)];
+    ctx->faulted = true;
+    continue_chain_on_cpu(ctx, tr.word, op0.next_pm, ctx->initial_bytes,
+                          op0.accel);
+    return;
+  }
 
   QueueEntry e;
   e.trace_word = tr.word;
@@ -133,6 +145,8 @@ void AccelFlowEngine::enqueue_with_retry(ChainContext* ctx, QueueEntry entry,
                                      mba_.acquire(ctx->tenant, bytes));
     if (ValidationHooks* c = chk()) c->on_dma(bytes, arrive);
   }
+  arm_hop(ctx, target, entry.trace_word, entry.position_mark,
+          entry.payload.size_bytes, entry.payload.format, arrive);
   machine_.sim().schedule_at(arrive,
                              [&dst, slot] { dst.deliver_data(slot); });
 }
@@ -146,6 +160,12 @@ void AccelFlowEngine::run_dispatcher_fsm(accel::Accelerator& acc,
   QueueEntry e = acc.output_entry(slot);  // The A-DMA moves a copy onward.
   ChainContext* ctx = e.ctx;
   assert(ctx != nullptr);
+  if (resilience_active()) {
+    // The hop produced output: stand the watchdog down (the next hand-off
+    // re-arms it) and credit the accelerator's health.
+    disarm_hop(ctx);
+    record_hop_success(acc.type());
+  }
   ++ctx->accel_invocations;
   // Everything the FSM touches synchronously below (dispatcher occupancy,
   // forwarding DMA, manager round trips) belongs to this chain.
@@ -317,6 +337,17 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
   accel::Accelerator& dst = machine_.accel(target);
   ChainContext* ctx = e.ctx;
 
+  // Graceful degradation: don't hand new work to a quarantined
+  // accelerator. Armed network waits are exempt — the receive trace must
+  // park somewhere, and the CPU path models that wait differently.
+  if (!armed_wait && reroute_unhealthy(target)) {
+    ++stats_.health_fallbacks;
+    ++stats_.fallbacks_by_type[accel::index_of(target)];
+    ctx->faulted = true;
+    cpu_fallback_from_entry(e, target);
+    return;
+  }
+
   if (config_.stamp_deadlines &&
       ctx->step_deadline_budget != sim::kTimeNever) {
     // The deadline is relative to now; early finishers pass slack on.
@@ -344,6 +375,8 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
 
   e.ready = false;
   e.pending_inputs = 1;
+  arm_hop(ctx, target, e.trace_word, e.position_mark, e.payload.size_bytes,
+          e.payload.format, arrive);
   const auto parked = parked_.park(std::move(e));
   machine_.sim().schedule_at(
       arrive, [this, &dst, parked, armed_wait, wait_kind] {
@@ -374,6 +407,10 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
               le.pending_inputs = 1;
               forward_into_queue(dst, std::move(le));
             };
+            // The parked entry is invisible to holds_chain(): tell the
+            // watchdog this is a (possibly unbounded) known wait, not a
+            // loss. A synchronous nested delivery re-arms right over it.
+            note_hop_wait(ctx, sim::kTimeNever);
             if (!ctx->env->nested_call(*ctx, wait_kind, deliver_deferred)) {
               const sim::TimePs latency =
                   ctx->env->remote_latency(*ctx, wait_kind);
@@ -382,6 +419,7 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
               if (latency > timeout) {
                 ++stats_.timeouts;
                 parked_.drop(deferred);  // The timeout path never delivers.
+                disarm_hop(ctx);  // The chain completes below, on schedule.
                 machine_.sim().schedule_after(timeout, [this, ctx] {
                   ChainResult r;
                   r.ok = false;
@@ -394,6 +432,7 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
               }
               const std::uint64_t resp =
                   ctx->env->response_size(*ctx, wait_kind);
+              note_hop_wait(ctx, machine_.sim().now() + latency);
               machine_.sim().schedule_after(
                   latency,
                   [deliver_deferred, resp] { deliver_deferred(resp); });
@@ -423,6 +462,10 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
           qe.payload.size_bytes = bytes;
           qe.payload.flags = ctx->flags;
           qe.cpu_cost = ctx->env->op_cpu_cost(*ctx, dst.type(), bytes);
+          // Refresh the hand-off record: a re-issue of this hop must carry
+          // the response payload, not the pre-response placeholder.
+          arm_hop(ctx, dst.type(), qe.trace_word, qe.position_mark, bytes,
+                  qe.payload.format, /*in_flight_until=*/0);
           dst.deliver_data(slot);
         };
         if (ctx->env->nested_call(*ctx, wait_kind, deliver)) return;
@@ -431,6 +474,7 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
             sim::milliseconds(config_.response_timeout_ms);
         if (latency > timeout) {
           ++stats_.timeouts;
+          disarm_hop(ctx);  // The chain completes below, on schedule.
           machine_.sim().schedule_after(timeout, [this, &dst, slot, ctx] {
             dst.release_input(slot);
             ChainResult r;
@@ -450,6 +494,9 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
               qe.payload.flags = ctx->flags;
               qe.cpu_cost = ctx->env->op_cpu_cost(*ctx, dst.type(),
                                                   qe.payload.size_bytes);
+              arm_hop(ctx, dst.type(), qe.trace_word, qe.position_mark,
+                      qe.payload.size_bytes, qe.payload.format,
+                      /*in_flight_until=*/0);
               dst.deliver_data(slot);
             });
       });
@@ -457,6 +504,15 @@ void AccelFlowEngine::forward(accel::Accelerator& from, QueueEntry e,
 
 void AccelFlowEngine::forward_into_queue(accel::Accelerator& dst,
                                          QueueEntry e) {
+  if (reroute_unhealthy(dst.type())) {
+    ++stats_.health_fallbacks;
+    ++stats_.fallbacks_by_type[accel::index_of(dst.type())];
+    e.ctx->faulted = true;
+    cpu_fallback_from_entry(e, dst.type());
+    return;
+  }
+  arm_hop(e.ctx, dst.type(), e.trace_word, e.position_mark,
+          e.payload.size_bytes, e.payload.format, /*in_flight_until=*/0);
   ++stats_.attempts_by_type[accel::index_of(dst.type())];
   const SlotId slot = dst.try_enqueue(e);
   if (slot != accel::kInvalidSlot) {
@@ -481,6 +537,9 @@ void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
                                             std::uint8_t pm,
                                             std::uint64_t payload_bytes,
                                             AccelType pending) {
+  // The CPU path cannot lose a chain (every branch below completes it or
+  // re-enters the ensemble, which re-arms): the watchdog stands down.
+  disarm_hop(ctx);
   if (obs::Tracer* t = trc()) {
     t->instant(obs::Subsys::kCpu, obs::SpanKind::kCpuFallback,
                static_cast<std::uint32_t>(ctx->core), machine_.sim().now(),
@@ -688,6 +747,19 @@ void AccelFlowEngine::snapshot_metrics(obs::MetricsRegistry& reg) const {
   reg.set("engine.notifications", static_cast<double>(stats_.notifications));
   reg.set("engine.tenant_throttled",
           static_cast<double>(stats_.tenant_throttled));
+  reg.set("engine.hop_timeouts", static_cast<double>(stats_.hop_timeouts));
+  reg.set("engine.hop_retries", static_cast<double>(stats_.hop_retries));
+  reg.set("engine.hop_probes", static_cast<double>(stats_.hop_probes));
+  reg.set("engine.retry_exhausted_fallbacks",
+          static_cast<double>(stats_.retry_exhausted_fallbacks));
+  reg.set("engine.health_fallbacks",
+          static_cast<double>(stats_.health_fallbacks));
+  reg.set("engine.unhealthy_transitions",
+          static_cast<double>(stats_.unhealthy_transitions));
+  reg.set("engine.probation_recoveries",
+          static_cast<double>(stats_.probation_recoveries));
+  reg.set("engine.chains_faulted",
+          static_cast<double>(stats_.chains_faulted));
   reg.set("engine.glue.mean_instrs", stats_.glue_instrs.mean(), Kind::kGauge);
   reg.set("engine.glue.ops", static_cast<double>(stats_.glue_instrs.count()));
   for (const AccelType t : accel::kAllAccelTypes) {
@@ -700,21 +772,27 @@ void AccelFlowEngine::snapshot_metrics(obs::MetricsRegistry& reg) const {
 
 void AccelFlowEngine::complete_chain(ChainContext* ctx,
                                      const ChainResult& result) {
+  disarm_hop(ctx);
+  ChainResult res = result;
+  if (ctx->faulted) {
+    res.faulted = true;
+    ++stats_.chains_faulted;
+  }
   ++stats_.chains_completed;
-  if (ValidationHooks* c = chk()) c->on_chain_finish(*ctx, result);
+  if (ValidationHooks* c = chk()) c->on_chain_finish(*ctx, res);
   if (obs::Tracer* t = trc()) {
     const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
     const sim::TimePs now = machine_.sim().now();
     const auto tid = static_cast<std::uint32_t>(ctx->core);
     t->instant(obs::Subsys::kEngine,
-               result.timeout ? obs::SpanKind::kTimeout
-                              : obs::SpanKind::kChainDone,
+               res.timeout ? obs::SpanKind::kTimeout
+                           : obs::SpanKind::kChainDone,
                tid, now, 0, flow);
     t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
   }
   std::uint32_t& active = tenant_slot(ctx->tenant);
   if (active > 0) --active;
-  ctx->finish(result);
+  ctx->finish(res);
   // Admit a throttled start of any tenant now below its cap.
   while (!throttled_.empty()) {
     const PendingStart next = throttled_.front();
@@ -722,6 +800,188 @@ void AccelFlowEngine::complete_chain(ChainContext* ctx,
     throttled_.pop_front();
     start_chain(next.ctx, next.first);
   }
+}
+
+// --- Fault resilience (DESIGN.md §14) -----------------------------------
+
+void AccelFlowEngine::arm_hop(ChainContext* ctx, AccelType target,
+                              std::uint64_t word, std::uint8_t pm,
+                              std::uint64_t bytes, accel::DataFormat fmt,
+                              sim::TimePs in_flight_until) {
+  if (!resilience_active()) return;
+  HopState& h = hops_[ctx];
+  if (h.timer != sim::kInvalidEventId) machine_.sim().cancel(h.timer);
+  // A re-issue of the same hop keeps its retry budget; any other arm is
+  // forward progress and starts fresh (timeout == 0 marks a new record).
+  const bool same_hop =
+      h.timeout != 0 && h.target == target && h.word == word && h.pm == pm;
+  if (!same_hop) {
+    h.retries = 0;
+    h.timeout = sim::microseconds(config_.resilience.hop_timeout_us);
+  }
+  h.target = target;
+  h.word = word;
+  h.pm = pm;
+  h.bytes = bytes;
+  h.fmt = fmt;
+  h.in_flight_until = in_flight_until;
+  h.timer = machine_.sim().schedule_after(
+      h.timeout, [this, ctx] { on_hop_timeout(ctx); });
+}
+
+void AccelFlowEngine::disarm_hop(ChainContext* ctx) {
+  if (hops_.empty()) return;
+  auto it = hops_.find(ctx);
+  if (it == hops_.end()) return;
+  if (it->second.timer != sim::kInvalidEventId) {
+    machine_.sim().cancel(it->second.timer);
+  }
+  hops_.erase(it);
+}
+
+void AccelFlowEngine::note_hop_wait(ChainContext* ctx, sim::TimePs until) {
+  auto it = hops_.find(ctx);
+  if (it != hops_.end()) it->second.in_flight_until = until;
+}
+
+void AccelFlowEngine::on_hop_timeout(ChainContext* ctx) {
+  auto it = hops_.find(ctx);
+  if (it == hops_.end()) return;
+  HopState& h = it->second;
+  h.timer = sim::kInvalidEventId;
+  const sim::TimePs now = machine_.sim().now();
+  auto rearm = [&](sim::TimePs delay) {
+    ++stats_.hop_probes;
+    h.timer = machine_.sim().schedule_after(
+        delay, [this, ctx] { on_hop_timeout(ctx); });
+  };
+  // A known future delivery (remote response, DMA arrival) means the hop
+  // cannot be lost yet: look again once it should have landed.
+  if (h.in_flight_until == sim::kTimeNever ||
+      (h.in_flight_until != 0 && now < h.in_flight_until)) {
+    rearm(h.timeout);
+    return;
+  }
+  // Probe: a slow-but-alive entry (queued, executing, overflowed or
+  // blocked on translation) must never be re-issued — watch it more
+  // patiently instead. Only a vanished entry was lost to a hard failure.
+  for (const AccelType t : accel::kAllAccelTypes) {
+    if (machine_.accel(t).holds_chain(ctx)) {
+      h.timeout *= 2;
+      rearm(h.timeout);
+      return;
+    }
+  }
+  // Lost: a hard-failed PE consumed the entry without producing output.
+  ++stats_.hop_timeouts;
+  ctx->faulted = true;
+  record_hop_failure(h.target);
+  if (h.retries >= config_.resilience.hop_retries) {
+    // Retry budget spent: the CPU finishes the chain — it always can.
+    ++stats_.retry_exhausted_fallbacks;
+    ++stats_.fallbacks_by_type[accel::index_of(h.target)];
+    const AccelType target = h.target;
+    const std::uint64_t word = h.word;
+    const std::uint8_t pm = h.pm;
+    const std::uint64_t bytes = h.bytes;
+    continue_chain_on_cpu(ctx, word, pm, bytes, target);  // Disarms.
+    return;
+  }
+  ++h.retries;
+  ++stats_.hop_retries;
+  if (obs::Tracer* t = trc()) {
+    t->instant(obs::Subsys::kEngine, obs::SpanKind::kHopRetry,
+               static_cast<std::uint32_t>(ctx->core), now,
+               static_cast<std::uint64_t>(h.retries),
+               obs::flow_id(ctx->request, ctx->chain));
+  }
+  // Exponential backoff before the re-issue; the timer slot holds the
+  // backoff event, so disarm_hop() cancels a pending retry too.
+  const double backoff_us =
+      config_.resilience.backoff_base_us *
+      std::pow(config_.resilience.backoff_factor, h.retries - 1);
+  h.timer = machine_.sim().schedule_after(
+      sim::microseconds(backoff_us), [this, ctx] { retry_hop(ctx); });
+}
+
+void AccelFlowEngine::retry_hop(ChainContext* ctx) {
+  auto it = hops_.find(ctx);
+  if (it == hops_.end()) return;
+  HopState& h = it->second;
+  h.timer = sim::kInvalidEventId;
+  obs::FlowScope flow_scope(trc(), obs::flow_id(ctx->request, ctx->chain));
+  // Rebuild the lost entry from the hand-off record (the payload still
+  // lives in its memory buffer; the re-issued DMA is modeled by the
+  // normal enqueue path) and hand it back to the same accelerator.
+  QueueEntry e;
+  e.trace_word = h.word;
+  e.position_mark = h.pm;
+  e.tenant = ctx->tenant;
+  e.request = ctx->request;
+  e.chain = ctx->chain;
+  e.payload.size_bytes = h.bytes;
+  e.payload.format = h.fmt;
+  e.payload.flags = ctx->flags;
+  e.payload.va = ctx->buffer_va;
+  e.cpu_cost = ctx->env->op_cpu_cost(*ctx, h.target, h.bytes);
+  e.priority = ctx->priority;
+  if (config_.stamp_deadlines &&
+      ctx->step_deadline_budget != sim::kTimeNever) {
+    e.deadline = machine_.sim().now() + ctx->step_deadline_budget;
+  }
+  e.initiating_core = ctx->core;
+  e.ctx = ctx;
+  e.ready = false;
+  e.pending_inputs = 1;
+  forward_into_queue(machine_.accel(h.target), std::move(e));
+}
+
+void AccelFlowEngine::record_hop_failure(AccelType t) {
+  Health& hs = health_[accel::index_of(t)];
+  ++hs.consecutive_losses;
+  const sim::TimePs until =
+      machine_.sim().now() +
+      sim::microseconds(config_.resilience.quarantine_us);
+  if (hs.state == Health::State::kProbation) {
+    // One loss during probation sends it straight back to quarantine.
+    hs.state = Health::State::kUnhealthy;
+    hs.quarantine_until = until;
+    ++stats_.unhealthy_transitions;
+  } else if (hs.state == Health::State::kHealthy &&
+             hs.consecutive_losses >=
+                 config_.resilience.unhealthy_threshold) {
+    hs.state = Health::State::kUnhealthy;
+    hs.quarantine_until = until;
+    ++stats_.unhealthy_transitions;
+  } else if (hs.state == Health::State::kUnhealthy) {
+    // Stragglers dispatched before the quarantine keep failing: extend it.
+    hs.quarantine_until = until;
+  }
+}
+
+void AccelFlowEngine::record_hop_success(AccelType t) {
+  Health& hs = health_[accel::index_of(t)];
+  hs.consecutive_losses = 0;
+  if (hs.state == Health::State::kProbation &&
+      ++hs.probation_successes >= config_.resilience.probation_successes) {
+    hs.state = Health::State::kHealthy;
+    hs.probation_successes = 0;
+    ++stats_.probation_recoveries;
+  }
+}
+
+bool AccelFlowEngine::reroute_unhealthy(AccelType t) {
+  if (!resilience_active()) return false;
+  Health& hs = health_[accel::index_of(t)];
+  if (hs.state != Health::State::kUnhealthy) return false;
+  if (machine_.sim().now() >= hs.quarantine_until) {
+    // Quarantine served: probation admits work again, watched closely.
+    hs.state = Health::State::kProbation;
+    hs.probation_successes = 0;
+    hs.consecutive_losses = 0;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace accelflow::core

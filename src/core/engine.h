@@ -35,6 +35,39 @@
 
 namespace accelflow::core {
 
+/**
+ * Resilience policy for fault-injected runs (DESIGN.md §14).
+ *
+ * The engine arms a per-chain hop watchdog whenever a fault sink is
+ * attached to the machine (Machine::fault_hooks()): if a hop produces no
+ * output within the timeout and the chain is no longer held by any
+ * accelerator, the hop is declared lost (a PE hard-failure consumed the
+ * entry) and re-issued with exponential backoff; after `hop_retries`
+ * losses the chain continues on the CPU, which always completes. A
+ * slow-but-alive hop (still queued, executing, or overflowed) is never
+ * re-issued — the watchdog just re-arms with a doubled timeout.
+ *
+ * Repeated losses on one accelerator drive a per-type health state
+ * machine: Healthy -> Unhealthy after `unhealthy_threshold` consecutive
+ * losses (new work re-routes to the CPU for `quarantine_us`), then
+ * Probation (work admitted again), then back to Healthy after
+ * `probation_successes` completed hops — or straight back to Unhealthy
+ * on the first loss during probation.
+ *
+ * With no fault sink attached nothing here runs, so a fault-free
+ * timeline is bit-identical to one built without this subsystem.
+ */
+struct ResilienceConfig {
+  bool enabled = true;            ///< Master switch (watchdogs + health).
+  double hop_timeout_us = 50.0;   ///< Watchdog per accelerator hop.
+  int hop_retries = 3;            ///< Re-issues before CPU fallback.
+  double backoff_base_us = 5.0;   ///< First retry delay.
+  double backoff_factor = 2.0;    ///< Delay multiplier per retry.
+  int unhealthy_threshold = 3;    ///< Consecutive losses to quarantine.
+  double quarantine_us = 200.0;   ///< Re-route window before probation.
+  int probation_successes = 8;    ///< Clean hops to regain full health.
+};
+
 /** Engine configuration. Glue-instruction counts follow Section VII-B.2. */
 struct EngineConfig {
   bool dispatcher_branches = true;    ///< Off = Fig. 13 "Direct".
@@ -62,6 +95,9 @@ struct EngineConfig {
 
   /** Per-tenant MBA-style bandwidth limits on the A-DMA path (IV-D). */
   MbaConfig mba;
+
+  /** Fault-recovery policy; active only with a fault sink attached. */
+  ResilienceConfig resilience;
 };
 
 /** Engine-level counters (Sections VII-B.2, VII-B.6). */
@@ -80,6 +116,15 @@ struct EngineStats {
   std::uint64_t atm_loads = 0;
   std::uint64_t notifications = 0;
   std::uint64_t tenant_throttled = 0;
+  // Fault-recovery accounting (DESIGN.md §14; zero on fault-free runs).
+  std::uint64_t hop_timeouts = 0;       ///< Hops declared lost by watchdogs.
+  std::uint64_t hop_retries = 0;        ///< Lost hops re-issued.
+  std::uint64_t hop_probes = 0;         ///< Watchdog fired, chain alive.
+  std::uint64_t retry_exhausted_fallbacks = 0;  ///< Retries spent -> CPU.
+  std::uint64_t health_fallbacks = 0;   ///< Re-routed: target quarantined.
+  std::uint64_t unhealthy_transitions = 0;  ///< Healthy -> Unhealthy edges.
+  std::uint64_t probation_recoveries = 0;   ///< Probation -> Healthy edges.
+  std::uint64_t chains_faulted = 0;     ///< Completed but needed recovery.
   // Glue-instruction accounting per output-dispatcher operation.
   stats::Summary glue_instrs;
   std::uint64_t glue_branch_ops = 0;
@@ -124,6 +169,23 @@ class AccelFlowEngine : public accel::OutputHandler {
    * Machine::snapshot_metrics() for the hardware side.
    */
   void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
+  /**
+   * Per-accelerator health for graceful degradation (ResilienceConfig).
+   * Deterministic state: it is part of the engine Checkpoint.
+   */
+  struct Health {
+    enum class State : std::uint8_t { kHealthy = 0, kUnhealthy, kProbation };
+    State state = State::kHealthy;
+    int consecutive_losses = 0;  ///< Lost hops since the last clean one.
+    int probation_successes = 0; ///< Clean hops since entering probation.
+    sim::TimePs quarantine_until = 0;
+  };
+
+  /** Health of `t` (tests / benches inspect quarantine behaviour). */
+  const Health& health(accel::AccelType t) const {
+    return health_[accel::index_of(t)];
+  }
 
  private:
   /** The machine's tracer, or nullptr when tracing is off. Fetched per
@@ -176,6 +238,52 @@ class AccelFlowEngine : public accel::OutputHandler {
   /** Chain ended: bookkeeping + tenant counter + queued chain starts. */
   void complete_chain(ChainContext* ctx, const ChainResult& result);
 
+  // --- Fault resilience (DESIGN.md §14) ---------------------------------
+
+  /**
+   * One chain's hop watchdog: enough saved state to re-issue the pending
+   * operation if the accelerator loses it. `timer` is the armed watchdog
+   * event — or, between a loss and its re-issue, the backoff event.
+   */
+  struct HopState {
+    sim::EventId timer = sim::kInvalidEventId;
+    accel::AccelType target;        ///< Accelerator owing the output.
+    std::uint64_t word = 0;         ///< Trace word at hand-off.
+    std::uint8_t pm = 0;            ///< Position mark at hand-off.
+    std::uint64_t bytes = 0;        ///< Payload size at hand-off.
+    accel::DataFormat fmt = accel::DataFormat::kProtoWire;  ///< Payload format.
+    int retries = 0;                ///< Re-issues of this hop so far.
+    sim::TimePs timeout = 0;        ///< Current watchdog delay.
+    /** Known future delivery (DMA arrival, remote response): the chain
+     *  cannot be lost before this time; kTimeNever for unbounded nested
+     *  waits, 0 once the entry is queued (holds_chain() covers it). */
+    sim::TimePs in_flight_until = 0;
+  };
+
+  /** Watchdogs (and the health machine) run only in fault-injected runs. */
+  bool resilience_active() const {
+    return config_.resilience.enabled && machine_.fault_hooks() != nullptr;
+  }
+  /** (Re-)arms ctx's watchdog for a hand-off to `target`. A re-arm for
+   *  the same hop (equal target/word/pm) keeps its retry count. */
+  void arm_hop(ChainContext* ctx, accel::AccelType target,
+               std::uint64_t word, std::uint8_t pm, std::uint64_t bytes,
+               accel::DataFormat fmt, sim::TimePs in_flight_until);
+  /** Cancels and forgets ctx's watchdog (hop progressed or chain done). */
+  void disarm_hop(ChainContext* ctx);
+  /** Records a known future delivery time on ctx's armed watchdog. */
+  void note_hop_wait(ChainContext* ctx, sim::TimePs until);
+  /** Watchdog fired: probe liveness, then retry / fall back / re-arm. */
+  void on_hop_timeout(ChainContext* ctx);
+  /** Backoff elapsed: rebuild the lost entry and re-issue it. */
+  void retry_hop(ChainContext* ctx);
+  /** A hop on `t` produced output: feeds the health state machine. */
+  void record_hop_success(accel::AccelType t);
+  /** A hop on `t` was lost: feeds the health state machine. */
+  void record_hop_failure(accel::AccelType t);
+  /** True while `t` is quarantined (lazily advances Unhealthy->Probation). */
+  bool reroute_unhealthy(accel::AccelType t);
+
   sim::TimePs instr_time(double instrs) const;
 
   /** Grow-on-demand slot of the flat per-tenant active-trace counter. */
@@ -205,6 +313,11 @@ class AccelFlowEngine : public accel::OutputHandler {
    *  retries, deferred wait-arms): callbacks capture the 4-byte ticket,
    *  not the ~100-byte entry (see sim/callback.h's capture budget). */
   sim::TicketPool<accel::QueueEntry> parked_;
+  /** Armed hop watchdogs by chain; empty on fault-free runs and at every
+   *  quiescent point (all chains completed -> all disarmed). */
+  std::unordered_map<ChainContext*, HopState> hops_;
+  /** Per-accelerator health (indexed by accel::index_of). */
+  std::array<Health, accel::kNumAccelTypes> health_{};
 
  public:
   /**
@@ -219,12 +332,13 @@ class AccelFlowEngine : public accel::OutputHandler {
     std::deque<PendingStart> throttled;       ///< Waiting starts (empty).
     TenantBandwidthLimiter::Checkpoint mba;   ///< Token buckets.
     sim::TicketPool<accel::QueueEntry>::Checkpoint parked;  ///< In-flight.
+    std::array<Health, accel::kNumAccelTypes> health{};     ///< §14 state.
   };
 
   /** Captures the engine's orchestration state. */
   Checkpoint checkpoint() const {
     return Checkpoint{stats_, tenant_active_, throttled_, mba_.checkpoint(),
-                      parked_.checkpoint()};
+                      parked_.checkpoint(), health_};
   }
 
   /** Restores state captured by checkpoint(). */
@@ -234,6 +348,10 @@ class AccelFlowEngine : public accel::OutputHandler {
     throttled_ = c.throttled;
     mba_.restore(c.mba);
     parked_.restore(c.parked);
+    health_ = c.health;
+    // Watchdog timers reference the pre-restore calendar; a checkpoint is
+    // only taken at quiescence, where every chain has disarmed anyway.
+    hops_.clear();
   }
 };
 

@@ -173,6 +173,16 @@ void Machine::set_tracer(obs::Tracer* tracer) {
   tracer->name_thread(Subsys::kEngine, obs::kManagerTid, "manager");
 }
 
+void Machine::set_fault_hooks(sim::FaultHooks* hooks) {
+  fault_hooks_ = hooks;
+  net_->set_fault_hooks(hooks);
+  dma_->set_fault_hooks(hooks);
+  iommu_->set_fault_hooks(hooks);
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accel(t).set_fault_hooks(hooks, static_cast<int>(accel::index_of(t)));
+  }
+}
+
 void Machine::checkpoint(Checkpoint& out) const {
   sim_.checkpoint(out.kernel);
   out.mem = mem_->checkpoint();
@@ -241,6 +251,9 @@ void Machine::snapshot_metrics(obs::MetricsRegistry& reg) const {
     reg.set(p + ".deadline_misses", static_cast<double>(s.deadline_misses));
     reg.set(p + ".tenant_wipes", static_cast<double>(s.tenant_wipes));
     reg.set(p + ".faults", static_cast<double>(s.faults));
+    reg.set(p + ".killed_jobs", static_cast<double>(s.killed_jobs));
+    reg.set(p + ".injected_rejections",
+            static_cast<double>(s.injected_rejections));
     reg.set(p + ".pe_utilization", a.pe_utilization(), Kind::kGauge);
     reg.set(p + ".mean_queue_delay_ps", s.input_queue_delay.mean(),
             Kind::kGauge);

@@ -177,6 +177,21 @@ class Machine {
   ValidationHooks* checker() const { return checker_; }
 
   /**
+   * Attaches (nullptr: detaches) the fault-injection sink to every
+   * fault-capable component: the nine accelerators (keyed by ensemble
+   * index), the A-DMA pool, the interconnect, and the IOMMU — see
+   * DESIGN.md §14. The machine does not own the sink; it must outlive
+   * the run. Unlike the tracer/checker, an attached sink perturbs
+   * simulated time, so it is part of the deterministic run state
+   * (workload::SweepSession checkpoints its injector with the fork).
+   */
+  void set_fault_hooks(sim::FaultHooks* hooks);
+
+  /** The attached fault sink, or nullptr for a fault-free run. The
+   *  orchestrator arms its hop watchdogs only when this is non-null. */
+  sim::FaultHooks* fault_hooks() const { return fault_hooks_; }
+
+  /**
    * Exports the hardware-side counters under the conventional dotted
    * names ("accel.tcp.jobs", "noc.hops", "mem.tlb.miss_rate", ...) —
    * see OBSERVABILITY.md for the full taxonomy. Orchestration-level
@@ -252,6 +267,7 @@ class Machine {
       accels_;
   obs::Tracer* tracer_ = nullptr;
   ValidationHooks* checker_ = nullptr;
+  sim::FaultHooks* fault_hooks_ = nullptr;
 };
 
 }  // namespace accelflow::core

@@ -1,6 +1,5 @@
 #include "core/trace_encoding.h"
 
-#include <cassert>
 #include <cstdio>
 
 namespace accelflow::core {
@@ -24,17 +23,25 @@ bool push_nibbles(Trace& t, std::initializer_list<std::uint8_t> vs) {
 }  // namespace
 
 bool append_invoke(Trace& t, accel::AccelType a) {
+  // INVOKE nibbles are 0x0..0x8; anything past the last accelerator would
+  // alias a control opcode.
+  if (static_cast<std::uint8_t>(a) > 0x8) return false;
   return push_nibble(t, static_cast<std::uint8_t>(a));
 }
 
-bool append_branch_skip(Trace& t, BranchCond c, std::uint8_t skip) {
-  assert(skip <= 0xF);
+bool append_branch_skip(Trace& t, BranchCond c, std::uint32_t skip) {
+  // The skip count occupies one nibble; a larger value would silently
+  // wrap to a different (shorter) skip.
+  if (skip > 0xF) return false;
   return push_nibbles(
       t, {static_cast<std::uint8_t>(TraceOpcode::kBranchSkip),
           static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(skip)});
 }
 
-bool append_branch_atm(Trace& t, BranchCond c, AtmAddr addr) {
+bool append_branch_atm(Trace& t, BranchCond c, std::uint32_t addr) {
+  // The ATM address is 8 bits (256 trace slots); addr >= 256 would be
+  // truncated into a *valid but wrong* slot, so reject it instead.
+  if (addr > 0xFF) return false;
   return push_nibbles(t, {static_cast<std::uint8_t>(TraceOpcode::kBranchAtm),
                           static_cast<std::uint8_t>(c),
                           static_cast<std::uint8_t>(addr & 0xF),
@@ -42,13 +49,20 @@ bool append_branch_atm(Trace& t, BranchCond c, AtmAddr addr) {
 }
 
 bool append_transform(Trace& t, accel::DataFormat from, accel::DataFormat to) {
+  // Each format code is a 2-bit field of the packed nibble.
+  if (static_cast<std::uint8_t>(from) > 0x3 ||
+      static_cast<std::uint8_t>(to) > 0x3) {
+    return false;
+  }
   const auto packed = static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(from) << 2) | static_cast<std::uint8_t>(to));
   return push_nibbles(
       t, {static_cast<std::uint8_t>(TraceOpcode::kTransform), packed});
 }
 
-bool append_tail(Trace& t, AtmAddr addr) {
+bool append_tail(Trace& t, std::uint32_t addr) {
+  // Same 8-bit ATM address field as BR_ATM.
+  if (addr > 0xFF) return false;
   return push_nibbles(t, {static_cast<std::uint8_t>(TraceOpcode::kTail),
                           static_cast<std::uint8_t>(addr & 0xF),
                           static_cast<std::uint8_t>(addr >> 4)});

@@ -130,13 +130,18 @@ constexpr std::uint64_t with_nibble(std::uint64_t word, std::uint8_t pm,
 }
 
 // --- Encoding (used by the TraceBuilder) ---------------------------------
-// Each append_* returns false if the op does not fit in the trace word.
+// Each append_* returns false if the op does not fit in the trace word OR
+// if an operand exceeds its field width. Operands are taken at full width
+// (std::uint32_t) so callers cannot silently narrow an out-of-range value
+// before the encoder sees it: an ATM address >= 256, a skip count > 15, or
+// a format/accelerator code past its enum range is rejected, never
+// truncated into a different-but-valid encoding.
 
 bool append_invoke(Trace& t, accel::AccelType a);
-bool append_branch_skip(Trace& t, BranchCond c, std::uint8_t skip);
-bool append_branch_atm(Trace& t, BranchCond c, AtmAddr addr);
+bool append_branch_skip(Trace& t, BranchCond c, std::uint32_t skip);
+bool append_branch_atm(Trace& t, BranchCond c, std::uint32_t addr);
 bool append_transform(Trace& t, accel::DataFormat from, accel::DataFormat to);
-bool append_tail(Trace& t, AtmAddr addr);
+bool append_tail(Trace& t, std::uint32_t addr);
 bool append_end_notify(Trace& t);
 bool append_notify_cont(Trace& t);
 

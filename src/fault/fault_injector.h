@@ -1,0 +1,103 @@
+#ifndef ACCELFLOW_FAULT_FAULT_INJECTOR_H_
+#define ACCELFLOW_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "sim/fault_hooks.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+/**
+ * @file
+ * The deterministic fault injector (DESIGN.md §14): evaluates a FaultPlan
+ * at every sim::FaultHooks consultation point. Each (site, unit) pair owns
+ * an independent sim::Rng stream seeded from the plan seed, so injecting
+ * faults into one component never shifts another component's draws, and
+ * the same plan + seed reproduces the same fault sequence bit-for-bit on
+ * any thread count. The injector perturbs simulated time, so it is part
+ * of the deterministic state and checkpoints/restores with the run
+ * (workload::SweepSession captures it in its fork).
+ */
+
+namespace accelflow::fault {
+
+/** Counters of every fault actually injected. */
+struct FaultStats {
+  std::uint64_t pe_stalls = 0;
+  std::uint64_t pe_kills = 0;
+  std::uint64_t queue_rejects = 0;
+  std::uint64_t iommu_faults = 0;
+  std::uint64_t dma_errors = 0;
+  std::uint64_t degraded_transfers = 0;
+  sim::TimePs stall_time = 0;    ///< Total injected PE stall latency.
+  sim::TimePs dma_penalty = 0;   ///< Total injected DMA retry latency.
+
+  std::uint64_t total() const {
+    return pe_stalls + pe_kills + queue_rejects + iommu_faults + dma_errors +
+           degraded_transfers;
+  }
+};
+
+/** Evaluates a FaultPlan at the hardware's FaultHooks consultation points. */
+class FaultInjector final : public sim::FaultHooks {
+ public:
+  /** The simulator provides the clock for scheduled fault windows. */
+  FaultInjector(sim::Simulator& sim, FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /** Zeroes the injection counters (end of warmup). */
+  void reset_stats() { stats_ = FaultStats{}; }
+
+  /** Exports injection counters under "fault.*" dotted names. */
+  void snapshot_metrics(obs::MetricsRegistry& reg) const;
+
+  // --- sim::FaultHooks ---------------------------------------------------
+  sim::TimePs pe_stall(int unit) override;
+  bool pe_kill(int unit) override;
+  bool queue_reject(int unit) override;
+  bool iommu_fault(int unit) override;
+  sim::TimePs dma_error_penalty(int unit) override;
+  double link_degradation(int unit) override;
+
+  // --- Checkpoint / fork (DESIGN.md §13) ---------------------------------
+
+  /**
+   * Deep copy of the injector's deterministic state: every materialized
+   * (site, unit) stream plus the counters. Streams first touched *after*
+   * a checkpoint are simply dropped by restore() — recreating one on
+   * demand reseeds it identically, so forked timelines stay bit-exact.
+   */
+  struct Checkpoint {
+    std::vector<std::pair<std::uint64_t, std::array<std::uint64_t, 4>>>
+        streams;
+    FaultStats stats;
+  };
+
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& c);
+
+ private:
+  /** The lazily created random stream of one (site, unit) pair. */
+  sim::Rng& stream(FaultSite site, int unit);
+
+  /** True if a scheduled window for (site, unit) covers the current time;
+   *  `param` receives the window magnitude. */
+  bool window_active(FaultSite site, int unit, double* param) const;
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  FaultStats stats_;
+  std::unordered_map<std::uint64_t, sim::Rng> streams_;
+};
+
+}  // namespace accelflow::fault
+
+#endif  // ACCELFLOW_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,109 @@
+#ifndef ACCELFLOW_FAULT_FAULT_PLAN_H_
+#define ACCELFLOW_FAULT_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "accel/types.h"
+#include "sim/time.h"
+
+/**
+ * @file
+ * Declarative description of the faults a run should experience
+ * (DESIGN.md §14). A FaultPlan is plain copyable data: per-component
+ * probability rates (evaluated against seeded per-site random streams by
+ * fault::FaultInjector) plus optional scheduled windows during which a
+ * fault class fires deterministically. Because the plan is data and the
+ * injector draws lazily at consultation points, no calendar events are
+ * needed — a faulted run checkpoints and forks exactly like a clean one.
+ */
+
+namespace accelflow::fault {
+
+/** Fault classes, one per FaultHooks consultation point. */
+enum class FaultSite : std::uint8_t {
+  kPeStall = 0,     ///< Extra PE service latency at dispatch.
+  kPeKill = 1,      ///< PE completes but produces no output.
+  kQueueReject = 2, ///< Input-queue admission refused (queue-full storm).
+  kIommuFault = 3,  ///< Forced translation fault (fault-service path).
+  kDmaError = 4,    ///< Corrupted-and-retried DMA transfer penalty.
+  kLinkDegrade = 5, ///< NoC transfer duration multiplier.
+};
+
+inline constexpr std::size_t kNumFaultSites = 6;
+
+/** Per-accelerator-type probabilistic fault rates. */
+struct AccelFaultRates {
+  double pe_stall_prob = 0.0;     ///< Per dispatch.
+  double pe_stall_us = 5.0;       ///< Stall duration when it fires.
+  double pe_kill_prob = 0.0;      ///< Per dispatch.
+  double queue_reject_prob = 0.0; ///< Per admission attempt.
+};
+
+/**
+ * A scheduled deterministic fault: while sim-time is in [begin, end), the
+ * site fires on every consultation of the matching unit. `param` carries
+ * the magnitude where one applies (stall/penalty in us for kPeStall /
+ * kDmaError, duration multiplier for kLinkDegrade; ignored elsewhere).
+ */
+struct FaultWindow {
+  FaultSite site = FaultSite::kPeStall;
+  int unit = -1;  ///< Consulting unit, or -1 for every unit of the site.
+  sim::TimePs begin = 0;
+  sim::TimePs end = sim::kTimeNever;
+  double param = 1.0;
+};
+
+/** The full fault schedule for one run. */
+struct FaultPlan {
+  /** Root seed of the injector's per-(site, unit) random streams. */
+  std::uint64_t seed = 0xFA017;
+
+  /** Probabilistic rates per accelerator type (index = accel index). */
+  std::array<AccelFaultRates, accel::kNumAccelTypes> accel{};
+
+  double iommu_fault_prob = 0.0;      ///< Per translation.
+  double dma_error_prob = 0.0;        ///< Per transfer.
+  double dma_error_penalty_us = 2.0;  ///< Added latency when it fires.
+  double link_degrade_prob = 0.0;     ///< Per NoC transfer.
+  double link_degrade_factor = 2.0;   ///< Duration multiplier when it fires.
+
+  /** Scheduled deterministic windows, checked lazily against sim-time. */
+  std::vector<FaultWindow> windows;
+
+  /** True if any fault can ever fire under this plan. */
+  bool enabled() const {
+    for (const AccelFaultRates& r : accel) {
+      if (r.pe_stall_prob > 0 || r.pe_kill_prob > 0 ||
+          r.queue_reject_prob > 0) {
+        return true;
+      }
+    }
+    return iommu_fault_prob > 0 || dma_error_prob > 0 ||
+           link_degrade_prob > 0 || !windows.empty();
+  }
+
+  /**
+   * Uniform plan: every fault class fires with probability `rate` at every
+   * site (the acceptance-criteria "1% across all nine accelerator types"
+   * shape, and the AF_FAULTS=<rate> / --faults=<rate> knob).
+   */
+  static FaultPlan uniform(double rate, std::uint64_t seed = 0xFA017) {
+    FaultPlan p;
+    p.seed = seed;
+    for (AccelFaultRates& r : p.accel) {
+      r.pe_stall_prob = rate;
+      r.pe_kill_prob = rate;
+      r.queue_reject_prob = rate;
+    }
+    p.iommu_fault_prob = rate;
+    p.dma_error_prob = rate;
+    p.link_degrade_prob = rate;
+    return p;
+  }
+};
+
+}  // namespace accelflow::fault
+
+#endif  // ACCELFLOW_FAULT_FAULT_PLAN_H_

@@ -21,6 +21,10 @@ Iommu::Result Iommu::translate(std::uint32_t /*process_id*/, PageNum /*vpn*/) {
   }
   Result out;
   out.faulted = rng_.bernoulli(params_.page_fault_prob);
+  // Injected translation fault: same service path as an organic one.
+  if (fault_hooks_ != nullptr && fault_hooks_->iommu_fault(0)) {
+    out.faulted = true;
+  }
   if (out.faulted) ++stats_.faults;
   out.complete_at = walkers_.submit(walk);
   if (tracer_ != nullptr) {

@@ -9,6 +9,7 @@
 #include "mem/memory_system.h"
 #include "mem/tlb.h"
 #include "obs/tracer.h"
+#include "sim/fault_hooks.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 
@@ -73,6 +74,15 @@ class Iommu {
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /**
+   * Attaches (nullptr: detaches) the fault-injection sink: a translation
+   * it flags takes the fault-service path exactly like an organic minor
+   * fault (DESIGN.md §14). The sink's draws are separate from this
+   * component's own page_fault_prob stream, so attaching it never shifts
+   * the organic fault sequence.
+   */
+  void set_fault_hooks(sim::FaultHooks* hooks) { fault_hooks_ = hooks; }
+
   /** Deep copy of the walker occupancy + RNG + counters (DESIGN.md §13). */
   struct Checkpoint {
     sim::FifoServer::Checkpoint walkers;        ///< Walk state machines.
@@ -100,6 +110,7 @@ class Iommu {
   sim::Rng rng_;
   IommuStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  sim::FaultHooks* fault_hooks_ = nullptr;  ///< Null: fault-free run.
 };
 
 }  // namespace accelflow::mem

@@ -48,8 +48,9 @@ sim::TimePs Interconnect::transfer(Location src, Location dst,
     const auto hops =
         static_cast<std::uint64_t>(mesh(src.chiplet).hops(src.coord, dst.coord));
     stats_.hops += hops;
-    const sim::TimePs done =
+    sim::TimePs done =
         mesh(src.chiplet).transfer(src.coord, dst.coord, bytes, ready_at);
+    done = apply_degradation(src.chiplet, start, done);
     if (tracer_ != nullptr) {
       tracer_->complete(obs::Subsys::kNoc, obs::SpanKind::kNocTransfer,
                         static_cast<std::uint32_t>(src.chiplet), start, done,
@@ -66,8 +67,9 @@ sim::TimePs Interconnect::transfer(Location src, Location dst,
       mesh(src.chiplet).transfer(src.coord, edge, bytes, ready_at);
   const sim::TimePs crossed =
       link(src.chiplet, dst.chiplet).transfer(bytes, at_edge);
-  const sim::TimePs done =
+  sim::TimePs done =
       mesh(dst.chiplet).transfer(edge, dst.coord, bytes, crossed);
+  done = apply_degradation(src.chiplet, start, done);
   const std::uint64_t hops =
       static_cast<std::uint64_t>(mesh(src.chiplet).hops(src.coord, edge) +
                                  mesh(dst.chiplet).hops(edge, dst.coord));
@@ -80,6 +82,18 @@ sim::TimePs Interconnect::transfer(Location src, Location dst,
                       kLinkTid, at_edge, crossed, bytes);
   }
   return done;
+}
+
+sim::TimePs Interconnect::apply_degradation(int chiplet, sim::TimePs start,
+                                            sim::TimePs done) {
+  if (fault_hooks_ == nullptr) return done;
+  const double factor = fault_hooks_->link_degradation(chiplet);
+  if (factor <= 1.0) return done;
+  // The message is stretched in flight (CRC retries); router/link
+  // occupancy bookkeeping is untouched — only this message is delayed.
+  ++stats_.degraded_transfers;
+  return start + static_cast<sim::TimePs>(
+                     static_cast<double>(done - start) * factor + 0.5);
 }
 
 sim::TimePs Interconnect::zero_load_latency(Location src, Location dst,

@@ -7,6 +7,7 @@
 
 #include "noc/mesh.h"
 #include "obs/tracer.h"
+#include "sim/fault_hooks.h"
 #include "sim/server.h"
 #include "sim/simulator.h"
 
@@ -45,6 +46,7 @@ struct InterconnectStats {
   std::uint64_t inter_transfers = 0;
   std::uint64_t inter_bytes = 0;
   std::uint64_t hops = 0;  ///< Total mesh hops routed (all transfers).
+  std::uint64_t degraded_transfers = 0;  ///< Stretched by injected faults.
 };
 
 /**
@@ -91,6 +93,14 @@ class Interconnect {
    */
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /**
+   * Attaches (nullptr: detaches) the fault-injection sink: each transfer
+   * consults it (keyed by the source chiplet) for a duration multiplier
+   * modelling a degraded link — CRC retries stretching the effective
+   * transfer time (DESIGN.md §14). Perturbs simulated time.
+   */
+  void set_fault_hooks(sim::FaultHooks* hooks) { fault_hooks_ = hooks; }
+
   /** Deep copy of mesh + link occupancy + counters (DESIGN.md §13). */
   struct Checkpoint {
     std::vector<Mesh::Checkpoint> meshes;        ///< Per-chiplet meshes.
@@ -122,6 +132,10 @@ class Interconnect {
   sim::Channel& link(int a, int b);
   const sim::Channel& link(int a, int b) const;
 
+  /** Stretches [start, done] by the injected degradation factor, if any. */
+  sim::TimePs apply_degradation(int chiplet, sim::TimePs start,
+                                sim::TimePs done);
+
   sim::Simulator& sim_;
   InterconnectParams params_;
   std::vector<std::unique_ptr<Mesh>> meshes_;
@@ -129,6 +143,7 @@ class Interconnect {
   std::vector<sim::Channel> links_;
   InterconnectStats stats_;
   obs::Tracer* tracer_ = nullptr;
+  sim::FaultHooks* fault_hooks_ = nullptr;  ///< Null: fault-free run.
 };
 
 }  // namespace accelflow::noc

@@ -69,10 +69,11 @@ enum class SpanKind : std::uint8_t {
   kCpuFallback,     ///< Chain (segment) fell back to the core (instant).
   kOverflow,        ///< Entry routed via the in-memory overflow area.
   kTimeout,         ///< TCP wait-slot timeout (instant).
+  kHopRetry,        ///< Lost hop re-issued by the watchdog (instant, §14).
 };
 
 /** Number of SpanKind values (array sizing). */
-inline constexpr std::size_t kNumSpanKinds = 18;
+inline constexpr std::size_t kNumSpanKinds = 19;
 
 /** Stable snake_case name of a span kind (the Chrome-trace event name). */
 constexpr std::string_view name_of(SpanKind k) {
@@ -81,7 +82,7 @@ constexpr std::string_view name_of(SpanKind k) {
       "dispatcher_fsm", "dma_transfer", "noc_transfer", "noc_link",
       "tlb_miss",       "iommu_walk",   "page_fault",  "interrupt",
       "manager_event",  "notify",       "chain_done",  "cpu_fallback",
-      "overflow",       "timeout"};
+      "overflow",       "timeout",      "hop_retry"};
   return kNames[static_cast<std::size_t>(k)];
 }
 

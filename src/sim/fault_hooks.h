@@ -1,0 +1,60 @@
+#ifndef ACCELFLOW_SIM_FAULT_HOOKS_H_
+#define ACCELFLOW_SIM_FAULT_HOOKS_H_
+
+#include "sim/time.h"
+
+/**
+ * @file
+ * Observer-style fault-injection surface (DESIGN.md §14). Hardware
+ * components consult an optional FaultHooks sink at well-defined decision
+ * points (queue admission, PE dispatch, DMA completion, IOMMU walk, NoC
+ * transfer) and apply whatever perturbation it returns. The default is a
+ * null pointer everywhere, so the fault-free timeline is untouched — the
+ * same zero-overhead-when-off discipline as obs::Tracer and
+ * core::ValidationHooks.
+ *
+ * Unlike a tracer, a FaultHooks implementation *does* perturb simulated
+ * time, so it is part of the deterministic state: implementations draw
+ * from seeded sim::Rng streams and expose checkpoint/restore so forked
+ * sweeps (DESIGN.md §13) replay bit-identically.
+ */
+
+namespace accelflow::sim {
+
+/**
+ * Fault decision sink consulted by hardware components. `unit` identifies
+ * the consulting instance within its class (accelerator ensemble index,
+ * DMA engine index, chiplet id); implementations key independent random
+ * streams off it so one component's faults never shift another's.
+ */
+class FaultHooks {
+ public:
+  virtual ~FaultHooks() = default;
+
+  /** Extra service latency (ps) injected into the dispatch starting now;
+   *  0 means no stall. */
+  virtual TimePs pe_stall(int unit) = 0;
+
+  /** True to hard-fail the job being dispatched: the PE runs to
+   *  completion but produces no output (a wedged/soft-errored PE). */
+  virtual bool pe_kill(int unit) = 0;
+
+  /** True to reject the queue admission as if the input queue were full
+   *  (a queue-full storm). */
+  virtual bool queue_reject(int unit) = 0;
+
+  /** True to force the IOMMU translation to take the fault-service path. */
+  virtual bool iommu_fault(int unit) = 0;
+
+  /** Extra completion latency (ps) modelling a corrupted-and-retried DMA
+   *  transfer; 0 means the transfer is clean. */
+  virtual TimePs dma_error_penalty(int unit) = 0;
+
+  /** Multiplier (>= 1.0) applied to a NoC transfer's duration; 1.0 means
+   *  the link is healthy. */
+  virtual double link_degradation(int unit) = 0;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_FAULT_HOOKS_H_

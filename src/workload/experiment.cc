@@ -15,6 +15,15 @@ bool af_check_enabled() {
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
 
+double af_fault_rate() {
+  const char* v = std::getenv("AF_FAULTS");
+  if (v == nullptr || *v == '\0') return 0.0;
+  char* end = nullptr;
+  const double rate = std::strtod(v, &end);
+  if (end == v || rate <= 0.0) return 0.0;
+  return std::min(rate, 1.0);
+}
+
 ExperimentResult harvest_result(core::Machine& machine,
                                 const core::Orchestrator& orch,
                                 const RequestEngine& engine,
@@ -30,6 +39,7 @@ ExperimentResult harvest_result(core::Machine& machine,
     r.completed = st.completed;
     r.failed = st.failed;
     r.fallbacks = st.fallbacks;
+    r.faulted = st.faulted;
     r.latency = st.latency;
     if (st.latency.count() > 0) {
       r.mean_us = sim::to_microseconds(
@@ -110,6 +120,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   auto orch =
       core::make_orchestrator(config.kind, machine, lib, config.engine);
+
+  // Fault injection: the config's plan, or — under AF_FAULTS=<rate> — a
+  // uniform plan applied to every run. The injector is run-owned state
+  // (it perturbs simulated time), unlike the observer-style tracer/checker.
+  // Only engine-family orchestrators carry the resilience policy that can
+  // recover injected losses (DESIGN.md §14); attaching an injector to a
+  // baseline would strand chains forever — a guaranteed invariant
+  // violation, not a measurement — so baselines always run fault-free.
+  fault::FaultPlan plan = config.faults;
+  if (!plan.enabled()) {
+    const double rate = af_fault_rate();
+    if (rate > 0) plan = fault::FaultPlan::uniform(rate);
+  }
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (plan.enabled() && orch->engine() != nullptr) {
+    injector = std::make_unique<fault::FaultInjector>(machine.sim(), plan);
+    machine.set_fault_hooks(injector.get());
+  }
+
   RequestEngine engine(machine, *orch, service_ptrs, config.seed);
   if (!config.step_deadline_budgets.empty()) {
     engine.set_step_deadline_budgets(config.step_deadline_budgets);
@@ -132,10 +161,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Warmup: run, then clear the recorders so only steady state counts.
   machine.sim().run_until(config.warmup);
   engine.reset_stats();
+  if (injector != nullptr) injector->reset_stats();
   machine.sim().run_until(issue_until + config.drain);
 
   ExperimentResult out =
       harvest_result(machine, *orch, engine, config.metrics);
+  if (injector != nullptr) {
+    out.faults = injector->stats();
+    if (config.metrics != nullptr) {
+      injector->snapshot_metrics(*config.metrics);
+    }
+  }
   if (checker != nullptr) {
     checker->final_audit();
     if (env_checker != nullptr && !checker->ok()) {

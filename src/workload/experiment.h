@@ -9,6 +9,7 @@
 #include "check/invariant_checker.h"
 #include "core/orch_baselines.h"
 #include "core/orchestrator.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "workload/load_generator.h"
@@ -66,6 +67,20 @@ struct ExperimentConfig {
    * aborts with a report on any violation — the test suite runs this way.
    */
   check::InvariantChecker* checker = nullptr;
+
+  /**
+   * Deterministic fault-injection plan (see fault/fault_plan.h); the
+   * default plan injects nothing. When enabled, the run constructs its own
+   * fault::FaultInjector, attaches it to the machine, and the AccelFlow
+   * orchestrator's resilience policy (hop watchdogs, retries, health
+   * quarantine — DESIGN.md §14) activates. Independent of this field,
+   * setting AF_FAULTS=<rate> in the environment applies a uniform plan at
+   * that rate to every run (TESTING.md). Engine-family orchestrators
+   * only: the baselines carry no recovery policy, so injecting faults
+   * into them would strand chains forever rather than measure anything —
+   * baseline runs ignore the plan and stay fault-free.
+   */
+  fault::FaultPlan faults;
 };
 
 /** Per-service outcome. */
@@ -74,6 +89,7 @@ struct ServiceResult {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t fallbacks = 0;
+  std::uint64_t faulted = 0;  ///< Needed fault recovery (DESIGN.md §14).
   double mean_us = 0;
   double p50_us = 0;
   double p99_us = 0;
@@ -103,6 +119,7 @@ struct ExperimentResult {
 
   core::EngineStats engine;       ///< AccelFlow-family runs.
   core::BaselineStats baseline;   ///< Baseline runs.
+  fault::FaultStats faults;       ///< Injected faults (zero when disabled).
 
   // High-overhead event rates (Section VII-B.6).
   std::uint64_t overflow_enqueues = 0;
@@ -127,6 +144,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config);
  *  every run attaches an internal invariant checker and aborts on any
  *  violation. The test suite runs this way (TESTING.md). */
 bool af_check_enabled();
+
+/** The AF_FAULTS environment knob: a per-site fault rate in [0, 1] that
+ *  applies fault::FaultPlan::uniform(rate) to every run whose config does
+ *  not already carry a plan. Returns 0 when unset or unparsable. */
+double af_fault_rate();
 
 /**
  * Collects the end-of-run measurements — per-service latency, machine

@@ -152,6 +152,7 @@ void RequestEngine::launch_chains(ActiveRequest* r, const StageSpec& stage) {
       ctx->on_done = [this, r](const core::ChainResult& res) {
         if (!res.ok || res.timeout) r->failed = true;
         if (res.cpu_fallback) r->fell_back = true;
+        if (res.faulted) r->faulted = true;
         if (--r->pending_chains == 0) advance(r);
       };
       r->chains.push_back(ctx);
@@ -165,6 +166,7 @@ void RequestEngine::complete(ActiveRequest* r) {
   ++st.completed;
   if (r->failed) ++st.failed;
   if (r->fell_back) ++st.fallbacks;
+  if (r->faulted) ++st.faulted;
   st.latency.record(machine_.sim().now() - r->arrived);
   if (r->on_complete) {
     // Nested sub-request: hand the response back to the caller after the
@@ -222,6 +224,7 @@ void RequestEngine::reset_stats() {
     s.completed = 0;
     s.failed = 0;
     s.fallbacks = 0;
+    s.faulted = 0;
   }
 }
 

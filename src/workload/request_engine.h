@@ -35,6 +35,7 @@ struct ServiceStats {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;     ///< Timeout or error outcome.
   std::uint64_t fallbacks = 0;  ///< Requests with >=1 CPU-fallback chain.
+  std::uint64_t faulted = 0;    ///< Requests with >=1 fault-recovered chain.
 };
 
 /** Executes requests against one machine + orchestrator. */
@@ -113,6 +114,7 @@ class RequestEngine {
     int pending_chains = 0;
     bool failed = false;
     bool fell_back = false;
+    bool faulted = false;
     sim::TimePs arrived = 0;
     sim::Rng rng;
     /** Arena-backed chain contexts of the current stage (chain_arena_). */

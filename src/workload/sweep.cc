@@ -18,6 +18,7 @@ struct SweepSession::Fork {
   RequestEngine::Checkpoint engine;
   std::vector<LoadGenerator::Checkpoint> gens;
   check::InvariantChecker::Checkpoint checker;
+  fault::FaultInjector::Checkpoint injector;  ///< RNG streams + counters.
 };
 
 SweepSession::SweepSession(const ExperimentConfig& config)
@@ -39,6 +40,22 @@ SweepSession::SweepSession(const ExperimentConfig& config)
 
   orch_ = core::make_orchestrator(config_.kind, machine_, lib_,
                                   config_.engine);
+
+  // Fault injection: config plan or the AF_FAULTS env knob, exactly as in
+  // run_experiment() — engine-family orchestrators only, since baselines
+  // carry no recovery policy (DESIGN.md §14). The injector's RNG streams
+  // perturb simulated time, so they are checkpointed with the fork
+  // (unlike the tracer/checker).
+  fault::FaultPlan plan = config_.faults;
+  if (!plan.enabled()) {
+    const double rate = af_fault_rate();
+    if (rate > 0) plan = fault::FaultPlan::uniform(rate);
+  }
+  if (plan.enabled() && orch_->engine() != nullptr) {
+    injector_ = std::make_unique<fault::FaultInjector>(machine_.sim(), plan);
+    machine_.set_fault_hooks(injector_.get());
+  }
+
   engine_ = std::make_unique<RequestEngine>(machine_, *orch_, service_ptrs,
                                             config_.seed);
   if (!config_.step_deadline_budgets.empty()) {
@@ -84,6 +101,7 @@ void SweepSession::prepare() {
   fork_->gens.reserve(gens_.size());
   for (const auto& g : gens_) fork_->gens.push_back(g->checkpoint());
   if (checker_ != nullptr) fork_->checker = checker_->checkpoint();
+  if (injector_ != nullptr) fork_->injector = injector_->checkpoint();
 }
 
 ExperimentResult SweepSession::run_point(const SweepPoint& point) {
@@ -95,11 +113,13 @@ ExperimentResult SweepSession::run_point(const SweepPoint& point) {
     gens_[i]->restore(fork_->gens[i]);
   }
   if (checker_ != nullptr) checker_->restore(fork_->checker);
+  if (injector_ != nullptr) injector_->restore(fork_->injector);
 
   if (point.mutate) point.mutate(machine_);
 
   // Steady state only, as in run_experiment()'s post-warmup reset.
   engine_->reset_stats();
+  if (injector_ != nullptr) injector_->reset_stats();
 
   const sim::TimePs issue_until = t_fork_ + config_.measure;
   for (std::size_t i = 0; i < gens_.size(); ++i) {
@@ -109,6 +129,12 @@ ExperimentResult SweepSession::run_point(const SweepPoint& point) {
 
   ExperimentResult out =
       harvest_result(machine_, *orch_, *engine_, config_.metrics);
+  if (injector_ != nullptr) {
+    out.faults = injector_->stats();
+    if (config_.metrics != nullptr) {
+      injector_->snapshot_metrics(*config_.metrics);
+    }
+  }
   if (checker_ != nullptr) {
     checker_->final_audit();
     if (env_checker_ != nullptr && !checker_->ok()) {

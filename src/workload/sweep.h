@@ -97,6 +97,9 @@ class SweepSession {
   ExperimentConfig config_;
   core::Machine machine_;
   core::TraceLibrary lib_;
+  /** Owned fault injector (config plan or AF_FAULTS); forked with the
+   *  machine — its RNG streams are deterministic run state. */
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<check::InvariantChecker> env_checker_;
   check::InvariantChecker* checker_ = nullptr;
   std::vector<std::unique_ptr<Service>> services_;

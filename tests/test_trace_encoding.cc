@@ -190,6 +190,91 @@ TEST(TraceEncoding, NibbleHelpers) {
   EXPECT_EQ(nibble_at(w, 0), 0x1);
 }
 
+// --- Operand-width boundaries --------------------------------------------
+// Each encoder rejects an out-of-range operand instead of truncating it
+// into a different-but-valid encoding, and a rejected append leaves the
+// trace byte-identical (no partial nibbles).
+
+TEST(TraceEncodingBoundary, BranchAtmAcceptsMaxAddressRejectsOverflow) {
+  Trace t;
+  ASSERT_TRUE(append_branch_atm(t, BranchCond::kHit, 255));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kBranchAtm);
+  EXPECT_EQ(op.atm, 255);  // Round-trips at the field maximum.
+
+  const Trace before = t;
+  EXPECT_FALSE(append_branch_atm(t, BranchCond::kHit, 256));
+  EXPECT_FALSE(append_branch_atm(t, BranchCond::kHit, 0xFFFFFFFFu));
+  EXPECT_EQ(t, before);  // Rejection writes nothing.
+}
+
+TEST(TraceEncodingBoundary, TailAcceptsMaxAddressRejectsOverflow) {
+  Trace t;
+  ASSERT_TRUE(append_tail(t, 255));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(op.kind, TraceOp::Kind::kTail);
+  EXPECT_EQ(op.atm, 255);
+
+  Trace u;
+  EXPECT_FALSE(append_tail(u, 256));
+  EXPECT_FALSE(append_tail(u, 0xFFFFFFFFu));
+  EXPECT_EQ(u, Trace{});
+}
+
+TEST(TraceEncodingBoundary, BranchSkipRejectsCountPastOneNibble) {
+  Trace t;
+  ASSERT_TRUE(append_branch_skip(t, BranchCond::kFound, 0xF));
+  EXPECT_EQ(decode_op(t.word, 0).skip, 0xF);
+
+  const Trace before = t;
+  EXPECT_FALSE(append_branch_skip(t, BranchCond::kFound, 0x10));
+  EXPECT_FALSE(append_branch_skip(t, BranchCond::kFound, 0xFFFFFFFFu));
+  EXPECT_EQ(t, before);
+}
+
+TEST(TraceEncodingBoundary, InvokeRejectsCodeAliasingControlOpcodes) {
+  // 0x8 is the last accelerator; 0x9 would alias BR_SKIP.
+  Trace t;
+  ASSERT_TRUE(append_invoke(t, static_cast<AccelType>(0x8)));
+  const Trace before = t;
+  EXPECT_FALSE(append_invoke(t, static_cast<AccelType>(0x9)));
+  EXPECT_FALSE(append_invoke(t, static_cast<AccelType>(0xFF)));
+  EXPECT_EQ(t, before);
+}
+
+TEST(TraceEncodingBoundary, TransformRejectsFormatPastTwoBits) {
+  Trace t;
+  ASSERT_TRUE(append_transform(t, static_cast<DataFormat>(0x3),
+                               static_cast<DataFormat>(0x3)));
+  const TraceOp op = decode_op(t.word, 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(op.from), 0x3);
+  EXPECT_EQ(static_cast<std::uint8_t>(op.to), 0x3);
+
+  const Trace before = t;
+  EXPECT_FALSE(append_transform(t, static_cast<DataFormat>(0x4),
+                                static_cast<DataFormat>(0x0)));
+  EXPECT_FALSE(append_transform(t, static_cast<DataFormat>(0x0),
+                                static_cast<DataFormat>(0x4)));
+  EXPECT_EQ(t, before);
+}
+
+TEST(TraceEncodingBoundary, RejectionAtFullCapacityLeavesTraceIntact) {
+  // Fill all 16 nibbles, then confirm every append_* refuses cleanly.
+  Trace t;
+  for (int i = 0; i < 15; ++i) ASSERT_TRUE(append_invoke(t, AccelType::kTcp));
+  ASSERT_TRUE(append_end_notify(t));
+  ASSERT_EQ(t.len, kMaxNibbles);
+  const Trace before = t;
+  EXPECT_FALSE(append_invoke(t, AccelType::kTcp));
+  EXPECT_FALSE(append_branch_skip(t, BranchCond::kHit, 1));
+  EXPECT_FALSE(append_branch_atm(t, BranchCond::kHit, 1));
+  EXPECT_FALSE(append_transform(t, DataFormat::kString, DataFormat::kJson));
+  EXPECT_FALSE(append_tail(t, 1));
+  EXPECT_FALSE(append_end_notify(t));
+  EXPECT_FALSE(append_notify_cont(t));
+  EXPECT_EQ(t, before);
+}
+
 /** Property: randomly built valid traces always decode to their op list. */
 class TraceRoundTripProperty : public ::testing::TestWithParam<int> {};
 

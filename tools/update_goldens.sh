@@ -11,7 +11,7 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 
 cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput \
-  bench_kernel_events bench_snapshot_fork -j
+  bench_kernel_events bench_snapshot_fork bench_fault_degradation -j
 "$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
 "$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
 
@@ -20,6 +20,11 @@ AF_BENCH_FAST=1 AF_BENCH_KERNEL_JSON="$root/BENCH_kernel.json" \
 AF_BENCH_FAST=1 AF_BENCH_SNAPSHOT_JSON="$root/BENCH_snapshot.json" \
   AF_BENCH_SWEEP_JSON="$root/BENCH_sweep.json" \
   "$build/bench/bench_snapshot_fork"
+# Full windows (no AF_BENCH_FAST): the fault keys are deterministic
+# simulated throughputs, and CI measures them the same way.
+AF_BENCH_FAULT_JSON="$root/BENCH_fault.json" \
+  "$build/bench/bench_fault_degradation"
 
 echo "Goldens updated; review the diff with: git diff $root/tests/golden"
-echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json BENCH_sweep.json"
+echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json" \
+  "BENCH_sweep.json BENCH_fault.json"
