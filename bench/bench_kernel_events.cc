@@ -11,6 +11,15 @@
  *    response-timeout arming, the only cancel() user in the model).
  *  - "burst": periodic fan-out of same-timestamp events (models request
  *    arrival bursts fanning into parallel chains).
+ *  - "chain": chain execution through the AccelFlow engine, interpreted
+ *    vs compiled+batched (DESIGN.md §15), measured at three levels whose
+ *    geomean is the gated compiled_speedup_geomean: a standard full-model
+ *    shape (every completion staggered by the DMA serializer, so
+ *    orchestration is a minor share and the ratio sits near 1.0 — kept
+ *    as the honest dilution bound), a zero-overhead shape (OrchKind::
+ *    kIdeal strips hardware latencies, isolating the dispatcher FSM and
+ *    event kernel the compiled backend attacks), and a per-hop dispatch
+ *    micro pair (nibble decode vs pre-resolved block walk).
  *
  * The seed kernel (std::function callbacks + std::priority_queue + lazy-
  * cancel unordered_set) is embedded below as LegacySimulator and run on
@@ -29,9 +38,18 @@
 #include <functional>
 #include <iostream>
 #include <queue>
+#include <tuple>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/chain.h"
+#include "core/chain_program.h"
+#include "core/machine.h"
+#include "core/orchestrator.h"
+#include "core/trace_encoding.h"
+#include "core/trace_library.h"
+#include "core/trace_templates.h"
 #include "sim/simulator.h"
 #include "stats/counters.h"
 #include "stats/table.h"
@@ -196,6 +214,181 @@ std::uint64_t run_burst(std::uint64_t bursts) {
   return sim.run();
 }
 
+/** Constant-cost chain environment: every chain sees identical values, so
+ *  same-accelerator completions align in time and the batched drain path
+ *  runs at its real widths. */
+class ConstEnv final : public core::ChainEnv {
+ public:
+  sim::TimePs op_cpu_cost(core::ChainContext&, accel::AccelType,
+                          std::uint64_t) override {
+    return sim::nanoseconds(500);
+  }
+  std::uint64_t transformed_size(accel::AccelType,
+                                 std::uint64_t bytes) override {
+    return bytes;
+  }
+  sim::TimePs remote_latency(core::ChainContext&, core::RemoteKind) override {
+    return sim::microseconds(5);
+  }
+  std::uint64_t response_size(core::ChainContext&, core::RemoteKind) override {
+    return 1024;
+  }
+};
+
+struct ChainBenchResult {
+  std::uint64_t events = 0;  ///< Kernel events the run executed.
+  double secs = 0;           ///< Wall time of the event loop.
+};
+
+/**
+ * Runs `target` template chains in synchronized waves of 512 (the next
+ * wave launches when the previous one fully completes, the arrival-burst
+ * shape run_burst isolates at the kernel level) through the AccelFlow
+ * engine and times the event loop. Waves keep same-accelerator
+ * completions aligned so the batched drain path runs at its real widths;
+ * identical work in both modes — only the backend differs — so
+ * wall-time ratios are true speedups.
+ */
+ChainBenchResult run_chain_bench(bool compiled, bool zero,
+                                 std::uint64_t target) {
+  core::MachineConfig mc;
+  mc.accel_queue_entries = 4096;
+  mc.overflow_capacity = 4096;
+  mc.pes_per_accel = 64;
+  core::Machine machine(mc);
+
+  core::TraceLibrary lib;
+  const core::TraceTemplates tt = core::register_templates(lib);
+
+  core::EngineConfig ec;
+  ec.compile = compiled;
+  // The zero-overhead shape must go through kIdeal: make_orchestrator pins
+  // zero_overhead=false for kAccelFlow (it is what the Ideal baseline
+  // models, not an AccelFlow mode).
+  auto orch = core::make_orchestrator(
+      zero ? core::OrchKind::kIdeal : core::OrchKind::kAccelFlow, machine, lib,
+      ec);
+
+  ConstEnv env;
+  constexpr int kWave = 2048;
+  std::vector<std::unique_ptr<core::ChainContext>> ctxs(kWave);
+  for (auto& c : ctxs) c = std::make_unique<core::ChainContext>();
+  std::uint64_t launched = 0;
+  int inflight = 0;
+  core::Orchestrator* o = orch.get();
+
+  std::function<void()> launch_wave = [&] {
+    const int n =
+        static_cast<int>(std::min<std::uint64_t>(kWave, target - launched));
+    for (int i = 0; i < n; ++i) {
+      core::ChainContext& c = *ctxs[static_cast<std::size_t>(i)];
+      c.request = static_cast<accel::RequestId>(++launched);
+      c.chain = 0;
+      c.tenant = static_cast<accel::TenantId>(i % 8);
+      c.core = i % 36;
+      c.flags = accel::PayloadFlags{};
+      c.flags.compressed = (i & 1) != 0;
+      c.initial_bytes = 256;
+      c.initial_format = accel::DataFormat::kProtoWire;
+      c.env = &env;
+      c.rng.reseed(0xBE7C41 + static_cast<std::uint64_t>(i));
+      c.done = false;
+      c.faulted = false;
+      ++inflight;
+      c.on_done = [&](const core::ChainResult&) {
+        if (--inflight == 0 && launched < target) {
+          machine.sim().schedule_after(sim::microseconds(1),
+                                       [&] { launch_wave(); });
+        }
+      };
+      o->run_chain(&c, tt.t1);
+    }
+  };
+  machine.sim().schedule_at(0, [&] { launch_wave(); });
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t events = machine.sim().run();
+  const auto end = std::chrono::steady_clock::now();
+  return {events,
+          std::chrono::duration_cast<std::chrono::duration<double>>(end -
+                                                                    start)
+              .count()};
+}
+
+/**
+ * Per-hop dispatch cost, micro level (the bench_micro_trace --compiled
+ * pair, inlined here so BENCH_kernel.json carries it): interpreted =
+ * decode every nibble of the t1 word hop after hop; compiled = follow
+ * the pre-resolved succ_entry block indices the way the executor does
+ * (hash lookup only at chain start). Returns ns per hop.
+ */
+double interp_hop_ns(std::uint64_t iters) {
+  core::TraceLibrary lib;
+  const core::TraceTemplates tt = core::register_templates(lib);
+  const std::uint64_t word = lib.get(tt.t1).word;
+  std::uint8_t pm = 0;
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    const core::TraceOp op = core::decode_op(word, pm);
+    sink += static_cast<std::uint64_t>(op.kind);
+    pm = op.kind == core::TraceOp::Kind::kEndNotify ? 0 : op.next_pm;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  volatile std::uint64_t keep = sink;
+  (void)keep;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(end -
+                                                                   start)
+             .count() *
+         1e9 / static_cast<double>(iters);
+}
+
+double compiled_hop_ns(std::uint64_t iters) {
+  core::TraceLibrary lib;
+  const core::TraceTemplates tt = core::register_templates(lib);
+  const core::ChainProgram prog(lib);
+  const std::uint64_t word = lib.get(tt.t1).word;
+  const core::TraceOp first = core::decode_op(word, 0);
+  const accel::PayloadFlags flags;
+  const core::ChainProgram::Block* b =
+      prog.lookup(word, first.next_pm, flags);
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    sink += static_cast<std::uint64_t>(b->terminal);
+    const bool forwards =
+        (b->terminal == core::ChainProgram::Terminal::kInvoke ||
+         b->terminal == core::ChainProgram::Terminal::kTailArmed) &&
+        b->succ_entry >= 0;
+    b = forwards ? prog.block_for(b->succ_entry, flags)
+                 : prog.lookup(word, first.next_pm, flags);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  volatile std::uint64_t keep = sink;
+  (void)keep;
+  return std::chrono::duration_cast<std::chrono::duration<double>>(end -
+                                                                   start)
+             .count() *
+         1e9 / static_cast<double>(iters);
+}
+
+/** Best-of-3 wall times for one chain shape, interpreted and compiled
+ *  reps interleaved so transient machine load degrades both backends
+ *  alike instead of skewing the ratio. */
+std::pair<ChainBenchResult, ChainBenchResult> best_chain_pair(
+    bool zero, std::uint64_t target) {
+  ChainBenchResult interp, compiled;
+  for (int rep = 0; rep < 3; ++rep) {
+    const ChainBenchResult i = run_chain_bench(/*compiled=*/false, zero,
+                                               target);
+    const ChainBenchResult c = run_chain_bench(/*compiled=*/true, zero,
+                                               target);
+    if (interp.secs == 0 || i.secs < interp.secs) interp = i;
+    if (compiled.secs == 0 || c.secs < compiled.secs) compiled = c;
+  }
+  return {interp, compiled};
+}
+
 template <typename Fn>
 double events_per_sec(Fn fn) {
   // Best of 3: the max filters out scheduler preemption, not kernel cost.
@@ -272,6 +465,70 @@ int main() {
   t.add_row({"geomean", "", "", stats::Table::fmt(geo, 2) + "x"});
   t.print(std::cout);
 
+  // Chain orchestration: interpreted vs compiled+batched backend on the
+  // same chain population. The config flag selects the backend, so pin
+  // the env toggle out of the way.
+  unsetenv("AF_COMPILE");
+  const std::uint64_t kChains = fast ? 50'000 : 100'000;
+  struct ChainRow {
+    const char* name;
+    bool zero;
+    bench::ChainBenchResult interp;
+    bench::ChainBenchResult compiled;
+  };
+  std::vector<ChainRow> chain_rows = {
+      {"chain std (2048-chain waves)", false, {}, {}},
+      {"chain zero-overhead (2048-chain waves)", true, {}, {}},
+  };
+  for (ChainRow& r : chain_rows) {
+    std::tie(r.interp, r.compiled) = bench::best_chain_pair(r.zero, kChains);
+  }
+
+  // Per-hop dispatch micro pair (best of 3 each): the undiluted cost the
+  // compiled walk replaces. The std macro row runs the full hardware
+  // model, where every completion is staggered by the DMA serializer —
+  // orchestration is a minor share of its wall time, so its ratio sits
+  // near 1.0 by construction; the zero-overhead row and this micro pair
+  // are the shapes that isolate chain execution itself.
+  const std::uint64_t kHops = fast ? 20'000'000 : 50'000'000;
+  double micro_interp = 1e9, micro_compiled = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    micro_interp = std::min(micro_interp, bench::interp_hop_ns(kHops));
+    micro_compiled = std::min(micro_compiled, bench::compiled_hop_ns(kHops));
+  }
+
+  stats::Table ct("Chain execution (interpreted vs compiled+batched)");
+  ct.set_header({"Workload", "interp ev/s", "compiled ev/s", "events",
+                 "speedup"});
+  double compiled_geo = 1.0;
+  for (const ChainRow& r : chain_rows) {
+    const double speedup = r.interp.secs / r.compiled.secs;
+    compiled_geo *= speedup;
+    ct.add_row(
+        {r.name,
+         stats::Table::fmt(static_cast<double>(r.interp.events) /
+                               r.interp.secs / 1e6,
+                           2) +
+             "M",
+         stats::Table::fmt(static_cast<double>(r.compiled.events) /
+                               r.compiled.secs / 1e6,
+                           2) +
+             "M",
+         std::to_string(r.interp.events) + " -> " +
+             std::to_string(r.compiled.events),
+         stats::Table::fmt(speedup, 2) + "x"});
+  }
+  const double micro_speedup = micro_interp / micro_compiled;
+  compiled_geo *= micro_speedup;
+  ct.add_row({"hop dispatch (micro, ns/hop)",
+              stats::Table::fmt(micro_interp, 2),
+              stats::Table::fmt(micro_compiled, 2), "",
+              stats::Table::fmt(micro_speedup, 2) + "x"});
+  compiled_geo = std::pow(
+      compiled_geo, 1.0 / static_cast<double>(chain_rows.size() + 1));
+  ct.add_row({"geomean", "", "", "", stats::Table::fmt(compiled_geo, 2) + "x"});
+  ct.print(std::cout);
+
   // Kernel counters from a representative run (exact pending/cancel
   // bookkeeping is part of what the indexed heap buys).
   {
@@ -296,6 +553,21 @@ int main() {
     out.set("speedup_geomean", geo);
     out.set("allocs_avoided", static_cast<double>(ks.allocs_avoided()));
     out.set("heap_high_water", static_cast<double>(ks.heap_high_water));
+    out.set("chain_std_interp_events_per_sec",
+            static_cast<double>(chain_rows[0].interp.events) /
+                chain_rows[0].interp.secs);
+    out.set("chain_std_compiled_events_per_sec",
+            static_cast<double>(chain_rows[0].compiled.events) /
+                chain_rows[0].compiled.secs);
+    out.set("chain_zero_interp_events_per_sec",
+            static_cast<double>(chain_rows[1].interp.events) /
+                chain_rows[1].interp.secs);
+    out.set("chain_zero_compiled_events_per_sec",
+            static_cast<double>(chain_rows[1].compiled.events) /
+                chain_rows[1].compiled.secs);
+    out.set("micro_interp_hop_ns", micro_interp);
+    out.set("micro_compiled_hop_ns", micro_compiled);
+    out.set("compiled_speedup_geomean", compiled_geo);
 
     const char* path = std::getenv("AF_BENCH_KERNEL_JSON");
     const std::string file = path != nullptr ? path : "BENCH_kernel.json";

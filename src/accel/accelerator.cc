@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 namespace accelflow::accel {
 
@@ -17,7 +18,8 @@ Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
       tlb_(params.tlb_entries, params.tlb_ways),
       input_(params.input_queue_entries),
       output_(params.output_queue_entries),
-      pes_(static_cast<std::size_t>(params.num_pes)) {}
+      pes_(static_cast<std::size_t>(params.num_pes)),
+      free_pes_(params.num_pes) {}
 
 void Accelerator::set_num_pes(int num_pes) {
   assert(num_pes > 0);
@@ -27,6 +29,7 @@ void Accelerator::set_num_pes(int num_pes) {
   }
   assert(blocked_.empty() && "set_num_pes requires an idle accelerator");
   pes_.assign(static_cast<std::size_t>(num_pes), Pe{});
+  free_pes_ = num_pes;
   params_.num_pes = num_pes;
 }
 
@@ -54,6 +57,11 @@ void Accelerator::deliver_data(SlotId slot) {
   assert(e.pending_inputs > 0);
   if (--e.pending_inputs == 0) {
     e.ready = true;
+    if (params_.policy == SchedPolicy::kFifo) {
+      ready_fifo_.emplace_back(e.seq, slot);
+      std::push_heap(ready_fifo_.begin(), ready_fifo_.end(),
+                     std::greater<>{});
+    }
     try_dispatch();
   }
 }
@@ -98,8 +106,113 @@ void Accelerator::drain_overflow() {
     e.pending_inputs = 1;
     const SlotId slot = input_.allocate(std::move(e));
     assert(slot != kInvalidSlot);
-    sim_.schedule_at(done, [this, slot] { deliver_data(slot); });
+    schedule_deliver(done, slot);
   }
+}
+
+void Accelerator::set_batched_completions(bool on) {
+  for (const DrainChannel& ch : channels_) {
+    assert(ch.ring.empty() && ch.event == sim::kInvalidEventId &&
+           "mode switch requires no pending completions");
+    (void)ch;
+  }
+  batched_ = on;
+}
+
+void Accelerator::schedule_deliver(sim::TimePs when, SlotId slot) {
+  if (!batched_) {
+    sim_.schedule_at(when, [this, slot] { deliver_data(slot); });
+  } else {
+    defer_action(kActDeliver, when, slot);
+  }
+}
+
+void Accelerator::schedule_release(sim::TimePs when, SlotId slot) {
+  if (!batched_) {
+    sim_.schedule_at(when, [this, slot] { release_output(slot); });
+  } else {
+    defer_action(kActRelease, when, slot);
+  }
+}
+
+void Accelerator::apply_action(ActionKind kind, std::uint32_t arg) {
+  switch (kind) {
+    case kActPeDone:
+      on_pe_done(static_cast<int>(arg));
+      break;
+    case kActDeliver:
+      deliver_data(arg);
+      break;
+    case kActRelease:
+      release_output(arg);
+      break;
+  }
+}
+
+void Accelerator::defer_action(ActionKind kind, sim::TimePs when,
+                               std::uint32_t arg) {
+  DrainChannel& ch = channels_[kind];
+  // Same past-time policy as schedule_at(): the equivalent plain event
+  // would have fired at now() in stamp order.
+  if (when < sim_.now()) when = sim_.now();
+  const bool cluster = !ch.ring.empty() || when == ch.last_time;
+  ch.last_time = when;
+  if (!cluster) {
+    // Lone action: a plain event, exactly what the unbatched path does at
+    // this program point (see the declaration comment).
+    sim_.schedule_at(when, [this, kind, arg] { apply_action(kind, arg); });
+    return;
+  }
+  // The stamp is reserved here — the exact program point the unbatched
+  // path would have called schedule_at() — so the ring entry carries the
+  // (time, seq) key its dedicated heap event would have had.
+  const std::uint64_t seq = sim_.reserve_seq();
+  ch.ring.push(when, seq, static_cast<std::uint8_t>(kind), arg);
+  if (ch.draining) return;  // run_drain re-arms after its loop.
+  if (ch.event == sim::kInvalidEventId) {
+    arm_drain(kind);
+  } else if (when < ch.armed_time ||
+             (when == ch.armed_time && seq < ch.armed_seq)) {
+    // The new action became the ring minimum: move the armed event to it.
+    sim_.cancel(ch.event);
+    arm_drain(kind);
+  }
+}
+
+void Accelerator::arm_drain(ActionKind kind) {
+  DrainChannel& ch = channels_[kind];
+  const sim::DrainAction a = ch.ring.front();
+  // schedule_at_seq consumes no new stamp: the drain event impersonates
+  // the plain event the ring minimum would have been.
+  ch.event =
+      sim_.schedule_at_seq(a.time, a.seq, [this, kind] { run_drain(kind); });
+  ch.armed_time = a.time;
+  ch.armed_seq = a.seq;
+}
+
+void Accelerator::run_drain(ActionKind kind) {
+  DrainChannel& ch = channels_[kind];
+  ch.event = sim::kInvalidEventId;
+  ch.draining = true;
+  std::uint64_t width = 0;
+  while (!ch.ring.empty()) {
+    const sim::DrainAction a = ch.ring.front();
+    // Yield to any foreign calendar event ordered before the next action:
+    // it would have run first in the unbatched schedule.
+    if (a.time > sim_.now() || sim_.has_event_before(a.time, a.seq)) break;
+    ch.ring.pop_front();
+    ++width;
+    apply_action(static_cast<ActionKind>(a.kind), a.arg);
+  }
+  ch.draining = false;
+  ++stats_.drain_batches;
+  stats_.drain_actions += width;
+  stats_.max_drain_width = std::max(stats_.max_drain_width, width);
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs::Subsys::kAccel, obs::SpanKind::kBatchDrain,
+                     tid_base_ + kDispatcherTid, sim_.now(), width);
+  }
+  if (!ch.ring.empty()) arm_drain(kind);
 }
 
 bool Accelerator::holds_chain(const core::ChainContext* ctx) const {
@@ -145,6 +258,23 @@ sim::TimePs Accelerator::translate(TenantId tenant, mem::VirtAddr va,
 }
 
 SlotId Accelerator::pick_ready_entry() {
+  if (params_.policy == SchedPolicy::kFifo) {
+    // The heap top either names the oldest ready entry or a slot whose
+    // entry has since been dispatched (released, possibly reused for a
+    // younger entry — a seq mismatch either way); stale tops are popped
+    // here, valid ones stay until the dispatch releases the slot.
+    while (!ready_fifo_.empty()) {
+      const auto [seq, slot] = ready_fifo_.front();
+      if (input_.occupied(slot) && input_.at(slot).seq == seq) {
+        assert(input_.at(slot).ready);
+        return slot;
+      }
+      std::pop_heap(ready_fifo_.begin(), ready_fifo_.end(),
+                    std::greater<>{});
+      ready_fifo_.pop_back();
+    }
+    return kInvalidSlot;
+  }
   SlotId best = kInvalidSlot;
   input_.for_each_occupied([&](SlotId s, QueueEntry& e) {
     if (!e.ready) return;
@@ -174,9 +304,20 @@ SlotId Accelerator::pick_ready_entry() {
   return best;
 }
 
+void Accelerator::rebuild_ready_index() {
+  ready_fifo_.clear();
+  if (params_.policy != SchedPolicy::kFifo) return;
+  input_.for_each_occupied([&](SlotId s, QueueEntry& e) {
+    if (e.ready) ready_fifo_.emplace_back(e.seq, s);
+  });
+  std::make_heap(ready_fifo_.begin(), ready_fifo_.end(), std::greater<>{});
+}
+
 void Accelerator::try_dispatch() {
   for (;;) {
-    // Find a free PE.
+    // Find the lowest-numbered free PE. The counter short-circuits the
+    // common fully-busy case; the scan itself stops at the first hit.
+    if (free_pes_ == 0) return;
     int pe = -1;
     for (std::size_t i = 0; i < pes_.size(); ++i) {
       if (!pes_[i].busy) {
@@ -184,7 +325,7 @@ void Accelerator::try_dispatch() {
         break;
       }
     }
-    if (pe < 0) return;
+    assert(pe >= 0);
 
     const SlotId slot = pick_ready_entry();
     if (slot == kInvalidSlot) return;
@@ -205,6 +346,7 @@ void Accelerator::try_dispatch() {
 
     Pe& p = pes_[static_cast<std::size_t>(pe)];
     p.busy = true;
+    --free_pes_;
     sim::TimePs t = sim_.now();
 
     // Fault injection (DESIGN.md §14): a stall stretches this job's
@@ -268,7 +410,11 @@ void Accelerator::try_dispatch() {
     }
     p.free_at = t;
     p.inflight = std::move(entry);
-    sim_.schedule_at(t, [this, pe] { on_pe_done(pe); });
+    if (!batched_) {
+      sim_.schedule_at(t, [this, pe] { on_pe_done(pe); });
+    } else {
+      defer_action(kActPeDone, t, static_cast<std::uint32_t>(pe));
+    }
   }
 }
 
@@ -283,6 +429,7 @@ void Accelerator::on_pe_done(int pe) {
     p.inflight = QueueEntry{};
     ++stats_.killed_jobs;
     p.busy = false;
+    ++free_pes_;
     try_dispatch();
     return;
   }
@@ -294,6 +441,7 @@ void Accelerator::on_pe_done(int pe) {
   }
   deposit_output(std::move(p.inflight));
   p.busy = false;
+    ++free_pes_;
   try_dispatch();
 }
 
@@ -328,6 +476,7 @@ void Accelerator::release_output(SlotId slot) {
     deposit_output(std::move(b.entry));
     Pe& p = pes_[static_cast<std::size_t>(b.pe)];
     p.busy = false;
+    ++free_pes_;
     try_dispatch();
   }
 }

@@ -5,7 +5,8 @@
 
 namespace accelflow::accel {
 
-SramQueue::SramQueue(std::size_t capacity) : slots_(capacity) {
+SramQueue::SramQueue(std::size_t capacity)
+    : slots_(capacity), occupied_words_((capacity + 63) / 64) {
   assert(capacity > 0);
   free_list_.reserve(capacity);
   // Push in reverse so slot 0 is handed out first (cosmetic determinism).
@@ -25,6 +26,7 @@ SlotId SramQueue::allocate(QueueEntry e) {
   free_list_.pop_back();
   e.seq = next_seq_++;
   slots_[slot] = std::move(e);
+  set_occupied(slot);
   ++occupancy_;
   stats_.max_occupancy = std::max<std::uint64_t>(stats_.max_occupancy,
                                                  occupancy_);
@@ -34,6 +36,7 @@ SlotId SramQueue::allocate(QueueEntry e) {
 void SramQueue::release(SlotId slot) {
   assert(slot < slots_.size() && slots_[slot].has_value());
   slots_[slot].reset();
+  clear_occupied(slot);
   free_list_.push_back(slot);
   --occupancy_;
   ++stats_.releases;

@@ -1,6 +1,9 @@
 #ifndef ACCELFLOW_ACCEL_SRAM_QUEUE_H_
 #define ACCELFLOW_ACCEL_SRAM_QUEUE_H_
 
+#include <algorithm>
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -59,19 +62,34 @@ class SramQueue {
   /**
    * Invokes fn(slot, entry) for each occupied slot, in slot order.
    * fn must not allocate or release.
+   *
+   * Walks the occupancy bitmap rather than the slot array: the dispatcher
+   * polls this on every dispatch attempt, and scanning capacity-many
+   * std::optional slabs (each a full QueueEntry wide) is what made the
+   * dispatch pick O(capacity) regardless of occupancy.
    */
   template <typename Fn>
   void for_each_occupied(Fn&& fn) {
-    for (SlotId s = 0; s < slots_.size(); ++s) {
-      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    for (std::size_t w = 0; w < occupied_words_.size(); ++w) {
+      for (std::uint64_t bits = occupied_words_[w]; bits != 0;
+           bits &= bits - 1) {
+        const SlotId s = static_cast<SlotId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        fn(s, *slots_[s]);
+      }
     }
   }
 
   /** Read-only overload for inspection passes. */
   template <typename Fn>
   void for_each_occupied(Fn&& fn) const {
-    for (SlotId s = 0; s < slots_.size(); ++s) {
-      if (slots_[s].has_value()) fn(s, *slots_[s]);
+    for (std::size_t w = 0; w < occupied_words_.size(); ++w) {
+      for (std::uint64_t bits = occupied_words_[w]; bits != 0;
+           bits &= bits - 1) {
+        const SlotId s = static_cast<SlotId>(
+            w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+        fn(s, *slots_[s]);
+      }
     }
   }
 
@@ -91,17 +109,31 @@ class SramQueue {
     return Checkpoint{slots_, free_list_, occupancy_, next_seq_, stats_};
   }
 
-  /** Restores state captured by checkpoint(). */
+  /** Restores state captured by checkpoint(). The occupancy bitmap is
+   *  derived state: rebuilt from the slots, not stored in the snapshot. */
   void restore(const Checkpoint& c) {
     slots_ = c.slots;
     free_list_ = c.free_list;
     occupancy_ = c.occupancy;
     next_seq_ = c.next_seq;
     stats_ = c.stats;
+    std::fill(occupied_words_.begin(), occupied_words_.end(), 0);
+    for (SlotId s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].has_value()) set_occupied(s);
+    }
   }
 
  private:
+  void set_occupied(SlotId s) {
+    occupied_words_[s / 64] |= std::uint64_t{1} << (s % 64);
+  }
+  void clear_occupied(SlotId s) {
+    occupied_words_[s / 64] &= ~(std::uint64_t{1} << (s % 64));
+  }
+
   std::vector<std::optional<QueueEntry>> slots_;
+  /** Bit s set iff slots_[s] holds an entry (64 slots per word). */
+  std::vector<std::uint64_t> occupied_words_;
   std::vector<SlotId> free_list_;
   std::size_t occupancy_ = 0;
   std::uint64_t next_seq_ = 0;

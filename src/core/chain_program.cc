@@ -1,0 +1,142 @@
+#include "core/chain_program.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace accelflow::core {
+
+bool af_compile_enabled() {
+  const char* v = std::getenv("AF_COMPILE");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+ChainProgram::ChainProgram(const TraceLibrary& lib) {
+  // Seed every possible entry point: each invoke decodable at any of the
+  // 16 nibble positions of a library word contributes a (word, post-invoke
+  // mark) entry. Garbage decodes yield dead entries — never looked up,
+  // because runtime keys always come from a real invoke decode.
+  for (const AtmAddr addr : lib.addresses()) {
+    const std::uint64_t word = lib.get(addr).word;
+    auto [it, inserted] = index_.try_emplace(word);
+    if (inserted) it->second.fill(-1);
+    for (std::uint8_t pm = 0; pm < 16; ++pm) {
+      const TraceOp op = decode_op(word, pm);
+      if (op.kind != TraceOp::Kind::kInvoke) continue;
+      std::int32_t& entry = it->second[pm_bucket(op.next_pm)];
+      if (entry >= 0) continue;  // Seeded by an earlier decode.
+      entry = static_cast<std::int32_t>(entries_.size());
+      auto& combos = entries_.emplace_back();
+      for (std::size_t f = 0; f < combos.size(); ++f) {
+        combos[f] = compile_block(lib, word, op.next_pm, flags_of(f));
+      }
+    }
+  }
+  // Second pass: resolve each forwarding block's successor entry, so the
+  // executor follows a chain hop-to-hop by index without re-hashing the
+  // trace word (Block::succ_entry).
+  for (Block& b : blocks_) {
+    if (b.terminal != Terminal::kInvoke && b.terminal != Terminal::kTailArmed) {
+      continue;
+    }
+    const auto it = index_.find(b.out_word);
+    if (it == index_.end()) continue;
+    b.succ_entry = it->second[pm_bucket(b.out_pm)];
+  }
+}
+
+std::int32_t ChainProgram::compile_block(const TraceLibrary& lib,
+                                         std::uint64_t word, std::uint8_t pm,
+                                         accel::PayloadFlags flags) {
+  Block b;
+  const auto bail = [&] {
+    // Fallback is all-or-nothing: a kInterpret block carries no micro-ops,
+    // so the engine decides before replaying any side effect.
+    b.ops.clear();
+    b.terminal = Terminal::kInterpret;
+    ++interpret_blocks_;
+    blocks_.push_back(std::move(b));
+    return static_cast<std::int32_t>(blocks_.size() - 1);
+  };
+
+  std::uint64_t cur_word = word;
+  std::uint8_t cur_pm = pm;
+  for (int steps = 0;; ++steps) {
+    if (steps >= kMaxCompileSteps) return bail();
+    const TraceOp op = decode_op(cur_word, cur_pm);
+    switch (op.kind) {
+      case TraceOp::Kind::kInvoke: {
+        b.terminal = Terminal::kInvoke;
+        b.accel = op.accel;
+        b.out_word = cur_word;
+        b.out_pm = op.next_pm;
+        blocks_.push_back(std::move(b));
+        return static_cast<std::int32_t>(blocks_.size() - 1);
+      }
+      case TraceOp::Kind::kBranchSkip: {
+        b.has_branch = true;
+        b.ops.push_back(MicroOp{MicroOp::Kind::kBranch, 0,
+                                accel::DataFormat::kString});
+        cur_pm = op.next_pm;
+        if (!eval_condition(op.cond, flags)) cur_pm += op.skip;
+        break;
+      }
+      case TraceOp::Kind::kBranchAtm: {
+        b.has_branch = true;
+        if (eval_condition(op.cond, flags)) {
+          b.ops.push_back(MicroOp{MicroOp::Kind::kBranch, 0,
+                                  accel::DataFormat::kString});
+          cur_pm = op.next_pm;
+        } else {
+          if (!lib.stored(op.atm)) return bail();
+          b.ops.push_back(MicroOp{MicroOp::Kind::kBranchAtmLoad, op.atm,
+                                  accel::DataFormat::kString});
+          cur_word = lib.get(op.atm).word;
+          cur_pm = 0;
+        }
+        break;
+      }
+      case TraceOp::Kind::kTransform: {
+        b.has_transform = true;
+        b.ops.push_back(MicroOp{MicroOp::Kind::kTransform, 0, op.to});
+        cur_pm = op.next_pm;
+        break;
+      }
+      case TraceOp::Kind::kNotifyCont: {
+        b.ops.push_back(MicroOp{MicroOp::Kind::kNotify, 0,
+                                accel::DataFormat::kString});
+        cur_pm = op.next_pm;
+        break;
+      }
+      case TraceOp::Kind::kTail: {
+        b.has_eot = true;
+        if (!lib.stored(op.atm)) return bail();
+        b.ops.push_back(MicroOp{MicroOp::Kind::kTailFetch, op.atm,
+                                accel::DataFormat::kString});
+        const RemoteKind kind = lib.remote_of(op.atm);
+        cur_word = lib.get(op.atm).word;
+        cur_pm = 0;
+        if (kind == RemoteKind::kNone) break;  // Inline: keep fusing.
+        // Armed network wait: the receive trace parks in its first
+        // accelerator's input queue (the engine asserts it starts with an
+        // invoke; anything else is not replayable).
+        const TraceOp first = decode_op(cur_word, 0);
+        if (first.kind != TraceOp::Kind::kInvoke) return bail();
+        b.terminal = Terminal::kTailArmed;
+        b.accel = first.accel;
+        b.out_word = cur_word;
+        b.out_pm = first.next_pm;
+        b.wait_kind = kind;
+        blocks_.push_back(std::move(b));
+        return static_cast<std::int32_t>(blocks_.size() - 1);
+      }
+      case TraceOp::Kind::kEndNotify: {
+        b.has_eot = true;
+        b.terminal = Terminal::kEndNotify;
+        blocks_.push_back(std::move(b));
+        return static_cast<std::int32_t>(blocks_.size() - 1);
+      }
+    }
+  }
+}
+
+}  // namespace accelflow::core

@@ -228,6 +228,12 @@ void Machine::set_speedup_scale(double scale) {
   config_.speedup_scale = scale;
 }
 
+void Machine::set_batched_completions(bool on) {
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accels_[accel::index_of(t)]->set_batched_completions(on);
+  }
+}
+
 void Machine::set_generation(Generation g) {
   config_.apply_generation(g);
   cores_->set_speeds(config_.cpu.app_speed, config_.cpu.tax_speed);

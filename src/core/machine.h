@@ -252,6 +252,14 @@ class Machine {
   /** Applies a processor generation's core speed factors (Fig. 20). */
   void set_generation(Generation g);
 
+  /**
+   * Switches every accelerator between one-heap-event-per-completion and
+   * the batched pending-completion ring (DESIGN.md §15). The compiled
+   * engine backend turns this on at construction; only legal while no
+   * completion is pending.
+   */
+  void set_batched_completions(bool on);
+
  private:
   MachineConfig config_;
   sim::Simulator sim_;

@@ -33,6 +33,11 @@ struct Token {
   std::size_t pos = 0;
 };
 
+/** The token's text as shown in TraceCompileError::token(). */
+std::string token_text(const Token& t) {
+  return t.kind == Tok::kEnd ? "<end of input>" : t.text;
+}
+
 /** Hand-rolled scanner: the language is tiny. */
 class Lexer {
  public:
@@ -99,8 +104,7 @@ class Lexer {
                   start};
       return;
     }
-    throw TraceCompileError(std::string("unexpected character '") + c + "'",
-                            i_);
+    throw TraceCompileError("unexpected character", i_, std::string(1, c));
   }
 
   std::string_view src_;
@@ -147,7 +151,7 @@ accel::DataFormat parse_format(const Token& t) {
       {"proto", accel::DataFormat::kProtoWire}};
   const auto it = kMap.find(lower(t.text));
   if (it == kMap.end()) {
-    throw TraceCompileError("unknown data format '" + t.text + "'", t.pos);
+    throw TraceCompileError("unknown data format", t.pos, token_text(t));
   }
   return it->second;
 }
@@ -161,7 +165,7 @@ RemoteKind parse_remote(const Token& t) {
       {"http", RemoteKind::kHttp}};
   const auto it = kMap.find(lower(t.text));
   if (it == kMap.end()) {
-    throw TraceCompileError("unknown remote kind '" + t.text + "'", t.pos);
+    throw TraceCompileError("unknown remote kind", t.pos, token_text(t));
   }
   return it->second;
 }
@@ -191,7 +195,8 @@ class Parser {
       expect_end();
       return b.tail(name, target.text, remote);
     }
-    throw TraceCompileError("expected terminator '!' or '@trace'", t.pos);
+    throw TraceCompileError("expected terminator '!' or '@trace'", t.pos,
+                            token_text(t));
   }
 
  private:
@@ -207,7 +212,7 @@ class Parser {
       if (in_branch_body) {
         if (next == Tok::kRBracket) return;
         throw TraceCompileError("expected '>' or ']' in branch body",
-                                lex_.peek().pos);
+                                lex_.peek().pos, token_text(lex_.peek()));
       }
       return;  // Caller parses the terminator.
     }
@@ -216,7 +221,7 @@ class Parser {
   void step(TraceBuilder& b) {
     const Token t = lex_.take();
     if (t.kind != Tok::kIdent) {
-      throw TraceCompileError("expected a step", t.pos);
+      throw TraceCompileError("expected a step", t.pos, token_text(t));
     }
     const std::string word = lower(t.text);
 
@@ -254,19 +259,21 @@ class Parser {
         b.branch_else_goto(*cond, target.text);
         return;
       }
-      throw TraceCompileError("expected '[' or ':' after '?'", next.pos);
+      throw TraceCompileError("expected '[' or ':' after '?'", next.pos,
+                              token_text(next));
     }
     if (const auto accel_type = parse_accel(t.text)) {
       b.seq(*accel_type);
       return;
     }
-    throw TraceCompileError("unknown step '" + t.text + "'", t.pos);
+    throw TraceCompileError("unknown step", t.pos, token_text(t));
   }
 
   Token expect(Tok kind, const char* what) {
     const Token t = lex_.take();
     if (t.kind != kind) {
-      throw TraceCompileError(std::string("expected ") + what, t.pos);
+      throw TraceCompileError(std::string("expected ") + what, t.pos,
+                              token_text(t));
     }
     return t;
   }
@@ -274,7 +281,7 @@ class Parser {
   void expect_end() {
     if (lex_.peek().kind != Tok::kEnd) {
       throw TraceCompileError("trailing input after terminator",
-                              lex_.peek().pos);
+                              lex_.peek().pos, token_text(lex_.peek()));
     }
   }
 

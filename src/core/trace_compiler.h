@@ -45,14 +45,38 @@ class TraceCompileError : public std::runtime_error {
  public:
   /** Creates an error for `message` at byte offset `position`. */
   TraceCompileError(const std::string& message, std::size_t position)
-      : std::runtime_error(message + " (at offset " +
-                           std::to_string(position) + ")"),
-        position_(position) {}
+      : TraceCompileError(message, position, "") {}
+
+  /**
+   * Creates an error for `message` at byte offset `position`, naming the
+   * offending token `token` ("<end of input>" when the parser ran off the
+   * end). what() reads e.g.
+   * "unknown step, got 'Oops' (at offset 6)".
+   */
+  TraceCompileError(const std::string& message, std::size_t position,
+                    const std::string& token)
+      : std::runtime_error(format(message, position, token)),
+        position_(position),
+        token_(token) {}
+
   /** Byte offset into the program where parsing failed. */
   std::size_t position() const { return position_; }
 
+  /** The offending token's text; "<end of input>" at EOF, empty when the
+   *  error is not attached to a token. */
+  const std::string& token() const { return token_; }
+
  private:
+  static std::string format(const std::string& message, std::size_t position,
+                            const std::string& token) {
+    std::string s = message;
+    if (!token.empty()) s += ", got '" + token + "'";
+    s += " (at offset " + std::to_string(position) + ")";
+    return s;
+  }
+
   std::size_t position_;
+  std::string token_;
 };
 
 /**

@@ -1,0 +1,170 @@
+#ifndef ACCELFLOW_SIM_DRAIN_RING_H_
+#define ACCELFLOW_SIM_DRAIN_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+/**
+ * @file
+ * Pending-completion ring for batched event drains.
+ *
+ * Interpreted chain execution schedules one calendar event per PE
+ * completion: the 4-ary heap carries O(in-flight jobs) entries and every
+ * completion pays a full sift. The batched backend instead parks deferred
+ * completions in DrainRings and keeps a *single* armed heap event per ring
+ * at the ring-minimum key — the heap sees one completion event per ring
+ * and same-key completions drain through one vectorized callback
+ * (DESIGN.md §15). Each accelerator owns three rings, one per action
+ * class (PE completions, payload deliveries, output-slot releases): the
+ * classes live on different time scales, and mixing them in one ring made
+ * every cross-class push cancel and re-arm the armed event. Parking is
+ * also adaptive — the accelerator only routes an action through its ring
+ * when a same-timestamp cluster is forming (ring already non-empty, or
+ * the fire time repeats the class's previous one); a lone action takes a
+ * plain schedule_at(), skipping the ring bookkeeping entirely. Both paths
+ * consume the same stamp at the same program point, so parking decisions
+ * are pure perf policy, never semantics.
+ *
+ * Ordering contract (what makes batching bit-identical to one-event-per-
+ * completion): each deferred action consumes a stamp from
+ * Simulator::reserve_seq() at exactly the program point where the
+ * interpreter would have called schedule_at(), so the (time, seq) key each
+ * entry carries is the key its dedicated heap event *would* have had. The
+ * armed drain event is inserted with schedule_at_seq() at the ring
+ * minimum's own key, and the drain loop yields (re-arms) as soon as
+ * Simulator::has_event_before() reports a foreign event interleaved before
+ * the next entry. Every action therefore executes at the same simulated
+ * time, in the same global order, as in the unbatched schedule.
+ *
+ * Layout: structure-of-arrays slabs (keys separate from payloads, the same
+ * discipline as the kernel's heap/pool split and sim::Arena's slab reuse).
+ * The sorted-insertion memmove is cheap because completions are scheduled
+ * mostly in key order and the ring is bounded by the accelerator's PE
+ * count, not by total in-flight chains. Storage is retained across drains:
+ * steady state allocates nothing.
+ */
+
+namespace accelflow::sim {
+
+/** One deferred completion, as returned by DrainRing::front(). */
+struct DrainAction {
+  TimePs time = 0;         ///< Fire time (the schedule_at() time).
+  std::uint64_t seq = 0;   ///< Stamp from reserve_seq() at defer time.
+  std::uint8_t kind = 0;   ///< Caller-defined action tag.
+  std::uint32_t arg = 0;   ///< Caller-defined payload (PE index, slot id).
+};
+
+/**
+ * Sorted structure-of-arrays ring of deferred completions.
+ *
+ * Entries are kept sorted by (time, seq) — push() is a sorted insertion,
+ * front()/pop_front() give the earliest pending action. Checkpointable by
+ * plain copy (all state is POD vectors).
+ */
+class DrainRing {
+ public:
+  DrainRing() = default;
+
+  /** Number of pending actions. */
+  std::size_t size() const { return times_.size() - head_; }
+
+  bool empty() const { return head_ == times_.size(); }
+
+  /**
+   * Defers an action with ordering key (time, seq). `seq` must come from
+   * Simulator::reserve_seq() at the point the equivalent schedule_at()
+   * would have run (see file comment).
+   */
+  void push(TimePs time, std::uint64_t seq, std::uint8_t kind,
+            std::uint32_t arg) {
+    // Find the insertion point from the back: completions arrive mostly in
+    // key order, so this is usually an append.
+    std::size_t pos = times_.size();
+    while (pos > head_ &&
+           (times_[pos - 1] > time ||
+            (times_[pos - 1] == time && seqs_[pos - 1] > seq))) {
+      --pos;
+    }
+    times_.insert(times_.begin() + static_cast<std::ptrdiff_t>(pos), time);
+    seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
+    kinds_.insert(kinds_.begin() + static_cast<std::ptrdiff_t>(pos), kind);
+    args_.insert(args_.begin() + static_cast<std::ptrdiff_t>(pos), arg);
+  }
+
+  /** The earliest pending action. Precondition: !empty(). */
+  DrainAction front() const {
+    return DrainAction{times_[head_], seqs_[head_], kinds_[head_],
+                       args_[head_]};
+  }
+
+  /** Removes the earliest pending action. Precondition: !empty(). */
+  void pop_front() {
+    ++head_;
+    if (head_ == times_.size() || head_ >= 64) compact();
+  }
+
+  void clear() {
+    head_ = 0;
+    times_.clear();
+    seqs_.clear();
+    kinds_.clear();
+    args_.clear();
+  }
+
+  /** Deep-copyable checkpoint (the ring itself: POD vectors). */
+  struct Checkpoint {
+    std::vector<TimePs> times;
+    std::vector<std::uint64_t> seqs;
+    std::vector<std::uint8_t> kinds;
+    std::vector<std::uint32_t> args;
+  };
+
+  void checkpoint(Checkpoint& out) const {
+    out.times.assign(times_.begin() + static_cast<std::ptrdiff_t>(head_),
+                     times_.end());
+    out.seqs.assign(seqs_.begin() + static_cast<std::ptrdiff_t>(head_),
+                    seqs_.end());
+    out.kinds.assign(kinds_.begin() + static_cast<std::ptrdiff_t>(head_),
+                     kinds_.end());
+    out.args.assign(args_.begin() + static_cast<std::ptrdiff_t>(head_),
+                    args_.end());
+  }
+
+  void restore(const Checkpoint& snap) {
+    head_ = 0;
+    times_ = snap.times;
+    seqs_ = snap.seqs;
+    kinds_ = snap.kinds;
+    args_ = snap.args;
+  }
+
+ private:
+  /** Drops the consumed prefix so the arrays stay compact. */
+  void compact() {
+    times_.erase(times_.begin(),
+                 times_.begin() + static_cast<std::ptrdiff_t>(head_));
+    seqs_.erase(seqs_.begin(),
+                seqs_.begin() + static_cast<std::ptrdiff_t>(head_));
+    kinds_.erase(kinds_.begin(),
+                 kinds_.begin() + static_cast<std::ptrdiff_t>(head_));
+    args_.erase(args_.begin(),
+                args_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+
+  // Structure-of-arrays: the hot ordering keys (times/seqs, scanned by the
+  // sorted insert and the drain loop) stay contiguous and separate from
+  // the payload columns.
+  std::size_t head_ = 0;
+  std::vector<TimePs> times_;
+  std::vector<std::uint64_t> seqs_;
+  std::vector<std::uint8_t> kinds_;
+  std::vector<std::uint32_t> args_;
+};
+
+}  // namespace accelflow::sim
+
+#endif  // ACCELFLOW_SIM_DRAIN_RING_H_

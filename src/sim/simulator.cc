@@ -60,6 +60,38 @@ EventId Simulator::schedule_at(TimePs t, Callback cb) {
   return encode_id(slot, ev.gen);
 }
 
+EventId Simulator::schedule_at_seq(TimePs t, std::uint64_t seq,
+                                   Callback cb) {
+  assert(t >= now_ && "cannot schedule in the past");
+  assert(seq < next_seq_ && "stamp must come from reserve_seq()");
+  if (t < now_) {
+    ++kstats_.clamped_past;
+    t = now_;
+  }
+
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+    ++kstats_.pool_grown;
+  }
+
+  Event& ev = pool_[slot];
+  ev.cb = std::move(cb);
+  ev.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t, seq, slot});
+  sift_up(heap_.size() - 1);
+
+  ++kstats_.scheduled;
+  if (heap_.size() > kstats_.heap_high_water) {
+    kstats_.heap_high_water = heap_.size();
+  }
+  return encode_id(slot, ev.gen);
+}
+
 bool Simulator::cancel(EventId id) {
   std::uint32_t slot, gen;
   if (!decode_id(id, pool_.size(), &slot, &gen)) return false;

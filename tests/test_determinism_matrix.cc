@@ -6,6 +6,11 @@
  * everything else in the validation subsystem leans on: ParallelRunner's
  * "results independent of thread count" and the checker's "observing
  * never perturbs".
+ *
+ * A third axis covers the compiled chain backend (DESIGN.md §15): whether
+ * traces execute through the interpreter or through compiled chain
+ * programs with batched completion drains (EngineConfig::compile or
+ * AF_COMPILE=1) must not change a single bit of any result.
  */
 
 #include <gtest/gtest.h>
@@ -76,6 +81,76 @@ TEST(DeterminismMatrix, IdenticalAcrossThreadCounts) {
                        "threads=" + std::to_string(threads) + " config " +
                            std::to_string(i));
     }
+  }
+}
+
+/** Drops AF_COMPILE from the environment for the scope (the sanitize CI
+ *  job exports it, which would silently compile the "interpreted" runs). */
+class ScopedNoAfCompile {
+ public:
+  ScopedNoAfCompile() {
+    const char* v = std::getenv("AF_COMPILE");
+    if (v != nullptr) {
+      saved_ = v;
+      had_ = true;
+    }
+    unsetenv("AF_COMPILE");
+  }
+  ~ScopedNoAfCompile() {
+    if (had_) {
+      setenv("AF_COMPILE", saved_.c_str(), 1);
+    } else {
+      unsetenv("AF_COMPILE");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(DeterminismMatrix, CompiledMatchesInterpreted) {
+  ScopedNoAfCompile no_env;
+  const std::vector<ExperimentConfig> configs = matrix_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ExperimentConfig compiled = configs[i];
+    compiled.engine.compile = true;
+    const ExperimentResult c = run_experiment(compiled);
+    const ExperimentResult interp = run_experiment(configs[i]);
+    expect_identical(c, interp, "compile axis, config " + std::to_string(i));
+  }
+}
+
+TEST(DeterminismMatrix, CompiledEnvToggleMatchesConfigToggle) {
+  ScopedNoAfCompile no_env;
+  const ExperimentConfig cfg = matrix_configs()[0];
+  ExperimentConfig compiled = cfg;
+  compiled.engine.compile = true;
+  const ExperimentResult via_config = run_experiment(compiled);
+  setenv("AF_COMPILE", "1", 1);
+  const ExperimentResult via_env = run_experiment(cfg);
+  unsetenv("AF_COMPILE");
+  expect_identical(via_config, via_env, "AF_COMPILE env toggle");
+}
+
+TEST(DeterminismMatrix, CompiledRunsCleanUnderChecker) {
+  // The invariant checker audits the compiled backend exactly as it does
+  // the interpreter — and still does not perturb the timeline.
+  ScopedNoAfCompile no_env;
+  const std::vector<ExperimentConfig> configs = matrix_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ExperimentConfig with = configs[i];
+    with.engine.compile = true;
+    check::InvariantChecker checker;
+    with.checker = &checker;
+    const ExperimentResult checked = run_experiment(with);
+    ExperimentConfig plain_cfg = configs[i];
+    plain_cfg.engine.compile = true;
+    const ExperimentResult plain = run_experiment(plain_cfg);
+    expect_identical(checked, plain,
+                     "compiled+checker, config " + std::to_string(i));
+    EXPECT_TRUE(checker.ok()) << checker.report();
+    EXPECT_GT(checker.stats().chains_started, 0u);
   }
 }
 

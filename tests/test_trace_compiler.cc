@@ -143,6 +143,64 @@ TEST(TraceCompiler, ErrorsCarryPositions) {
   }
 }
 
+// The offending token rides in the exception (token()) and in what(), so
+// a failing program can be diagnosed without re-lexing it by offset.
+TEST(TraceCompiler, ErrorsCarryOffendingTokenText) {
+  TraceLibrary lib;
+  try {
+    compile_trace(lib, "t", "TCP > Oops !");
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.token(), "Oops");
+    EXPECT_NE(std::string(e.what()).find("'Oops'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("offset 6"), std::string::npos);
+  }
+}
+
+TEST(TraceCompiler, ErrorAtEndOfInputNamesEndToken) {
+  TraceLibrary lib;
+  try {
+    compile_trace(lib, "t", "TCP > Decr");  // Missing terminator.
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.token(), "<end of input>");
+    EXPECT_NE(std::string(e.what()).find("<end of input>"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceCompiler, ErrorOnBadPunctuationCarriesToken) {
+  TraceLibrary lib;
+  try {
+    compile_trace(lib, "t", "compressed? Dcmp !");  // Neither '[' nor ':'.
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.token(), "Dcmp");
+  }
+  try {
+    compile_trace(lib, "t", "TCP > $ !");
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.token(), "$");  // Unexpected character, verbatim.
+  }
+}
+
+TEST(TraceCompiler, ErrorOnTrailingInputCarriesToken) {
+  TraceLibrary lib;
+  try {
+    compile_trace(lib, "t", "TCP ! extra");
+    FAIL() << "expected TraceCompileError";
+  } catch (const TraceCompileError& e) {
+    EXPECT_EQ(e.token(), "extra");
+  }
+}
+
+TEST(TraceCompiler, ErrorWithoutTokenOmitsGotClause) {
+  const TraceCompileError e("some failure", 3);
+  EXPECT_TRUE(e.token().empty());
+  EXPECT_EQ(std::string(e.what()), "some failure (at offset 3)");
+}
+
 // --- Runtime facade -----------------------------------------------------
 
 TEST(Runtime, RegisterAndRunTrace) {

@@ -6,10 +6,15 @@ BENCH_kernel.json, bench_snapshot_fork -> BENCH_snapshot.json) against the
 checked-in baseline at the repo root. Every throughput key — a key ending
 in ``_per_sec`` — must stay at or above ``--min-ratio`` (default 0.8, i.e.
 a >20% drop fails) times the baseline value. Non-throughput keys (counts,
-geomeans, high-water marks) are informational and not gated.
+geomeans, high-water marks) are informational and not gated, unless an
+absolute floor is requested for one with ``--speedup-floor KEY=VALUE``
+(repeatable): the *measured* value of KEY must then be >= VALUE. That is
+how CI holds the compiled-chain backend to its >= 1.5x geomean
+(``--speedup-floor compiled_speedup_geomean=1.5``).
 
 Usage:
     tools/perf_gate.py BASELINE.json MEASURED.json [--min-ratio 0.8]
+        [--speedup-floor KEY=VALUE ...]
 
 Exit status 0 when every gated key passes, 1 otherwise. Refresh the
 baselines after an intentional perf change with tools/update_goldens.sh.
@@ -35,7 +40,26 @@ def main():
         default=0.8,
         help="minimum measured/baseline ratio per *_per_sec key",
     )
+    parser.add_argument(
+        "--speedup-floor",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="absolute floor on a measured (non-ratio) key; repeatable",
+    )
     args = parser.parse_args()
+
+    floors = []
+    for spec in args.speedup_floor:
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            print(f"FAIL: bad --speedup-floor '{spec}', expected KEY=VALUE")
+            return 1
+        try:
+            floors.append((key, float(value)))
+        except ValueError:
+            print(f"FAIL: bad --speedup-floor value in '{spec}'")
+            return 1
 
     baseline = load(args.baseline)
     measured = load(args.measured)
@@ -62,13 +86,30 @@ def main():
         if ratio < args.min_ratio:
             failures += 1
 
+    floored = 0
+    for key, floor in floors:
+        if key not in measured:
+            print(f"FAIL  {key}: missing from {args.measured}")
+            failures += 1
+            continue
+        meas = float(measured[key])
+        status = "ok  " if meas >= floor else "FAIL"
+        print(f"{status}  {key}: {meas:.4g} (absolute floor {floor:.4g})")
+        if meas < floor:
+            failures += 1
+        else:
+            floored += 1
+
     if failures:
         print(
-            f"FAIL: {failures}/{len(gated)} throughput keys regressed "
-            f"more than {100 * (1 - args.min_ratio):.0f}% below baseline"
+            f"FAIL: {failures} gated keys out of bounds "
+            f"({len(gated)} ratio-gated, {len(floors)} floor-gated)"
         )
         return 1
-    print(f"ok: all {len(gated)} throughput keys within bounds")
+    print(
+        f"ok: all {len(gated)} throughput keys within bounds"
+        + (f", {floored} absolute floors held" if floors else "")
+    )
     return 0
 
 

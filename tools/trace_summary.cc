@@ -11,6 +11,11 @@
  * file covers. Useful for a quick per-stage latency breakdown without
  * opening Perfetto; the numbers feed EXPERIMENTS.md's breakdown table.
  *
+ * Runs with the batched completion path on (AF_COMPILE=1) also get a
+ * per-accelerator drain table from the "batch_drain" instants: how many
+ * vectorized drains ran, how many completion actions they carried, the
+ * heap events saved (actions - drains), and the widest single drain.
+ *
  * The parser handles the exporter's one-event-per-line layout; it is not a
  * general JSON parser.
  */
@@ -24,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "accel/accelerator.h"  // kTidStride: accel track width.
+#include "accel/types.h"
 #include "stats/table.h"
 
 namespace {
@@ -59,6 +66,23 @@ struct KindStats {
   double max_us = 0;
 };
 
+/** Per-accelerator batched completion drains ("batch_drain" instants). */
+struct DrainStats {
+  std::uint64_t drains = 0;   ///< Vectorized drain events.
+  std::uint64_t actions = 0;  ///< Completion actions they carried.
+  std::uint64_t max_width = 0;
+};
+
+/** Accelerator track label for tid (tracks are tid/kTidStride wide). */
+std::string accel_of_tid(std::uint32_t tid) {
+  const std::uint32_t idx = tid / accelflow::accel::Accelerator::kTidStride;
+  if (idx < accelflow::accel::kNumAccelTypes) {
+    return std::string(accelflow::accel::name_of(
+        static_cast<accelflow::accel::AccelType>(idx)));
+  }
+  return "tid" + std::to_string(tid);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,6 +100,7 @@ int main(int argc, char** argv) {
   // instants; distinct flow ids; overall covered time range.
   std::map<std::pair<std::string, std::string>, KindStats> spans;
   std::map<std::pair<std::string, std::string>, std::uint64_t> instants;
+  std::map<std::string, DrainStats> drains;
   std::set<std::uint64_t> flows;
   std::uint64_t flow_begins = 0, flow_ends = 0;
   double first_ts = -1, last_ts = 0;
@@ -98,7 +123,17 @@ int main(int argc, char** argv) {
       k.max_us = std::max(k.max_us, dur);
     } else if (ph == "i") {
       last_ts = std::max(last_ts, ts);
-      ++instants[{find_string(line, "cat"), find_string(line, "name")}];
+      const std::string name = find_string(line, "name");
+      ++instants[{find_string(line, "cat"), name}];
+      if (name == "batch_drain") {
+        const auto tid = static_cast<std::uint32_t>(find_number(line, "tid"));
+        const auto width =
+            static_cast<std::uint64_t>(find_number(line, "arg"));
+        DrainStats& d = drains[accel_of_tid(tid)];
+        ++d.drains;
+        d.actions += width;
+        d.max_width = std::max(d.max_width, width);
+      }
     } else if (ph == "s" || ph == "t" || ph == "f") {
       last_ts = std::max(last_ts, ts);
       flows.insert(static_cast<std::uint64_t>(find_number(line, "id")));
@@ -142,6 +177,23 @@ int main(int argc, char** argv) {
       t.add_row({key.first, key.second, std::to_string(n)});
     }
     t.print(std::cout);
+  }
+  if (!drains.empty()) {
+    std::uint64_t total_saved = 0;
+    Table t("Batched completion drains per accelerator");
+    t.set_header({"Accel", "Drains", "Actions", "Events saved", "Mean width",
+                  "Max width"});
+    for (const auto& [name, d] : drains) {
+      const std::uint64_t saved = d.actions - d.drains;
+      total_saved += saved;
+      t.add_row({name, std::to_string(d.drains), std::to_string(d.actions),
+                 std::to_string(saved),
+                 Table::fmt(static_cast<double>(d.actions) /
+                            static_cast<double>(d.drains)),
+                 std::to_string(d.max_width)});
+    }
+    t.print(std::cout);
+    std::cout << "  heap events saved by batching: " << total_saved << "\n";
   }
   return 0;
 }
