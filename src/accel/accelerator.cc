@@ -33,6 +33,14 @@ void Accelerator::set_num_pes(int num_pes) {
   params_.num_pes = num_pes;
 }
 
+void Accelerator::set_queue_capacity(std::size_t entries) {
+  assert(overflow_.empty() && "set_queue_capacity requires an idle overflow");
+  input_.set_capacity(entries);   // Asserts the queue is empty.
+  output_.set_capacity(entries);  // Likewise.
+  params_.input_queue_entries = entries;
+  params_.output_queue_entries = entries;
+}
+
 void Accelerator::set_tracer(obs::Tracer* tracer, std::uint32_t accel_index) {
   tracer_ = tracer;
   tid_base_ = accel_index * kTidStride;
@@ -167,7 +175,7 @@ void Accelerator::defer_action(ActionKind kind, sim::TimePs when,
   // path would have called schedule_at() — so the ring entry carries the
   // (time, seq) key its dedicated heap event would have had.
   const std::uint64_t seq = sim_.reserve_seq();
-  ch.ring.push(when, seq, static_cast<std::uint8_t>(kind), arg);
+  ch.ring.push(when, seq, static_cast<std::uint8_t>(kind), arg, sim_.now());
   if (ch.draining) return;  // run_drain re-arms after its loop.
   if (ch.event == sim::kInvalidEventId) {
     arm_drain(kind);
@@ -195,6 +203,7 @@ void Accelerator::run_drain(ActionKind kind) {
   ch.event = sim::kInvalidEventId;
   ch.draining = true;
   std::uint64_t width = 0;
+  sim::TimePs ring_wait = 0;
   while (!ch.ring.empty()) {
     const sim::DrainAction a = ch.ring.front();
     // Yield to any foreign calendar event ordered before the next action:
@@ -202,15 +211,21 @@ void Accelerator::run_drain(ActionKind kind) {
     if (a.time > sim_.now() || sim_.has_event_before(a.time, a.seq)) break;
     ch.ring.pop_front();
     ++width;
+    ring_wait += sim_.now() - a.pushed_at;
     apply_action(static_cast<ActionKind>(a.kind), a.arg);
   }
   ch.draining = false;
   ++stats_.drain_batches;
   stats_.drain_actions += width;
   stats_.max_drain_width = std::max(stats_.max_drain_width, width);
+  stats_.drain_wait_time += ring_wait;
   if (tracer_ != nullptr) {
+    // arg packs (ring residency in ps) << 16 | batch width, so offline
+    // consumers (tools/trace_summary) recover both from one instant.
     tracer_->instant(obs::Subsys::kAccel, obs::SpanKind::kBatchDrain,
-                     tid_base_ + kDispatcherTid, sim_.now(), width);
+                     tid_base_ + kDispatcherTid, sim_.now(),
+                     (static_cast<std::uint64_t>(ring_wait) << 16) |
+                         std::min<std::uint64_t>(width, 0xFFFF));
   }
   if (!ch.ring.empty()) arm_drain(kind);
 }

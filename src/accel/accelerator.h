@@ -93,6 +93,11 @@ struct AccelStats {
   std::uint64_t drain_actions = 0;
   /** Widest single drain (actions retired by one heap event). */
   std::uint64_t max_drain_width = 0;
+  /** Total drain-ring residency: sum over drained actions of drain time
+   *  minus push time. Pure telemetry — parked actions still fire at their
+   *  reserved (time, seq) key, so residency is batching slack, not added
+   *  latency. */
+  sim::TimePs drain_wait_time = 0;
   stats::LatencyRecorder input_queue_delay;
   /** Payload sizes consumed / produced (Figure 5). */
   stats::Histogram input_bytes;
@@ -276,6 +281,15 @@ class Accelerator {
 
   /** Adjusts the compute speedup factor (generation sweeps). */
   void set_speedup(double speedup) { params_.speedup = speedup; }
+
+  /**
+   * Re-sizes the input and output SRAM queues (queue-depth sweeps and the
+   * auto-tuner's queue knob). Only legal while both queues and the
+   * overflow area are empty: asserts otherwise, like set_num_pes. A
+   * Machine::restore undoes it (queue capacity is part of the captured
+   * state).
+   */
+  void set_queue_capacity(std::size_t entries);
 
  private:
   struct Pe {

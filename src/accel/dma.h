@@ -1,6 +1,7 @@
 #ifndef ACCELFLOW_ACCEL_DMA_H_
 #define ACCELFLOW_ACCEL_DMA_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,19 @@ class DmaPool {
   const DmaStats& stats() const { return stats_; }
   /** Number of engines in the pool. */
   int num_engines() const { return static_cast<int>(engine_free_at_.size()); }
+
+  /**
+   * Re-sizes the engine pool (A-DMA sensitivity sweeps and the
+   * auto-tuner's DMA knob). All engines come up free; call only at a
+   * quiescent fork point (no transfer in flight), like the other
+   * divergence knobs. A restore() undoes it — engine count is implied by
+   * the captured per-engine occupancy vector.
+   */
+  void set_num_engines(int n) {
+    assert(n > 0);
+    engine_free_at_.assign(static_cast<std::size_t>(n), 0);
+    params_.num_engines = n;
+  }
 
   /**
    * Attaches the span tracer: each transfer emits an

@@ -15,6 +15,18 @@ SramQueue::SramQueue(std::size_t capacity)
   }
 }
 
+void SramQueue::set_capacity(std::size_t capacity) {
+  assert(capacity > 0);
+  assert(occupancy_ == 0 && "set_capacity requires an empty queue");
+  slots_.assign(capacity, std::nullopt);
+  occupied_words_.assign((capacity + 63) / 64, 0);
+  free_list_.clear();
+  free_list_.reserve(capacity);
+  for (SlotId s = static_cast<SlotId>(capacity); s-- > 0;) {
+    free_list_.push_back(s);
+  }
+}
+
 SlotId SramQueue::allocate(QueueEntry e) {
   ++stats_.allocations;
   if (free_list_.empty()) {

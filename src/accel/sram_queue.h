@@ -95,6 +95,14 @@ class SramQueue {
 
   const QueueStats& stats() const { return stats_; }
 
+  /**
+   * Re-sizes the slot bank (queue-depth sensitivity sweeps and the
+   * auto-tuner's queue knob). Only legal while the queue is empty —
+   * asserts otherwise — so call it at a quiescent fork point, like
+   * Accelerator::set_num_pes. Counters and the arrival stamp survive.
+   */
+  void set_capacity(std::size_t capacity);
+
   /** Deep copy of slots, free list, and counters (DESIGN.md §13). */
   struct Checkpoint {
     std::vector<std::optional<QueueEntry>> slots;  ///< Slot contents.
@@ -110,14 +118,16 @@ class SramQueue {
   }
 
   /** Restores state captured by checkpoint(). The occupancy bitmap is
-   *  derived state: rebuilt from the slots, not stored in the snapshot. */
+   *  derived state: rebuilt from the slots, not stored in the snapshot.
+   *  Also restores the captured capacity, undoing any set_capacity()
+   *  divergence applied after the checkpoint. */
   void restore(const Checkpoint& c) {
     slots_ = c.slots;
     free_list_ = c.free_list;
     occupancy_ = c.occupancy;
     next_seq_ = c.next_seq;
     stats_ = c.stats;
-    std::fill(occupied_words_.begin(), occupied_words_.end(), 0);
+    occupied_words_.assign((slots_.size() + 63) / 64, 0);
     for (SlotId s = 0; s < slots_.size(); ++s) {
       if (slots_[s].has_value()) set_occupied(s);
     }

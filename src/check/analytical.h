@@ -47,20 +47,20 @@ struct AnalyticalConfig {
   double mean_service_us = 2.0;  ///< 1/mu.
   bool deterministic = false;    ///< M/D/1 (requires pes == 1) vs M/M/k.
   std::uint64_t jobs = 150000;   ///< Arrivals to simulate.
-  std::uint64_t seed = 0x5EED;
+  std::uint64_t seed = 0x5EED;   ///< Arrival/service RNG seed.
   double tolerance = 0.05;       ///< Relative error allowed on Wq and rho.
 };
 
 /** Measured-vs-predicted outcome of one scenario. */
 struct AnalyticalResult {
-  bool passed = false;
+  bool passed = false;           ///< Both errors within tolerance.
   double predicted_wait_us = 0;  ///< Closed-form Wq.
   double simulated_wait_us = 0;  ///< Mean of input_queue_delay.
   double wait_error = 0;         ///< |sim - predicted| / predicted.
   double predicted_util = 0;     ///< rho.
   double simulated_util = 0;     ///< pe_busy / (k * elapsed).
-  double util_error = 0;
-  std::uint64_t jobs_measured = 0;
+  double util_error = 0;         ///< |sim - predicted| / predicted.
+  std::uint64_t jobs_measured = 0;  ///< Completed jobs in the sample.
   std::string detail;            ///< Failure description (empty on pass).
 };
 

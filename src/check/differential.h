@@ -44,13 +44,13 @@ struct DiffOptions {
 
 /** Outcome of one differential case. */
 struct DiffCaseResult {
-  bool passed = false;
+  bool passed = false;  ///< Architectures agreed, no violations.
   /** Human-readable divergence/violation description (empty on pass). */
   std::string detail;
-  int programs = 0;
-  int chains = 0;
+  int programs = 0;     ///< Trace programs generated for the case.
+  int chains = 0;       ///< Concurrent chains run.
   std::uint64_t stages_checked = 0;  ///< From the AccelFlow run's checker.
-  bool tiny_queues = false;
+  bool tiny_queues = false;  ///< Ran on the 2-entry-queue machine.
   bool had_timeout = false;  ///< Some chain exercised the timeout path.
 };
 

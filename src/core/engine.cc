@@ -932,10 +932,12 @@ void AccelFlowEngine::complete_chain(ChainContext* ctx,
     const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
     const sim::TimePs now = machine_.sim().now();
     const auto tid = static_cast<std::uint32_t>(ctx->core);
+    // arg carries the tenant (== workload service index) so post-hoc
+    // consumers (critpath::Analyzer) can attribute chains per service.
     t->instant(obs::Subsys::kEngine,
                res.timeout ? obs::SpanKind::kTimeout
                            : obs::SpanKind::kChainDone,
-               tid, now, 0, flow);
+               tid, now, ctx->tenant, flow);
     t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
   }
   std::uint32_t& active = tenant_slot(ctx->tenant);

@@ -220,6 +220,22 @@ void Machine::set_pes_per_accel(int pes) {
   config_.pes_per_accel = pes;
 }
 
+void Machine::set_pes_for(accel::AccelType type, int pes) {
+  accels_[accel::index_of(type)]->set_num_pes(pes);
+}
+
+void Machine::set_accel_queue_entries(std::size_t entries) {
+  for (const AccelType t : accel::kAllAccelTypes) {
+    accels_[accel::index_of(t)]->set_queue_capacity(entries);
+  }
+  config_.accel_queue_entries = entries;
+}
+
+void Machine::set_dma_engines(int engines) {
+  dma_->set_num_engines(engines);
+  config_.dma.num_engines = engines;
+}
+
 void Machine::set_speedup_scale(double scale) {
   for (const AccelType t : accel::kAllAccelTypes) {
     accels_[accel::index_of(t)]->set_speedup(accel::default_speedup(t) *

@@ -246,6 +246,28 @@ class Machine {
    */
   void set_pes_per_accel(int pes);
 
+  /**
+   * Re-sizes one accelerator class's PE array (the auto-tuner's
+   * per-class PE knob). Same idleness requirement as set_pes_per_accel.
+   * Leaves MachineConfig::pes_per_accel untouched (it describes the
+   * uniform baseline); a restore() undoes the divergence because PE
+   * arrays are part of each accelerator's captured state.
+   */
+  void set_pes_for(accel::AccelType type, int pes);
+
+  /**
+   * Re-sizes every accelerator's input/output SRAM queues (queue-depth
+   * sweeps, the auto-tuner's queue knob). Requires all queues and
+   * overflow areas empty — call only at a quiescent fork point.
+   */
+  void set_accel_queue_entries(std::size_t entries);
+
+  /**
+   * Re-sizes the A-DMA engine pool (the auto-tuner's DMA knob). All
+   * engines come up free; call only at a quiescent fork point.
+   */
+  void set_dma_engines(int engines);
+
   /** Re-derives every accelerator's speedup for `scale` (Fig. 13/20). */
   void set_speedup_scale(double scale);
 

@@ -530,9 +530,11 @@ void BaselineOrchestrator::finish(Chain* c, bool timed_out, bool fell_back) {
     const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
     const sim::TimePs now = machine_.sim().now();
     const auto tid = static_cast<std::uint32_t>(ctx->core);
+    // arg carries the tenant (== workload service index), as in the
+    // AccelFlow engine, for post-hoc per-service attribution.
     t->instant(obs::Subsys::kEngine,
                timed_out ? obs::SpanKind::kTimeout : obs::SpanKind::kChainDone,
-               tid, now, 0, flow);
+               tid, now, ctx->tenant, flow);
     t->flow(obs::Phase::kFlowEnd, obs::Subsys::kEngine, tid, now, flow);
   }
   ChainResult r;

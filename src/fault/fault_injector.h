@@ -29,15 +29,16 @@ namespace accelflow::fault {
 
 /** Counters of every fault actually injected. */
 struct FaultStats {
-  std::uint64_t pe_stalls = 0;
-  std::uint64_t pe_kills = 0;
-  std::uint64_t queue_rejects = 0;
-  std::uint64_t iommu_faults = 0;
-  std::uint64_t dma_errors = 0;
-  std::uint64_t degraded_transfers = 0;
+  std::uint64_t pe_stalls = 0;           ///< kPeStall firings.
+  std::uint64_t pe_kills = 0;            ///< kPeKill firings.
+  std::uint64_t queue_rejects = 0;       ///< kQueueReject firings.
+  std::uint64_t iommu_faults = 0;        ///< kIommuFault firings.
+  std::uint64_t dma_errors = 0;          ///< kDmaError firings.
+  std::uint64_t degraded_transfers = 0;  ///< kLinkDegrade firings.
   sim::TimePs stall_time = 0;    ///< Total injected PE stall latency.
   sim::TimePs dma_penalty = 0;   ///< Total injected DMA retry latency.
 
+  /** Sum of all six firing counters. */
   std::uint64_t total() const {
     return pe_stalls + pe_kills + queue_rejects + iommu_faults + dma_errors +
            degraded_transfers;
@@ -50,7 +51,9 @@ class FaultInjector final : public sim::FaultHooks {
   /** The simulator provides the clock for scheduled fault windows. */
   FaultInjector(sim::Simulator& sim, FaultPlan plan);
 
+  /** The plan this injector evaluates. */
   const FaultPlan& plan() const { return plan_; }
+  /** Counters of every fault injected so far. */
   const FaultStats& stats() const { return stats_; }
 
   /** Zeroes the injection counters (end of warmup). */
@@ -76,12 +79,15 @@ class FaultInjector final : public sim::FaultHooks {
    * demand reseeds it identically, so forked timelines stay bit-exact.
    */
   struct Checkpoint {
+    /** (stream key, RNG state) for every stream drawn from so far. */
     std::vector<std::pair<std::uint64_t, std::array<std::uint64_t, 4>>>
         streams;
-    FaultStats stats;
+    FaultStats stats;  ///< Injection counters at capture time.
   };
 
+  /** Captures the injector's deterministic state. */
   Checkpoint checkpoint() const;
+  /** Restores a previously captured state (drops newer streams). */
   void restore(const Checkpoint& c);
 
  private:

@@ -31,6 +31,7 @@ enum class FaultSite : std::uint8_t {
   kLinkDegrade = 5, ///< NoC transfer duration multiplier.
 };
 
+/** Number of FaultSite values (array-sizing constant). */
 inline constexpr std::size_t kNumFaultSites = 6;
 
 /** Per-accelerator-type probabilistic fault rates. */
@@ -48,11 +49,11 @@ struct AccelFaultRates {
  * kDmaError, duration multiplier for kLinkDegrade; ignored elsewhere).
  */
 struct FaultWindow {
-  FaultSite site = FaultSite::kPeStall;
+  FaultSite site = FaultSite::kPeStall;  ///< Which fault class fires.
   int unit = -1;  ///< Consulting unit, or -1 for every unit of the site.
-  sim::TimePs begin = 0;
-  sim::TimePs end = sim::kTimeNever;
-  double param = 1.0;
+  sim::TimePs begin = 0;             ///< Window start (inclusive).
+  sim::TimePs end = sim::kTimeNever; ///< Window end (exclusive).
+  double param = 1.0;  ///< Site-specific magnitude (see struct doc).
 };
 
 /** The full fault schedule for one run. */

@@ -88,6 +88,36 @@ constexpr std::string_view name_of(SpanKind k) {
 }
 
 /**
+ * Inverse of name_of(Subsys): resolves an exported Chrome-trace category
+ * back to its subsystem. Returns false (and leaves `out` untouched) for
+ * unknown names — offline consumers (tools/trace_summary, the critical-
+ * path pass) use this to re-ingest exported traces.
+ */
+constexpr bool subsys_from_name(std::string_view name, Subsys* out) {
+  for (std::size_t s = 0; s < kNumSubsys; ++s) {
+    if (name_of(static_cast<Subsys>(s)) == name) {
+      *out = static_cast<Subsys>(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+/**
+ * Inverse of name_of(SpanKind): resolves an exported Chrome-trace event
+ * name back to its span kind. Returns false for unknown names.
+ */
+constexpr bool kind_from_name(std::string_view name, SpanKind* out) {
+  for (std::size_t k = 0; k < kNumSpanKinds; ++k) {
+    if (name_of(static_cast<SpanKind>(k)) == name) {
+      *out = static_cast<SpanKind>(k);
+      return true;
+    }
+  }
+  return false;
+}
+
+/**
  * Chrome-trace phase of a recorded event.
  *
  * kComplete ("X") carries a duration; kInstant ("i") a point in time; the

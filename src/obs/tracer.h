@@ -103,6 +103,21 @@ class Tracer {
   /** Events overwritten because the ring was full. */
   std::uint64_t dropped() const { return dropped_; }
 
+  /**
+   * Discards all buffered events and resets the recording counters and
+   * flow context; capacity and thread names are kept. Recording-side
+   * state only — clearing between measurement windows (the auto-tuner
+   * does this before every forked probe) never perturbs the simulation,
+   * exactly like recording itself.
+   */
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    recorded_ = 0;
+    current_flow_ = 0;
+  }
+
   /** Total events ever recorded (including later-overwritten ones). */
   std::uint64_t recorded() const { return recorded_; }
 

@@ -55,6 +55,7 @@ struct DrainAction {
   std::uint64_t seq = 0;   ///< Stamp from reserve_seq() at defer time.
   std::uint8_t kind = 0;   ///< Caller-defined action tag.
   std::uint32_t arg = 0;   ///< Caller-defined payload (PE index, slot id).
+  TimePs pushed_at = 0;    ///< Simulated time push() ran (ring residency).
 };
 
 /**
@@ -76,10 +77,12 @@ class DrainRing {
   /**
    * Defers an action with ordering key (time, seq). `seq` must come from
    * Simulator::reserve_seq() at the point the equivalent schedule_at()
-   * would have run (see file comment).
+   * would have run (see file comment). `pushed_at` is the current
+   * simulated time; the drain loop reports time - pushed_at as the
+   * action's ring residency (pure telemetry, never an ordering input).
    */
   void push(TimePs time, std::uint64_t seq, std::uint8_t kind,
-            std::uint32_t arg) {
+            std::uint32_t arg, TimePs pushed_at) {
     // Find the insertion point from the back: completions arrive mostly in
     // key order, so this is usually an append.
     std::size_t pos = times_.size();
@@ -92,12 +95,14 @@ class DrainRing {
     seqs_.insert(seqs_.begin() + static_cast<std::ptrdiff_t>(pos), seq);
     kinds_.insert(kinds_.begin() + static_cast<std::ptrdiff_t>(pos), kind);
     args_.insert(args_.begin() + static_cast<std::ptrdiff_t>(pos), arg);
+    pushed_.insert(pushed_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   pushed_at);
   }
 
   /** The earliest pending action. Precondition: !empty(). */
   DrainAction front() const {
     return DrainAction{times_[head_], seqs_[head_], kinds_[head_],
-                       args_[head_]};
+                       args_[head_], pushed_[head_]};
   }
 
   /** Removes the earliest pending action. Precondition: !empty(). */
@@ -112,6 +117,7 @@ class DrainRing {
     seqs_.clear();
     kinds_.clear();
     args_.clear();
+    pushed_.clear();
   }
 
   /** Deep-copyable checkpoint (the ring itself: POD vectors). */
@@ -120,6 +126,7 @@ class DrainRing {
     std::vector<std::uint64_t> seqs;
     std::vector<std::uint8_t> kinds;
     std::vector<std::uint32_t> args;
+    std::vector<TimePs> pushed;
   };
 
   void checkpoint(Checkpoint& out) const {
@@ -131,6 +138,8 @@ class DrainRing {
                      kinds_.end());
     out.args.assign(args_.begin() + static_cast<std::ptrdiff_t>(head_),
                     args_.end());
+    out.pushed.assign(pushed_.begin() + static_cast<std::ptrdiff_t>(head_),
+                      pushed_.end());
   }
 
   void restore(const Checkpoint& snap) {
@@ -139,6 +148,7 @@ class DrainRing {
     seqs_ = snap.seqs;
     kinds_ = snap.kinds;
     args_ = snap.args;
+    pushed_ = snap.pushed;
   }
 
  private:
@@ -152,6 +162,8 @@ class DrainRing {
                  kinds_.begin() + static_cast<std::ptrdiff_t>(head_));
     args_.erase(args_.begin(),
                 args_.begin() + static_cast<std::ptrdiff_t>(head_));
+    pushed_.erase(pushed_.begin(),
+                  pushed_.begin() + static_cast<std::ptrdiff_t>(head_));
     head_ = 0;
   }
 
@@ -163,6 +175,8 @@ class DrainRing {
   std::vector<std::uint64_t> seqs_;
   std::vector<std::uint8_t> kinds_;
   std::vector<std::uint32_t> args_;
+  /** Push-time stamps (telemetry column; see push()). */
+  std::vector<TimePs> pushed_;
 };
 
 }  // namespace accelflow::sim

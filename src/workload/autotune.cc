@@ -1,0 +1,235 @@
+#include "workload/autotune.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+namespace accelflow::workload {
+
+namespace {
+
+using critpath::Category;
+
+/** Accelerator-class indices ordered by descending share of `by_accel`,
+ *  zero-share classes excluded. */
+std::vector<std::size_t> ranked_accels(
+    const std::array<sim::TimePs, accel::kNumAccelTypes>& by_accel) {
+  std::vector<std::size_t> order;
+  for (std::size_t a = 0; a < accel::kNumAccelTypes; ++a) {
+    if (by_accel[a] > 0) order.push_back(a);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return by_accel[a] > by_accel[b];
+                   });
+  return order;
+}
+
+std::string accel_name(std::size_t idx) {
+  return std::string(
+      accel::name_of(static_cast<accel::AccelType>(idx)));
+}
+
+}  // namespace
+
+void AutoTuneKnobs::apply(core::Machine& machine) const {
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    machine.set_pes_for(t, pes[accel::index_of(t)]);
+  }
+  machine.set_accel_queue_entries(queue_entries);
+  machine.set_dma_engines(dma_engines);
+}
+
+std::string AutoTuneKnobs::describe() const {
+  std::string s = "pes=[";
+  for (std::size_t a = 0; a < accel::kNumAccelTypes; ++a) {
+    if (a != 0) s += ',';
+    s += std::to_string(pes[a]);
+  }
+  s += "] queue=" + std::to_string(queue_entries) +
+       " dma=" + std::to_string(dma_engines);
+  return s;
+}
+
+AutoTuner::AutoTuner(SweepSession& session, Options options)
+    : session_(session),
+      options_(options),
+      tracer_(session.config().tracer) {
+  assert(tracer_ != nullptr &&
+         "AutoTuner needs ExperimentConfig::tracer set on the session");
+}
+
+double AutoTuner::probe(const AutoTuneKnobs& knobs,
+                        critpath::Analyzer* analysis) {
+  // A fresh ring per probe: the attribution must cover exactly this
+  // probe's measurement window, not the accumulated session history.
+  tracer_->clear();
+  SweepPoint point;
+  point.mutate = [&knobs](core::Machine& m) { knobs.apply(m); };
+  const ExperimentResult result = session_.run_point(point);
+  if (analysis != nullptr) {
+    critpath::Analyzer::Options opts;
+    for (const ServiceSpec& spec : session_.config().specs) {
+      opts.service_names.push_back(spec.name);
+    }
+    *analysis = critpath::Analyzer(std::move(opts));
+    analysis->analyze(*tracer_);
+  }
+  return result.avg_mean_us;
+}
+
+std::vector<AutoTuner::Move> AutoTuner::propose(
+    const critpath::ServiceAttribution& attribution,
+    const AutoTuneKnobs& current) const {
+  // Rank categories by attributed time, most expensive first.
+  std::array<std::size_t, critpath::kNumCategories> order;
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return attribution.by_category[a] >
+                            attribution.by_category[b];
+                   });
+
+  std::vector<Move> moves;
+  char buf[96];
+  auto add = [&](const AutoTuneKnobs& knobs, Category cat) {
+    Move m;
+    m.knobs = knobs;
+    m.action = buf;
+    m.bottleneck = cat;
+    moves.push_back(std::move(m));
+  };
+  for (const std::size_t c : order) {
+    if (attribution.by_category[c] == 0) break;
+    const auto cat = static_cast<Category>(c);
+    switch (cat) {
+      case Category::kQueue:
+      case Category::kPeService: {
+        // Queue residency and PE occupancy both starve on PE bandwidth;
+        // the per-accel split ranks the classes whose pools to grow. All
+        // starved classes are proposed (most-starved first): chains cross
+        // several accelerators in series, so once the top class is fed,
+        // the next one is usually the very next climb direction.
+        const auto& split = cat == Category::kQueue
+                                ? attribution.queue_by_accel
+                                : attribution.pe_by_accel;
+        for (const std::size_t a : ranked_accels(split)) {
+          const int pes = current.pes[a];
+          if (pes * 2 > options_.max_pes) continue;
+          AutoTuneKnobs k = current;
+          k.pes[a] = pes * 2;
+          std::snprintf(buf, sizeof buf, "pes[%s] %d -> %d",
+                        accel_name(a).c_str(), pes, pes * 2);
+          add(k, cat);
+        }
+        break;
+      }
+      case Category::kDma: {
+        // DMA-dominated chains are serialized on engine occupancy.
+        const int dma = current.dma_engines;
+        if (dma * 2 > options_.max_dma_engines) break;
+        AutoTuneKnobs k = current;
+        k.dma_engines = dma * 2;
+        std::snprintf(buf, sizeof buf, "dma %d -> %d", dma, dma * 2);
+        add(k, cat);
+        break;
+      }
+      case Category::kDispatch:
+      case Category::kCore: {
+        // Enqueue-retry parking and CPU fallbacks show up as dispatch
+        // and uncovered (core) time; both point at full SRAM queues.
+        const std::size_t q = current.queue_entries;
+        if (q * 2 > options_.max_queue_entries) break;
+        AutoTuneKnobs k = current;
+        k.queue_entries = q * 2;
+        std::snprintf(buf, sizeof buf, "queue %zu -> %zu", q, q * 2);
+        add(k, cat);
+        break;
+      }
+      case Category::kNoc:
+      case Category::kTranslation:
+      case Category::kGlue:
+        break;  // Fabric/IOMMU/FSM time has no ensemble-sizing knob.
+    }
+  }
+  // The same knob vector can be proposed by two categories (dispatch and
+  // core both widen the queues); probing it twice wastes budget.
+  std::vector<Move> unique;
+  for (Move& m : moves) {
+    bool dup = false;
+    for (const Move& u : unique) {
+      if (u.knobs.pes == m.knobs.pes &&
+          u.knobs.queue_entries == m.knobs.queue_entries &&
+          u.knobs.dma_engines == m.knobs.dma_engines) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) unique.push_back(std::move(m));
+  }
+  return unique;
+}
+
+AutoTuneResult AutoTuner::tune() {
+  if (!session_.prepared()) session_.prepare();
+
+  AutoTuneResult result;
+  const core::MachineConfig& mc = session_.config().machine;
+  result.initial.pes.fill(mc.pes_per_accel);
+  result.initial.queue_entries = mc.accel_queue_entries;
+  result.initial.dma_engines = mc.dma.num_engines;
+  result.best = result.initial;
+
+  analysis_ = std::make_unique<critpath::Analyzer>();
+  double best_mean = probe(result.initial, analysis_.get());
+  result.baseline_mean_us = best_mean;
+  result.initial_bottleneck = analysis_->total().dominant();
+  result.final_bottleneck = result.initial_bottleneck;
+
+  AutoTuneStep baseline;
+  baseline.probe = 0;
+  baseline.action = "baseline";
+  baseline.bottleneck = result.initial_bottleneck;
+  baseline.mean_us = best_mean;
+  baseline.accepted = true;
+  baseline.knobs = result.initial;
+  result.steps.push_back(std::move(baseline));
+
+  int probes = 0;
+  while (probes < options_.max_probes) {
+    const std::vector<Move> moves = propose(analysis_->total(), result.best);
+    bool advanced = false;
+    for (const Move& move : moves) {
+      if (probes >= options_.max_probes) break;
+      ++probes;
+      auto trial = std::make_unique<critpath::Analyzer>();
+      const double mean = probe(move.knobs, trial.get());
+
+      AutoTuneStep step;
+      step.probe = probes;
+      step.action = move.action;
+      step.bottleneck = move.bottleneck;
+      step.mean_us = mean;
+      step.knobs = move.knobs;
+      step.accepted = mean * options_.min_gain < best_mean;
+      result.steps.push_back(step);
+
+      if (step.accepted) {
+        best_mean = mean;
+        result.best = move.knobs;
+        analysis_ = std::move(trial);
+        result.final_bottleneck = analysis_->total().dominant();
+        advanced = true;
+        break;  // Re-rank bottlenecks from the new operating point.
+      }
+    }
+    if (!advanced) break;  // No proposed move improved: a local optimum.
+  }
+
+  result.tuned_mean_us = best_mean;
+  return result;
+}
+
+}  // namespace accelflow::workload

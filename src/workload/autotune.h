@@ -1,0 +1,142 @@
+#ifndef ACCELFLOW_WORKLOAD_AUTOTUNE_H_
+#define ACCELFLOW_WORKLOAD_AUTOTUNE_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/types.h"
+#include "critpath/critpath.h"
+#include "workload/sweep.h"
+
+/**
+ * @file
+ * Bottleneck-driven configuration auto-tuning (DESIGN.md §16).
+ *
+ * The tuner closes the loop around the critical-path profiler: run a
+ * traced probe, ask critpath::Analyzer where the latency went, move the
+ * one knob named by the dominant bottleneck (per-class PE counts for
+ * queue/PE-service time, A-DMA engines for DMA time, SRAM queue depth
+ * for dispatch/core time spent in enqueue-retry parking), and keep the
+ * move only if mean latency actually improved — classic greedy hill
+ * climbing, except the search direction comes from measured attribution
+ * instead of coordinate cycling.
+ *
+ * Every probe forks from one shared SweepSession warmup checkpoint
+ * (DESIGN.md §13), so an N-step tuning run pays one warmup plus N
+ * measurement windows, and each probe is bit-deterministic given its
+ * knob settings regardless of the moves tried before it.
+ */
+
+namespace accelflow::workload {
+
+/** The knob vector the tuner searches over. */
+struct AutoTuneKnobs {
+  /** PEs per accelerator class (diverges per class, unlike the uniform
+   *  MachineConfig::pes_per_accel baseline). */
+  std::array<int, accel::kNumAccelTypes> pes{};
+  /** Input/output SRAM queue entries, uniform across accelerators. */
+  std::size_t queue_entries = 0;
+  /** A-DMA engine-pool size. */
+  int dma_engines = 0;
+
+  /** Applies the knobs to a quiescent machine (a SweepPoint mutation). */
+  void apply(core::Machine& machine) const;
+
+  /** Human-readable "pes=[...] queue=N dma=M" form (logs, JSON). */
+  std::string describe() const;
+};
+
+/** One probe of the tuning trajectory. */
+struct AutoTuneStep {
+  int probe = 0;                  ///< Probe number (0 = baseline).
+  std::string action;             ///< The move tried ("pes[TCP] 2 -> 4").
+  critpath::Category bottleneck = critpath::Category::kCore;
+  ///< Dominant category that motivated the move.
+  double mean_us = 0;             ///< Probe's mean end-to-end latency.
+  bool accepted = false;          ///< Whether the move was kept.
+  AutoTuneKnobs knobs;            ///< Knob vector probed.
+};
+
+/** Outcome of a tuning run. */
+struct AutoTuneResult {
+  double baseline_mean_us = 0;    ///< Mean latency at the initial knobs.
+  double tuned_mean_us = 0;       ///< Mean latency at the best knobs.
+  /** Recovery factor baseline/tuned (>= 1; the bench gates on this). */
+  double improvement() const {
+    return tuned_mean_us > 0 ? baseline_mean_us / tuned_mean_us : 1.0;
+  }
+  AutoTuneKnobs initial;          ///< Knobs the session started from.
+  AutoTuneKnobs best;             ///< Best knob vector found.
+  critpath::Category initial_bottleneck = critpath::Category::kCore;
+  critpath::Category final_bottleneck = critpath::Category::kCore;
+  std::vector<AutoTuneStep> steps;  ///< Full trajectory, baseline first.
+};
+
+/**
+ * Greedy bottleneck-driven hill climber over a SweepSession's machine
+ * knobs. The session's ExperimentConfig must carry a tracer
+ * (ExperimentConfig::tracer) — the tuner clears it before every probe so
+ * each attribution covers exactly one measurement window.
+ */
+class AutoTuner {
+ public:
+  /** Search policy. */
+  struct Options {
+    /** Probe budget after the baseline probe (each accepted or rejected
+     *  move costs one forked measurement window). */
+    int max_probes = 8;
+    /** A move is kept when it shrinks mean latency by at least this
+     *  factor (1.01 = 1%); smaller gains read as noise and end the
+     *  climb along that coordinate. */
+    double min_gain = 1.01;
+    /** Knob ceilings, so a saturated machine cannot drive the doubling
+     *  moves unboundedly. */
+    int max_pes = 32;
+    std::size_t max_queue_entries = 512;
+    int max_dma_engines = 40;
+  };
+
+  /** Binds the tuner to a prepared (or preparable) session. */
+  AutoTuner(SweepSession& session, Options options);
+
+  /**
+   * Runs the climb: baseline probe, then up to max_probes bottleneck-
+   * directed moves, keeping improvements. prepare()s the session if the
+   * caller has not.
+   */
+  AutoTuneResult tune();
+
+  /** Per-service attribution of the final (best-knob) probe. */
+  const critpath::Analyzer& final_analysis() const { return *analysis_; }
+
+ private:
+  /** One candidate move: a knob vector and its provenance. */
+  struct Move {
+    AutoTuneKnobs knobs;
+    std::string action;
+    critpath::Category bottleneck = critpath::Category::kCore;
+  };
+
+  /** Runs one forked, traced probe at `knobs`; fills `analysis`. */
+  double probe(const AutoTuneKnobs& knobs, critpath::Analyzer* analysis);
+
+  /**
+   * Proposes moves for `attribution`, most-dominant category first.
+   * Categories with no knob (NoC, translation, glue) and knobs at their
+   * ceiling propose nothing.
+   */
+  std::vector<Move> propose(const critpath::ServiceAttribution& attribution,
+                            const AutoTuneKnobs& current) const;
+
+  SweepSession& session_;
+  Options options_;
+  obs::Tracer* tracer_;  ///< The session config's tracer (required).
+  std::unique_ptr<critpath::Analyzer> analysis_;  ///< Best probe's analysis.
+};
+
+}  // namespace accelflow::workload
+
+#endif  // ACCELFLOW_WORKLOAD_AUTOTUNE_H_

@@ -7,6 +7,7 @@
 
 #include "core/orch_baselines.h"
 #include "core/trace_templates.h"
+#include "critpath/critpath.h"
 
 namespace accelflow::workload {
 
@@ -180,6 +181,25 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       std::abort();
     }
     checker->detach();
+  }
+  // Under AF_CHECK=1, a traced run also audits the critical-path
+  // conservation identity: re-attributing the ring must account for every
+  // picosecond of every closed chain (critpath.h). One tracer covers
+  // exactly this run, so the audit lives here and not in SweepSession
+  // (where the ring accumulates across forked points).
+  if (config.tracer != nullptr && af_check_enabled()) {
+    critpath::Analyzer audit;
+    audit.analyze(*config.tracer);
+    if (!audit.violations().empty()) {
+      std::fprintf(stderr,
+                   "AF_CHECK: critical-path conservation violated "
+                   "(%zu chains)\n",
+                   audit.violations().size());
+      for (const std::string& v : audit.violations()) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      std::abort();
+    }
   }
   return out;
 }

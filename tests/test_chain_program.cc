@@ -38,10 +38,10 @@ using core::RemoteKind;
 
 TEST(DrainRing, PopsInTimeThenSeqOrder) {
   sim::DrainRing ring;
-  ring.push(30, 5, 0, 1);
-  ring.push(10, 9, 1, 2);
-  ring.push(10, 2, 2, 3);
-  ring.push(20, 1, 0, 4);
+  ring.push(30, 5, 0, 1, /*pushed_at=*/7);
+  ring.push(10, 9, 1, 2, /*pushed_at=*/7);
+  ring.push(10, 2, 2, 3, /*pushed_at=*/8);
+  ring.push(20, 1, 0, 4, /*pushed_at=*/9);
   ASSERT_EQ(ring.size(), 4u);
 
   EXPECT_EQ(ring.front().time, 10);
@@ -55,6 +55,7 @@ TEST(DrainRing, PopsInTimeThenSeqOrder) {
   EXPECT_EQ(ring.front().time, 30);
   EXPECT_EQ(ring.front().kind, 0);
   EXPECT_EQ(ring.front().arg, 1u);
+  EXPECT_EQ(ring.front().pushed_at, 7u);
   ring.pop_front();
   EXPECT_TRUE(ring.empty());
 }
@@ -63,9 +64,9 @@ TEST(DrainRing, MostlyAppendWorkloadStaysSorted) {
   sim::DrainRing ring;
   // Monotone pushes (the common case) interleaved with a few earlier ones.
   for (std::uint64_t i = 0; i < 200; ++i) {
-    ring.push(static_cast<sim::TimePs>(100 + i), i, 0, 0);
+    ring.push(static_cast<sim::TimePs>(100 + i), i, 0, 0, 0);
     if (i % 50 == 49) {
-      ring.push(static_cast<sim::TimePs>(50 + i), 1000 + i, 0, 0);
+      ring.push(static_cast<sim::TimePs>(50 + i), 1000 + i, 0, 0, 0);
     }
   }
   sim::TimePs prev_time = 0;
@@ -88,14 +89,14 @@ TEST(DrainRing, CheckpointRestoreRoundTrips) {
   sim::DrainRing ring;
   for (std::uint64_t i = 0; i < 100; ++i) {
     ring.push(static_cast<sim::TimePs>(i), i, static_cast<std::uint8_t>(i % 3),
-              static_cast<std::uint32_t>(i));
+              static_cast<std::uint32_t>(i), static_cast<sim::TimePs>(i / 2));
   }
   for (int i = 0; i < 70; ++i) ring.pop_front();  // Exercise compaction.
 
   sim::DrainRing::Checkpoint c;
   ring.checkpoint(c);
   sim::DrainRing other;
-  other.push(999, 999, 0, 0);  // Restore must discard this.
+  other.push(999, 999, 0, 0, 999);  // Restore must discard this.
   other.restore(c);
   ASSERT_EQ(other.size(), ring.size());
   while (!ring.empty()) {
@@ -103,6 +104,7 @@ TEST(DrainRing, CheckpointRestoreRoundTrips) {
     EXPECT_EQ(other.front().seq, ring.front().seq);
     EXPECT_EQ(other.front().kind, ring.front().kind);
     EXPECT_EQ(other.front().arg, ring.front().arg);
+    EXPECT_EQ(other.front().pushed_at, ring.front().pushed_at);
     ring.pop_front();
     other.pop_front();
   }
@@ -441,10 +443,11 @@ TEST(CompiledDifferential, EnvToggleMatchesConfigToggle) {
 
 // --- Batched-drain observability ----------------------------------------
 
-// Every vectorized drain emits one kBatchDrain instant whose arg is the
-// batch width; the instants must reconcile exactly with the per-accel
-// drain counters. The zero-overhead shape (kIdeal) launches identical
-// chains at t=0, so completions cluster and widths > 1 actually occur.
+// Every vectorized drain emits one kBatchDrain instant whose arg packs
+// (ring_wait_ps << 16) | width; the unpacked widths must reconcile
+// exactly with the per-accel drain counters. The zero-overhead shape
+// (kIdeal) launches identical chains at t=0, so completions cluster and
+// widths > 1 actually occur.
 TEST(BatchDrain, TracerInstantsReconcileWithAccelStats) {
   ScopedNoAfCompile no_env;
   core::TraceLibrary lib;
@@ -495,17 +498,17 @@ TEST(BatchDrain, TracerInstantsReconcileWithAccelStats) {
   ASSERT_GT(batches, 0u);
   EXPECT_GT(max_width, 1u);  // Clusters really formed.
 
-  std::uint64_t instants = 0, width_sum = 0, max_arg = 0;
+  std::uint64_t instants = 0, width_sum = 0, max_arg_width = 0;
   tracer.for_each([&](const obs::SpanEvent& e) {
     if (e.kind != obs::SpanKind::kBatchDrain) return;
     ++instants;
-    width_sum += e.arg;
-    max_arg = std::max(max_arg, e.arg);
+    width_sum += e.arg & 0xFFFF;
+    max_arg_width = std::max(max_arg_width, e.arg & 0xFFFF);
   });
   ASSERT_EQ(tracer.dropped(), 0u);
   EXPECT_EQ(instants, batches);
   EXPECT_EQ(width_sum, actions);
-  EXPECT_EQ(max_arg, max_width);
+  EXPECT_EQ(max_arg_width, max_width);
 }
 
 }  // namespace

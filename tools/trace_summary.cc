@@ -4,7 +4,7 @@
  * obs::Tracer::export_chrome_json() (bench_fig11_latency --trace=...,
  * quickstart --trace=...).
  *
- *   $ ./tools/trace_summary out.json
+ *   $ ./tools/trace_summary [--critpath] TRACE.json
  *
  * Prints, per (subsystem, span kind): event count, total and mean span
  * duration, the longest single span, plus the set of chains (flows) the
@@ -14,7 +14,16 @@
  * Runs with the batched completion path on (AF_COMPILE=1) also get a
  * per-accelerator drain table from the "batch_drain" instants: how many
  * vectorized drains ran, how many completion actions they carried, the
- * heap events saved (actions - drains), and the widest single drain.
+ * heap events saved (actions - drains), the widest single drain, and the
+ * total time completions sat in the drain ring before being drained
+ * (batching slack, packed into the instant's arg — see
+ * Accelerator::run_drain).
+ *
+ * With --critpath the file is additionally re-ingested through the
+ * critical-path profiler (critpath::analyze_chrome_json): a per-service
+ * table attributing end-to-end chain latency to queue / PE-service / DMA
+ * / NoC / dispatch / core time, with the dominant bottleneck named per
+ * service. PROFILING.md walks through reading it.
  *
  * The parser handles the exporter's one-event-per-line layout; it is not a
  * general JSON parser.
@@ -31,6 +40,8 @@
 
 #include "accel/accelerator.h"  // kTidStride: accel track width.
 #include "accel/types.h"
+#include "critpath/critpath.h"
+#include "sim/time.h"
 #include "stats/table.h"
 
 namespace {
@@ -71,6 +82,7 @@ struct DrainStats {
   std::uint64_t drains = 0;   ///< Vectorized drain events.
   std::uint64_t actions = 0;  ///< Completion actions they carried.
   std::uint64_t max_width = 0;
+  std::uint64_t wait_ps = 0;  ///< Ring residency summed over actions.
 };
 
 /** Accelerator track label for tid (tracks are tid/kTidStride wide). */
@@ -86,13 +98,25 @@ std::string accel_of_tid(std::uint32_t tid) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: " << argv[0] << " TRACE.json\n";
+  bool critpath = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--critpath") {
+      critpath = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      path = nullptr;
+      break;
+    }
+  }
+  if (path == nullptr) {
+    std::cerr << "usage: " << argv[0] << " [--critpath] TRACE.json\n";
     return 2;
   }
-  std::ifstream in(argv[1], std::ios::binary);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
+    std::cerr << "cannot open " << path << "\n";
     return 1;
   }
 
@@ -127,12 +151,15 @@ int main(int argc, char** argv) {
       ++instants[{find_string(line, "cat"), name}];
       if (name == "batch_drain") {
         const auto tid = static_cast<std::uint32_t>(find_number(line, "tid"));
-        const auto width =
-            static_cast<std::uint64_t>(find_number(line, "arg"));
+        // The arg packs the drain's summed ring-residency above its width
+        // (Accelerator::run_drain): arg = (wait_ps << 16) | width.
+        const auto arg = static_cast<std::uint64_t>(find_number(line, "arg"));
+        const std::uint64_t width = arg & 0xFFFF;
         DrainStats& d = drains[accel_of_tid(tid)];
         ++d.drains;
         d.actions += width;
         d.max_width = std::max(d.max_width, width);
+        d.wait_ps += arg >> 16;
       }
     } else if (ph == "s" || ph == "t" || ph == "f") {
       last_ts = std::max(last_ts, ts);
@@ -142,12 +169,12 @@ int main(int argc, char** argv) {
     }
   }
   if (events == 0) {
-    std::cerr << argv[1] << ": no trace events found\n";
+    std::cerr << path << ": no trace events found\n";
     return 1;
   }
 
   using accelflow::stats::Table;
-  std::cout << "Trace: " << argv[1] << "\n  events: " << events
+  std::cout << "Trace: " << path << "\n  events: " << events
             << "  chains: " << flows.size() << " (" << flow_begins
             << " begun, " << flow_ends << " completed in window)"
             << "\n  covered: " << Table::fmt(first_ts / 1e3) << " ms .. "
@@ -182,18 +209,76 @@ int main(int argc, char** argv) {
     std::uint64_t total_saved = 0;
     Table t("Batched completion drains per accelerator");
     t.set_header({"Accel", "Drains", "Actions", "Events saved", "Mean width",
-                  "Max width"});
+                  "Max width", "Wait us", "Wait/act us"});
     for (const auto& [name, d] : drains) {
       const std::uint64_t saved = d.actions - d.drains;
       total_saved += saved;
+      const double wait_us =
+          accelflow::sim::to_microseconds(accelflow::sim::TimePs{d.wait_ps});
       t.add_row({name, std::to_string(d.drains), std::to_string(d.actions),
                  std::to_string(saved),
                  Table::fmt(static_cast<double>(d.actions) /
                             static_cast<double>(d.drains)),
-                 std::to_string(d.max_width)});
+                 std::to_string(d.max_width), Table::fmt(wait_us),
+                 Table::fmt(d.actions > 0
+                                ? wait_us / static_cast<double>(d.actions)
+                                : 0.0,
+                            3)});
     }
     t.print(std::cout);
-    std::cout << "  heap events saved by batching: " << total_saved << "\n";
+    std::cout << "  heap events saved by batching: " << total_saved << "\n"
+              << "  (Wait = completion-action residency in the drain ring: "
+                 "batching slack,\n   absorbed by the coalescing window, "
+                 "not added end-to-end latency.)\n";
+  }
+
+  // --- Critical-path attribution (--critpath) ----------------------------
+  if (critpath) {
+    namespace cp = accelflow::critpath;
+    cp::Analyzer analyzer;
+    if (cp::analyze_chrome_json(path, analyzer) < 0) {
+      std::cerr << "cannot re-read " << path << "\n";
+      return 1;
+    }
+    Table t("Per-service critical-path attribution "
+            "(share of end-to-end chain latency, %)");
+    t.set_header({"Service", "Chains", "Mean us", "Bottleneck", "queue", "pe",
+                  "dma", "noc", "dispatch", "glue", "iommu", "core"});
+    auto share = [](accelflow::sim::TimePs part, accelflow::sim::TimePs sum) {
+      return Table::fmt(sum > 0 ? 100.0 * static_cast<double>(part) /
+                                      static_cast<double>(sum)
+                                : 0.0,
+                        1);
+    };
+    auto row = [&](const cp::ServiceAttribution& s) {
+      auto cat = [&](cp::Category c) {
+        return share(s.by_category[static_cast<std::size_t>(c)],
+                     s.total_latency);
+      };
+      t.add_row({s.name, std::to_string(s.chains),
+                 Table::fmt(s.mean_latency_us()),
+                 std::string(cp::name_of(s.dominant())),
+                 cat(cp::Category::kQueue), cat(cp::Category::kPeService),
+                 cat(cp::Category::kDma), cat(cp::Category::kNoc),
+                 cat(cp::Category::kDispatch), cat(cp::Category::kGlue),
+                 cat(cp::Category::kTranslation), cat(cp::Category::kCore)});
+    };
+    for (const cp::ServiceAttribution& s : analyzer.services()) row(s);
+    cp::ServiceAttribution total = analyzer.total();
+    total.name = "(all)";
+    row(total);
+    t.print(std::cout);
+    const cp::AnalyzerStats& st = analyzer.stats();
+    std::cout << "  chains attributed: " << st.chains << "  incomplete: "
+              << st.incomplete << "  begin lost to ring: " << st.unbegun
+              << "\n";
+    if (!analyzer.violations().empty()) {
+      std::cerr << "conservation violations:\n";
+      for (const std::string& v : analyzer.violations()) {
+        std::cerr << "  " << v << "\n";
+      }
+      return 1;
+    }
   }
   return 0;
 }

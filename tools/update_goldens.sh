@@ -11,7 +11,8 @@ root="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$root/build}"
 
 cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput \
-  bench_kernel_events bench_snapshot_fork bench_fault_degradation -j
+  bench_kernel_events bench_snapshot_fork bench_fault_degradation \
+  bench_autotune -j
 "$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
 "$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
 
@@ -24,7 +25,9 @@ AF_BENCH_FAST=1 AF_BENCH_SNAPSHOT_JSON="$root/BENCH_snapshot.json" \
 # simulated throughputs, and CI measures them the same way.
 AF_BENCH_FAULT_JSON="$root/BENCH_fault.json" \
   "$build/bench/bench_fault_degradation"
+AF_BENCH_CRITPATH_JSON="$root/BENCH_critpath.json" \
+  "$build/bench/bench_autotune"
 
 echo "Goldens updated; review the diff with: git diff $root/tests/golden"
 echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json" \
-  "BENCH_sweep.json BENCH_fault.json"
+  "BENCH_sweep.json BENCH_fault.json BENCH_critpath.json"
