@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Cluster shard-scaling benchmark (DESIGN.md §17, EXPERIMENTS.md).
+ *
+ * Weak scaling: the per-shard offered load is held constant while the
+ * shard count grows, so an N-shard cluster::Datacenter serves N times the
+ * aggregate request rate of a single machine. The benchmark drives
+ * {1, 2, 4} shards through the full cluster stack — LdB-accelerated
+ * routing, cross-shard nested RPCs over the RackNetwork hop model,
+ * conservative-lookahead window synchronization — and reports the
+ * aggregate completed requests per simulated second at each point.
+ *
+ * The gated keys are deterministic simulated-domain throughputs (the
+ * BENCH_fault.json convention), so the perf gate pins the scaling curve
+ * itself rather than host wall-clock noise. Results land in
+ * BENCH_cluster.json (override with AF_BENCH_CLUSTER_JSON); CI holds the
+ * 4-shard / 1-shard aggregate-RPS ratio to >= 3x via
+ * tools/perf_gate.py --speedup-floor, and the binary itself exits
+ * non-zero below that bar. Wall-clock seconds per point are reported as
+ * informational (ungated) keys.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/datacenter.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+
+namespace accelflow::bench {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/**
+ * One weak-scaling point: total offered rate scales with the shard count,
+ * so every shard owns the same per-shard load regardless of N.
+ */
+cluster::ClusterConfig scaling_config(std::size_t shards) {
+  cluster::ClusterConfig cfg;
+  cfg.experiment.specs = workload::social_network_specs();
+  cfg.experiment.load_model = workload::LoadGenerator::Model::kPoisson;
+  cfg.experiment.rps_per_service =
+      6000.0 * static_cast<double>(shards);
+  cfg.experiment.warmup = sim::milliseconds(4 * time_scale());
+  cfg.experiment.measure = sim::milliseconds(25 * time_scale());
+  cfg.experiment.drain = sim::milliseconds(10 * time_scale());
+  cfg.experiment.seed = 42;
+  cfg.shards = shards;
+  cfg.policy = cluster::BalancePolicy::kConsistentHash;
+  cfg.remote_rpc_fraction = 0.25;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace accelflow::bench
+
+int main(int argc, char** argv) {
+  using namespace accelflow;
+  using Clock = std::chrono::steady_clock;
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
+  (void)obs;  // No golden mode: the sweep is perf-gated, not byte-compared.
+
+  stats::CounterSet out;
+  stats::Table t("Cluster weak scaling (constant per-shard load)");
+  t.set_header({"Shards", "aggregate RPS", "remote RPCs", "net msgs",
+                "wall (s)", "speedup"});
+
+  double base_rps = 0;
+  double speedup_4x = 0;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    const cluster::ClusterConfig cfg = bench::scaling_config(shards);
+    const auto t0 = Clock::now();
+    cluster::Datacenter dc(cfg);
+    const cluster::ClusterResult res = dc.run();
+    const double wall = bench::seconds_since(t0);
+
+    const double measure_secs =
+        sim::to_microseconds(cfg.experiment.measure) * 1e-6;
+    const double agg_rps =
+        static_cast<double>(res.total_completed()) / measure_secs;
+    if (shards == 1) base_rps = agg_rps;
+    const double speedup = base_rps > 0 ? agg_rps / base_rps : 0.0;
+    if (shards == 4) speedup_4x = speedup;
+
+    t.add_row({std::to_string(shards), stats::Table::fmt(agg_rps, 0),
+               std::to_string(res.remote_rpcs),
+               std::to_string(res.network.messages),
+               stats::Table::fmt(wall, 2),
+               stats::Table::fmt(speedup, 2) + "x"});
+
+    const std::string key = "shards_" + std::to_string(shards);
+    out.set(key + "_agg_rps_per_sec", agg_rps);
+    out.set(key + "_remote_rpcs", static_cast<double>(res.remote_rpcs));
+    out.set(key + "_net_messages",
+            static_cast<double>(res.network.messages));
+    out.set(key + "_wall_secs", wall);
+  }
+  out.set("cluster_scaling_speedup", speedup_4x);
+  t.print(std::cout);
+  std::cout << "4-shard aggregate-RPS speedup: "
+            << stats::Table::fmt(speedup_4x, 2) << "x (floor 3.0x)\n";
+
+  const char* p = std::getenv("AF_BENCH_CLUSTER_JSON");
+  const std::string file = p != nullptr ? p : "BENCH_cluster.json";
+  std::ofstream os(file);
+  out.write_json(os);
+  std::cout << "wrote " << file << "\n";
+
+  // The shard-scaling bar of the tentpole: >= 3x aggregate RPS at 4
+  // shards (weak scaling leaves cross-shard RPC latency and the rack
+  // network as the only drags, so healthy scaling sits near 4x).
+  return speedup_4x >= 3.0 ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "obs/drain_pack.h"
+
 namespace accelflow::accel {
 
 Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
@@ -98,6 +100,12 @@ bool Accelerator::overflow_enqueue(QueueEntry e) {
   e.enqueued_at = sim_.now();
   mem_.write(kInlineDataBytes, /*llc_hit_prob=*/0.5);
   overflow_.push_back(std::move(e));
+  // An injected queue-reject can land an entry here while the SRAM queue
+  // has room (a real full queue makes this a no-op). Refill immediately:
+  // the drain is otherwise only triggered by dispatches and slot
+  // releases, and an idle accelerator produces neither — the entry would
+  // strand in the overflow area with no event left to pull it out.
+  drain_overflow();
   return true;
 }
 
@@ -220,12 +228,13 @@ void Accelerator::run_drain(ActionKind kind) {
   stats_.max_drain_width = std::max(stats_.max_drain_width, width);
   stats_.drain_wait_time += ring_wait;
   if (tracer_ != nullptr) {
-    // arg packs (ring residency in ps) << 16 | batch width, so offline
-    // consumers (tools/trace_summary) recover both from one instant.
-    tracer_->instant(obs::Subsys::kAccel, obs::SpanKind::kBatchDrain,
-                     tid_base_ + kDispatcherTid, sim_.now(),
-                     (static_cast<std::uint64_t>(ring_wait) << 16) |
-                         std::min<std::uint64_t>(width, 0xFFFF));
+    // arg packs (ring residency in ps) << 16 | batch width, saturating at
+    // the field limits so offline consumers (tools/trace_summary) recover
+    // both from one instant (obs/drain_pack.h).
+    tracer_->instant(
+        obs::Subsys::kAccel, obs::SpanKind::kBatchDrain,
+        tid_base_ + kDispatcherTid, sim_.now(),
+        obs::pack_drain_arg(static_cast<std::uint64_t>(ring_wait), width));
   }
   if (!ch.ring.empty()) arm_drain(kind);
 }

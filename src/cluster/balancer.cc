@@ -1,0 +1,100 @@
+#include "cluster/balancer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace accelflow::cluster {
+
+namespace {
+/** Mixes values into a 64-bit hash (splitmix-style finalizer). */
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+Balancer::Balancer(BalancePolicy policy, std::size_t shards,
+                   std::uint64_t seed)
+    : policy_(policy), shards_(shards), seed_(seed) {
+  assert(shards_ > 0);
+  live_.resize(shards_);
+  std::iota(live_.begin(), live_.end(), std::size_t{0});
+  load_.assign(shards_, 0);
+  rebuild_ring();
+}
+
+void Balancer::set_live_shards(std::vector<std::size_t> live) {
+  assert(!live.empty());
+  assert(std::is_sorted(live.begin(), live.end()));
+  live_ = std::move(live);
+  rebuild_ring();
+}
+
+void Balancer::update_load(std::vector<std::uint64_t> load) {
+  assert(load.size() == shards_);
+  load_ = std::move(load);
+}
+
+void Balancer::rebuild_ring() {
+  // Vnode positions depend only on (seed, shard, replica) — never on the
+  // live set — so survivors keep their exact ring points when a shard is
+  // removed: the consistent-hash remap property by construction.
+  ring_.clear();
+  ring_.reserve(live_.size() * kVnodesPerShard);
+  for (const std::size_t s : live_) {
+    for (std::size_t r = 0; r < kVnodesPerShard; ++r) {
+      ring_.push_back(RingPoint{mix(seed_, s * kVnodesPerShard + r),
+                                static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.point < b.point || (a.point == b.point &&
+                                           a.shard < b.shard);
+            });
+}
+
+std::size_t Balancer::route(std::size_t service, std::uint64_t seq,
+                            sim::TimePs /*now*/) const {
+  if (live_.size() == 1) return live_[0];
+  switch (policy_) {
+    case BalancePolicy::kRoundRobin:
+      return live_[seq % live_.size()];
+    case BalancePolicy::kLeastLoaded: {
+      // Join-the-shortest-queue over the barrier-synchronized snapshot;
+      // ties go to the lowest live index (deterministic).
+      std::size_t best = live_[0];
+      for (const std::size_t s : live_) {
+        if (load_[s] < load_[best]) best = s;
+      }
+      return best;
+    }
+    case BalancePolicy::kConsistentHash: {
+      const std::uint64_t key = mix(mix(seed_ ^ 0xA5A5, service), seq);
+      auto it = std::lower_bound(
+          ring_.begin(), ring_.end(), key,
+          [](const RingPoint& p, std::uint64_t k) { return p.point < k; });
+      if (it == ring_.end()) it = ring_.begin();  // Wrap around the ring.
+      return it->shard;
+    }
+  }
+  return live_[0];
+}
+
+sim::TimePs Balancer::decision_cost_ps() {
+  // The CPU-side cost of one steering decision (flow-table lookup + queue
+  // enqueue) is ~0.3us — the machine model's manager_dispatch_us analog;
+  // LdB executes it at its calibrated speedup.
+  const double cpu_us = 0.3;
+  return static_cast<sim::TimePs>(
+      sim::microseconds(cpu_us) /
+      accel::default_speedup(accel::AccelType::kLdb));
+}
+
+}  // namespace accelflow::cluster

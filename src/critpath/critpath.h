@@ -58,17 +58,18 @@ enum class Category : std::uint8_t {
   kDma,           ///< A-DMA engine occupancy (minus its NoC legs).
   kNoc,           ///< Package-interconnect transfers and link legs.
   kTranslation,   ///< IOMMU walks (translation stalls).
-  kCore,          ///< Residual: CPU segments, faults, network waits.
+  kNetwork,       ///< Rack-network hops between machine shards.
+  kCore,          ///< Residual: CPU segments, faults, uncovered waits.
 };
 
 /** Number of Category values (array sizing). */
-inline constexpr std::size_t kNumCategories = 8;
+inline constexpr std::size_t kNumCategories = 9;
 
 /** Stable snake_case name of a category (JSON keys, table rows). */
 constexpr std::string_view name_of(Category c) {
   constexpr std::string_view kNames[kNumCategories] = {
-      "dispatch", "queue",       "pe_service", "glue",
-      "dma",      "noc",         "translation", "core"};
+      "dispatch", "queue",       "pe_service", "glue",    "dma",
+      "noc",      "translation", "network",    "core"};
   return kNames[static_cast<std::size_t>(c)];
 }
 
@@ -83,8 +84,9 @@ constexpr std::string_view name_of(Category c) {
  */
 constexpr int priority_of(Category c) {
   constexpr int kPriority[kNumCategories] = {
-      /*dispatch=*/2, /*queue=*/1,  /*pe_service=*/4, /*glue=*/3,
-      /*dma=*/5,      /*noc=*/6,    /*translation=*/7, /*core=*/0};
+      /*dispatch=*/2, /*queue=*/1,       /*pe_service=*/4,
+      /*glue=*/3,     /*dma=*/5,         /*noc=*/6,
+      /*translation=*/7, /*network=*/8,  /*core=*/0};
   return kPriority[static_cast<std::size_t>(c)];
 }
 
@@ -119,6 +121,9 @@ constexpr bool category_of(obs::SpanKind kind, Category* out) {
       return true;
     case obs::SpanKind::kIommuWalk:
       *out = Category::kTranslation;
+      return true;
+    case obs::SpanKind::kNetHop:
+      *out = Category::kNetwork;
       return true;
     default:
       return false;

@@ -1,0 +1,59 @@
+#ifndef ACCELFLOW_OBS_DRAIN_PACK_H_
+#define ACCELFLOW_OBS_DRAIN_PACK_H_
+
+#include <cstdint>
+
+/**
+ * @file
+ * Packing of the kBatchDrain instant's 64-bit arg, shared between the
+ * recorder (accel::Accelerator::run_drain) and offline consumers
+ * (tools/trace_summary).
+ *
+ * The arg carries two numbers in one word: the drain's summed ring
+ * residency (picoseconds the completion actions sat in the DrainRing) in
+ * the upper 48 bits, and the batch width (actions drained) in the lower
+ * 16. Both fields *saturate* at their packing limits rather than wrap —
+ * a pathological soak run whose summed residency exceeds 2^48 ps (~78
+ * hours of accumulated slack in one drain) reports the ceiling, never a
+ * small bogus value.
+ *
+ * Consumers must parse the arg as an exact 64-bit integer: a double
+ * round-trips only 53 bits, so a wide wait silently loses width bits if
+ * read via stod (the bug this header fixed).
+ */
+
+namespace accelflow::obs {
+
+/** Width of the batch-width field (lower bits of the arg). */
+inline constexpr unsigned kDrainWidthBits = 16;
+
+/** Saturation ceiling of the batch-width field. */
+inline constexpr std::uint64_t kDrainWidthMax =
+    (std::uint64_t{1} << kDrainWidthBits) - 1;
+
+/** Saturation ceiling of the ring-wait field (48 usable bits). */
+inline constexpr std::uint64_t kDrainWaitMax =
+    (std::uint64_t{1} << (64 - kDrainWidthBits)) - 1;
+
+/** Packs (ring residency ps, batch width) into one kBatchDrain arg.
+ *  Either field at or beyond its limit saturates to the ceiling. */
+constexpr std::uint64_t pack_drain_arg(std::uint64_t wait_ps,
+                                       std::uint64_t width) {
+  const std::uint64_t w = wait_ps < kDrainWaitMax ? wait_ps : kDrainWaitMax;
+  const std::uint64_t n = width < kDrainWidthMax ? width : kDrainWidthMax;
+  return (w << kDrainWidthBits) | n;
+}
+
+/** Ring residency (ps) carried by a packed kBatchDrain arg. */
+constexpr std::uint64_t drain_arg_wait_ps(std::uint64_t arg) {
+  return arg >> kDrainWidthBits;
+}
+
+/** Batch width carried by a packed kBatchDrain arg. */
+constexpr std::uint64_t drain_arg_width(std::uint64_t arg) {
+  return arg & kDrainWidthMax;
+}
+
+}  // namespace accelflow::obs
+
+#endif  // ACCELFLOW_OBS_DRAIN_PACK_H_

@@ -32,15 +32,16 @@ enum class Subsys : std::uint8_t {
   kNoc = 3,     ///< Package interconnect (noc/interconnect).
   kMem = 4,     ///< Memory-side translation: TLBs + IOMMU (mem/).
   kCpu = 5,     ///< Core-side activity: interrupts, notifications.
+  kNet = 6,     ///< Rack network between machine shards (cluster/).
 };
 
 /** Number of Subsys values (array sizing). */
-inline constexpr std::size_t kNumSubsys = 6;
+inline constexpr std::size_t kNumSubsys = 7;
 
 /** Stable lower-case name of a subsystem (the Chrome-trace category). */
 constexpr std::string_view name_of(Subsys s) {
-  constexpr std::string_view kNames[kNumSubsys] = {"engine", "accel", "dma",
-                                                   "noc",    "mem",   "cpu"};
+  constexpr std::string_view kNames[kNumSubsys] = {
+      "engine", "accel", "dma", "noc", "mem", "cpu", "net"};
   return kNames[static_cast<std::size_t>(s)];
 }
 
@@ -71,10 +72,11 @@ enum class SpanKind : std::uint8_t {
   kTimeout,         ///< TCP wait-slot timeout (instant).
   kHopRetry,        ///< Lost hop re-issued by the watchdog (instant, §14).
   kBatchDrain,      ///< Vectorized completion drain (instant, arg=width).
+  kNetHop,          ///< One rack-network hop between machine shards.
 };
 
 /** Number of SpanKind values (array sizing). */
-inline constexpr std::size_t kNumSpanKinds = 20;
+inline constexpr std::size_t kNumSpanKinds = 21;
 
 /** Stable snake_case name of a span kind (the Chrome-trace event name). */
 constexpr std::string_view name_of(SpanKind k) {
@@ -83,7 +85,8 @@ constexpr std::string_view name_of(SpanKind k) {
       "dispatcher_fsm", "dma_transfer", "noc_transfer", "noc_link",
       "tlb_miss",       "iommu_walk",   "page_fault",  "interrupt",
       "manager_event",  "notify",       "chain_done",  "cpu_fallback",
-      "overflow",       "timeout",      "hop_retry",   "batch_drain"};
+      "overflow",       "timeout",      "hop_retry",   "batch_drain",
+      "net_hop"};
   return kNames[static_cast<std::size_t>(k)];
 }
 

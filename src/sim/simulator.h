@@ -174,6 +174,17 @@ class Simulator {
    *  calendar immediately). */
   std::size_t pending_events() const { return heap_.size(); }
 
+  /**
+   * Absolute time of the earliest pending event, or `kNoEvent` when the
+   * calendar is empty. Lets a windowed multi-simulator driver fast-forward
+   * an idle gap instead of crawling through empty lookahead windows
+   * (cluster::Datacenter's drain-to-quiescence loop).
+   */
+  static constexpr TimePs kNoEvent = ~TimePs{0};
+  TimePs next_event_time() const {
+    return heap_.empty() ? kNoEvent : heap_[0].time;
+  }
+
   /** Total events executed so far. */
   std::uint64_t executed_events() const { return executed_; }
 

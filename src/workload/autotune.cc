@@ -151,7 +151,8 @@ std::vector<AutoTuner::Move> AutoTuner::propose(
       case Category::kNoc:
       case Category::kTranslation:
       case Category::kGlue:
-        break;  // Fabric/IOMMU/FSM time has no ensemble-sizing knob.
+      case Category::kNetwork:
+        break;  // Fabric/IOMMU/FSM/rack time has no ensemble-sizing knob.
     }
   }
   // The same knob vector can be proposed by two categories (dispatch and

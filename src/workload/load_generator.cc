@@ -83,8 +83,15 @@ void LoadGenerator::schedule_next() {
   if (next >= until_) return;
   sim_.schedule_at(next, [this, rate] {
     if (rate > 0.0) {
-      engine_.inject(service_);
-      ++generated_;
+      // With a router attached, every arrival advances the replicated
+      // stream but only the owned subset is injected; without one, this
+      // is exactly the single-machine path (inject everything).
+      const std::uint64_t seq = generated_++;
+      if (router_ == nullptr ||
+          router_->route(service_, seq, sim_.now()) == self_shard_) {
+        engine_.inject(service_);
+        ++admitted_;
+      }
     }
     schedule_next();
   });

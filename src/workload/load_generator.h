@@ -28,6 +28,32 @@ std::vector<double> alibaba_like_rates(std::size_t num_services,
                                        double average_rps = 13400.0,
                                        std::uint64_t seed = 0xA11BABA);
 
+/**
+ * Shard-ownership decision for one arrival (the cluster layer's
+ * load-balancer tier implements this — see cluster/balancer.h).
+ *
+ * Under sharded serving every shard runs *replicated* arrival streams:
+ * identical LoadGenerators drawing from identical RNG states, so the
+ * arrival calendars agree bit-for-bit across shards with no cross-shard
+ * communication. A router then decides which shard *owns* each arrival;
+ * the owner injects it, every other shard drops it on the floor. For
+ * that to stay consistent, route() must be a pure function of its
+ * arguments plus state that is itself identical on every shard (e.g. the
+ * barrier-synchronized load snapshot) — never of per-shard state.
+ */
+class ArrivalRouter {
+ public:
+  virtual ~ArrivalRouter() = default;
+
+  /**
+   * Returns the shard index owning arrival number `seq` of `service`.
+   * `seq` is the generator's running arrival count (identical across the
+   * replicated streams); `now` the arrival's simulated time.
+   */
+  virtual std::size_t route(std::size_t service, std::uint64_t seq,
+                            sim::TimePs now) const = 0;
+};
+
 /** Self-scheduling open-loop arrival process for one service. */
 class LoadGenerator {
  public:
@@ -49,6 +75,21 @@ class LoadGenerator {
 
   std::uint64_t generated() const { return generated_; }
 
+  /** Arrivals this generator actually injected (== generated() without a
+   *  router; the owned subset of the replicated stream with one). */
+  std::uint64_t admitted() const { return admitted_; }
+
+  /**
+   * Attaches a shard-ownership router: from now on only arrivals that
+   * route() assigns to `self_shard` are injected, though every arrival
+   * still advances the (replicated) stream identically. Null detaches
+   * (every arrival owned). The router must outlive the generator.
+   */
+  void set_router(const ArrivalRouter* router, std::size_t self_shard) {
+    router_ = router;
+    self_shard_ = self_shard;
+  }
+
   /**
    * Deep copy of the generator's arrival-process state (DESIGN.md §13).
    * The pending self-scheduling event lives in the simulator calendar and
@@ -60,6 +101,7 @@ class LoadGenerator {
     sim::TimePs until = 0;                 ///< Issue cutoff.
     std::array<std::uint64_t, 4> rng{};    ///< Arrival stream state.
     std::uint64_t generated = 0;           ///< Invocations issued so far.
+    std::uint64_t admitted = 0;            ///< Owned arrivals injected.
     double rate_multiplier = 1.0;          ///< kTrace window multiplier.
     sim::TimePs window_end = 0;            ///< kTrace window boundary.
     bool on = false;                       ///< kBursty ON/OFF state.
@@ -68,9 +110,9 @@ class LoadGenerator {
 
   /** Captures the arrival-process state. */
   Checkpoint checkpoint() const {
-    return Checkpoint{rps_,        until_,           rng_.state(),
-                      generated_,  rate_multiplier_, window_end_,
-                      on_,         phase_end_};
+    return Checkpoint{rps_,        until_,    rng_.state(),
+                      generated_,  admitted_, rate_multiplier_,
+                      window_end_, on_,       phase_end_};
   }
 
   /** Restores state captured by checkpoint(). Does not schedule events:
@@ -80,6 +122,7 @@ class LoadGenerator {
     until_ = c.until;
     rng_.set_state(c.rng);
     generated_ = c.generated;
+    admitted_ = c.admitted;
     rate_multiplier_ = c.rate_multiplier;
     window_end_ = c.window_end;
     on_ = c.on;
@@ -110,6 +153,9 @@ class LoadGenerator {
   sim::TimePs until_;
   sim::Rng rng_;
   std::uint64_t generated_ = 0;
+  std::uint64_t admitted_ = 0;
+  const ArrivalRouter* router_ = nullptr;  ///< Shard-ownership filter.
+  std::size_t self_shard_ = 0;             ///< Shard this generator feeds.
   // kTrace: piecewise-constant rate multiplier, redrawn every window.
   double rate_multiplier_ = 1.0;
   sim::TimePs window_end_ = 0;

@@ -166,6 +166,13 @@ class Service : public core::ChainEnv {
     callee_indices_ = std::move(callee_indices);
   }
 
+  /** Resolved RPC-callee service indices (set_nested_injector order).
+   *  The cluster layer reads these to re-install a cross-shard injector
+   *  with the same callee universe. */
+  const std::vector<std::size_t>& callee_indices() const {
+    return callee_indices_;
+  }
+
   // --- core::ChainEnv --------------------------------------------------
   sim::TimePs op_cpu_cost(core::ChainContext& ctx, accel::AccelType type,
                           std::uint64_t payload_bytes) override;

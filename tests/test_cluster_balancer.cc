@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Load-balancer tier property tests (TESTING.md):
+ *
+ *  - consistent hashing: removing a shard remaps *only* the keys that
+ *    shard owned (~1/N of them) — survivors never lose a key — and the
+ *    per-shard key shares concentrate near 1/N (64 vnodes/shard);
+ *  - least-loaded (JSQ): driven by a toy event-driven queueing harness
+ *    with exponential servers, the measured mean wait at the realized
+ *    arrival rate must land between the two closed forms that bracket
+ *    JSQ — the pooled M/M/k queue (a perfect single queue, unreachable
+ *    lower bound) and the random-split M/M/1 (no load information, upper
+ *    bound). Anchors the policy to check/analytical.h ground truth;
+ *  - consistent hashing under the same harness is Bernoulli thinning, so
+ *    each shard *is* an M/M/1 at its realized rate: per-shard measured
+ *    waits must match mmk_mean_wait(1, lambda_i, mu) within tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/analytical.h"
+#include "cluster/balancer.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace accelflow::cluster {
+namespace {
+
+TEST(ConsistentHash, RemovalRemapsOnlyTheRemovedShardsKeys) {
+  const std::size_t kShards = 8;
+  const std::uint64_t kKeys = 20000;
+  Balancer balancer(BalancePolicy::kConsistentHash, kShards);
+
+  std::vector<std::size_t> owner(kKeys);
+  for (std::uint64_t seq = 0; seq < kKeys; ++seq) {
+    owner[seq] = balancer.route(seq % 4, seq, 0);
+  }
+
+  const std::size_t removed = 3;
+  std::vector<std::size_t> live;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (s != removed) live.push_back(s);
+  }
+  balancer.set_live_shards(live);
+
+  std::uint64_t was_removed = 0;
+  for (std::uint64_t seq = 0; seq < kKeys; ++seq) {
+    const std::size_t now = balancer.route(seq % 4, seq, 0);
+    if (owner[seq] == removed) {
+      ++was_removed;
+      EXPECT_NE(now, removed);
+    } else {
+      // The survivor's vnode positions did not move, so neither did its
+      // keys: zero collateral remapping, the consistent-hash contract.
+      EXPECT_EQ(now, owner[seq]) << "seq " << seq;
+    }
+  }
+  // The remapped fraction is the removed shard's share: ~1/N.
+  const double fraction =
+      static_cast<double>(was_removed) / static_cast<double>(kKeys);
+  EXPECT_GT(fraction, 0.3 / static_cast<double>(kShards));
+  EXPECT_LT(fraction, 2.5 / static_cast<double>(kShards));
+}
+
+TEST(ConsistentHash, SharesConcentrateNearOneOverN) {
+  const std::size_t kShards = 8;
+  const std::uint64_t kKeys = 40000;
+  Balancer balancer(BalancePolicy::kConsistentHash, kShards);
+  std::vector<std::uint64_t> count(kShards, 0);
+  for (std::uint64_t seq = 0; seq < kKeys; ++seq) {
+    ++count[balancer.route(seq % 4, seq, 0)];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const double share =
+        static_cast<double>(count[s]) / static_cast<double>(kKeys);
+    EXPECT_GT(share, 0.4 / static_cast<double>(kShards)) << "shard " << s;
+    EXPECT_LT(share, 2.0 / static_cast<double>(kShards)) << "shard " << s;
+  }
+}
+
+TEST(RoundRobin, CyclesExactlyUniformly) {
+  const std::size_t kShards = 5;
+  Balancer balancer(BalancePolicy::kRoundRobin, kShards);
+  std::vector<std::uint64_t> count(kShards, 0);
+  for (std::uint64_t seq = 0; seq < kShards * 1000; ++seq) {
+    ++count[balancer.route(7, seq, 0)];
+  }
+  for (std::size_t s = 0; s < kShards; ++s) EXPECT_EQ(count[s], 1000u);
+}
+
+TEST(LeastLoaded, PicksTheMinimumWithLowestIndexTies) {
+  Balancer balancer(BalancePolicy::kLeastLoaded, 4);
+  balancer.update_load({5, 2, 9, 2});
+  EXPECT_EQ(balancer.route(0, 0, 0), 1u);  // Tie 1 vs 3: lowest index.
+  balancer.update_load({0, 0, 0, 0});
+  EXPECT_EQ(balancer.route(0, 1, 0), 0u);
+  balancer.update_load({3, 3, 3, 1});
+  EXPECT_EQ(balancer.route(0, 2, 0), 3u);
+}
+
+/**
+ * Toy queueing harness: N single-server FIFO queues with exponential
+ * service, fed by one Poisson stream that the balancer splits. The JSQ
+ * snapshot is refreshed with perfect information before each decision.
+ */
+struct QueueingRun {
+  double mean_wait_us = 0;                  ///< Aggregate mean wait.
+  double realized_lambda = 0;               ///< Jobs per us, measured.
+  std::vector<std::uint64_t> per_shard;     ///< Measured jobs per shard.
+  std::vector<double> per_shard_wait_us;    ///< Mean wait per shard.
+  std::vector<double> per_shard_lambda;     ///< Realized rate per shard.
+};
+
+QueueingRun run_queueing(BalancePolicy policy, std::size_t shards,
+                         double service_mean_us, double rho,
+                         std::uint64_t jobs) {
+  sim::Simulator sim;
+  sim::Rng arrival_rng(0xA221);
+  sim::Rng service_rng(0x5E2F);
+  Balancer balancer(policy, shards);
+
+  const double interarrival_us =
+      service_mean_us / (rho * static_cast<double>(shards));
+  const std::uint64_t warmup = jobs / 5;
+
+  struct Queue {
+    std::deque<sim::TimePs> waiting;  ///< Arrival stamps, FIFO.
+    bool busy = false;
+    std::uint64_t in_system = 0;
+  };
+  std::vector<Queue> queues(shards);
+  std::vector<double> wait_sum(shards, 0.0);
+  std::vector<std::uint64_t> measured(shards, 0);
+  std::vector<std::uint64_t> arrived(shards, 0);
+  std::vector<sim::TimePs> first_arrival(shards, 0);
+  std::vector<sim::TimePs> last_arrival(shards, 0);
+  std::uint64_t seq = 0;
+
+  std::function<void(std::size_t)> start_service = [&](std::size_t s) {
+    Queue& q = queues[s];
+    q.busy = true;
+    const sim::TimePs arrived = q.waiting.front();
+    q.waiting.pop_front();
+    const double wait_us = sim::to_microseconds(sim.now() - arrived);
+    // seq already counts *arrived* jobs; measure service starts past the
+    // warmup prefix of the arrival sequence.
+    if (seq > warmup) {
+      // Attribute the sample to the serving shard.
+      wait_sum[s] += wait_us;
+      ++measured[s];
+    }
+    sim.schedule_after(
+        sim::microseconds(service_rng.exponential(service_mean_us)),
+        [&, s] {
+          Queue& done = queues[s];
+          --done.in_system;
+          done.busy = false;
+          if (!done.waiting.empty()) start_service(s);
+        });
+  };
+
+  std::function<void()> arrive = [&] {
+    std::vector<std::uint64_t> load(shards);
+    for (std::size_t i = 0; i < shards; ++i) load[i] = queues[i].in_system;
+    balancer.update_load(std::move(load));
+    const std::size_t s = balancer.route(0, seq, sim.now());
+    ++seq;
+    Queue& q = queues[s];
+    ++q.in_system;
+    q.waiting.push_back(sim.now());
+    // Realized rate over the measured window only: counting post-warmup
+    // arrivals against a span that includes the warmup would bias
+    // lambda (and the M/M/1 prediction) low.
+    if (seq > warmup) {
+      if (first_arrival[s] == 0) first_arrival[s] = sim.now();
+      last_arrival[s] = sim.now();
+      ++arrived[s];
+    }
+    if (!q.busy) start_service(s);
+    if (seq < jobs) {
+      sim.schedule_after(
+          sim::microseconds(arrival_rng.exponential(interarrival_us)),
+          arrive);
+    }
+  };
+  sim.schedule_at(0, arrive);
+  const sim::TimePs t0 = 0;
+  sim.run();
+
+  QueueingRun out;
+  out.per_shard.resize(shards);
+  out.per_shard_wait_us.resize(shards);
+  out.per_shard_lambda.resize(shards);
+  double total_wait = 0;
+  std::uint64_t total_jobs = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.per_shard[s] = measured[s];
+    out.per_shard_wait_us[s] =
+        measured[s] > 0 ? wait_sum[s] / static_cast<double>(measured[s])
+                        : 0.0;
+    const double span_us =
+        sim::to_microseconds(last_arrival[s] - first_arrival[s]);
+    out.per_shard_lambda[s] =
+        span_us > 0 ? static_cast<double>(arrived[s]) / span_us : 0.0;
+    total_wait += wait_sum[s];
+    total_jobs += measured[s];
+  }
+  out.mean_wait_us =
+      total_jobs > 0 ? total_wait / static_cast<double>(total_jobs) : 0.0;
+  out.realized_lambda =
+      static_cast<double>(seq) / sim::to_microseconds(sim.now() - t0);
+  return out;
+}
+
+TEST(LeastLoaded, MeanWaitBracketedByPooledAndSplitMmk) {
+  const std::size_t kShards = 4;
+  const double kServiceUs = 20.0;       // mu = 0.05 jobs/us.
+  const double kRho = 0.7;
+  const std::uint64_t kJobs = 40000;
+  const QueueingRun run =
+      run_queueing(BalancePolicy::kLeastLoaded, kShards, kServiceUs, kRho,
+                   kJobs);
+
+  const double mu = 1.0 / kServiceUs;              // Jobs per us.
+  const double lambda = run.realized_lambda;       // Realized, not target.
+  // Pooled M/M/k: one shared queue over k servers — the floor no
+  // dispatch-time policy can beat (it never idles a server while jobs
+  // wait). Random split M/M/1: what routing without load info achieves.
+  const double pooled_us =
+      check::mmk_mean_wait(static_cast<int>(kShards), lambda, mu);
+  const double split_us =
+      check::mmk_mean_wait(1, lambda / static_cast<double>(kShards), mu);
+  ASSERT_GT(pooled_us, 0.0);
+  ASSERT_GT(split_us, pooled_us);
+  EXPECT_GT(run.mean_wait_us, 0.8 * pooled_us)
+      << "JSQ cannot beat the pooled M/M/k floor";
+  EXPECT_LT(run.mean_wait_us, 0.9 * split_us)
+      << "JSQ with fresh load info must clearly beat a random split";
+}
+
+TEST(ConsistentHash, PerShardWaitsMatchMm1AtRealizedRates) {
+  const std::size_t kShards = 4;
+  const double kServiceUs = 20.0;
+  const double kRho = 0.55;
+  const std::uint64_t kJobs = 60000;
+  const QueueingRun run = run_queueing(BalancePolicy::kConsistentHash,
+                                       kShards, kServiceUs, kRho, kJobs);
+
+  const double mu = 1.0 / kServiceUs;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (run.per_shard[s] < 5000) continue;  // Too small a sample.
+    const double lambda_s = run.per_shard_lambda[s];
+    ASSERT_LT(lambda_s, mu) << "shard " << s << " overloaded";
+    // Hash splitting is Bernoulli thinning of a Poisson stream, so each
+    // shard is an M/M/1 at its own realized rate.
+    const double predicted_us = check::mmk_mean_wait(1, lambda_s, mu);
+    const double err =
+        std::abs(run.per_shard_wait_us[s] - predicted_us) / predicted_us;
+    EXPECT_LT(err, 0.30) << "shard " << s << ": measured "
+                         << run.per_shard_wait_us[s] << "us vs M/M/1 "
+                         << predicted_us << "us";
+  }
+}
+
+}  // namespace
+}  // namespace accelflow::cluster

@@ -11,6 +11,12 @@
  * traces execute through the interpreter or through compiled chain
  * programs with batched completion drains (EngineConfig::compile or
  * AF_COMPILE=1) must not change a single bit of any result.
+ *
+ * A fourth axis covers cluster-scale sharded serving (DESIGN.md §17):
+ * shard count x worker-thread count x checker attachment. The
+ * conservative-lookahead window engine must replay the identical cluster
+ * timeline no matter how many threads advance the shards, and observing
+ * it must not perturb a bit.
  */
 
 #include <gtest/gtest.h>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "check/invariant_checker.h"
+#include "cluster/datacenter.h"
 #include "workload/experiment.h"
 #include "workload/parallel_runner.h"
 #include "workload/suites.h"
@@ -172,6 +179,55 @@ TEST(DeterminismMatrix, CheckerDoesNotPerturbResults) {
     expect_identical(checked, plain, "config " + std::to_string(i));
     EXPECT_TRUE(checker.ok()) << checker.report();
     EXPECT_GT(checker.stats().chains_started, 0u);
+  }
+  if (af_check != nullptr) setenv("AF_CHECK", saved.c_str(), 1);
+}
+
+/** Cluster results that must match bit for bit across the axes. */
+void expect_identical(const cluster::ClusterResult& a,
+                      const cluster::ClusterResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.shards.size(), b.shards.size()) << what;
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    expect_identical(a.shards[s], b.shards[s],
+                     what + " shard " + std::to_string(s));
+  }
+  EXPECT_EQ(a.admitted, b.admitted) << what;
+  EXPECT_EQ(a.remote_rpcs, b.remote_rpcs) << what;
+  EXPECT_EQ(a.balancer_decisions, b.balancer_decisions) << what;
+  EXPECT_EQ(a.network.messages, b.network.messages) << what;
+  EXPECT_EQ(a.network.total_latency, b.network.total_latency) << what;
+}
+
+TEST(DeterminismMatrix, ClusterShardThreadCheckerAxes) {
+  // AF_CHECK would silently attach checkers to the "plain" runs too, so
+  // the checker axis drops it and attaches one explicitly instead.
+  const char* af_check = std::getenv("AF_CHECK");
+  const std::string saved = af_check != nullptr ? af_check : "";
+  unsetenv("AF_CHECK");
+  const ExperimentConfig base = matrix_configs()[0];
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    auto run_cluster = [&](unsigned threads,
+                           check::InvariantChecker* checker) {
+      cluster::ClusterConfig cfg;
+      cfg.experiment = base;
+      cfg.experiment.checker = checker;
+      cfg.shards = shards;
+      cfg.remote_rpc_fraction = 0.4;
+      cfg.threads = threads;
+      cluster::Datacenter dc(cfg);
+      return dc.run();
+    };
+    const cluster::ClusterResult serial = run_cluster(1, nullptr);
+    const std::string tag = "shards=" + std::to_string(shards);
+    for (const unsigned threads : {2u, 8u}) {
+      expect_identical(serial, run_cluster(threads, nullptr),
+                       tag + " threads=" + std::to_string(threads));
+    }
+    check::InvariantChecker checker;
+    expect_identical(serial, run_cluster(4, &checker), tag + " checked");
+    EXPECT_TRUE(checker.ok()) << checker.report();
   }
   if (af_check != nullptr) setenv("AF_CHECK", saved.c_str(), 1);
 }

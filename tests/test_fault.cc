@@ -165,7 +165,11 @@ TEST(FaultResilience, QueueRejectStormConservesChainsPastOverflow) {
   cfg.measure = sim::milliseconds(8);
   cfg.drain = sim::milliseconds(10);
   cfg.seed = 31;
-  // Tiny overflow areas make the storm hit the capacity wall quickly.
+  // Tiny queues and overflow areas make the storm hit the capacity wall
+  // quickly. The input queue must be small too: the overflow area only
+  // accumulates while the queue is genuinely full (an injected reject
+  // with queue room refills immediately, see Accelerator::overflow_enqueue).
+  cfg.machine.accel_queue_entries = 2;
   cfg.machine.overflow_capacity = 2;
   for (auto& r : cfg.faults.accel) r.queue_reject_prob = 0.6;
   check::InvariantChecker checker;

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cluster soak harness (TESTING.md): repeatedly runs multi-shard
+ * cluster::Datacenter experiments under an ON/OFF bursty load model until
+ * a wall-clock budget is spent, rotating seeds, shard counts and balance
+ * policies each iteration. Designed for the CI soak job: built with
+ * ASan/UBSan and run with AF_CHECK=1 (every shard carries an invariant
+ * checker that aborts on violation) and AF_FAULTS=0.01 (uniform fault
+ * injection exercising shard-level recovery under cross-shard traffic).
+ *
+ * Each iteration additionally asserts, in-process:
+ *  - zero lost chains: the attached checker's chains_started ==
+ *    chains_finished once the drain completes (conservation across shard
+ *    boundaries — a cross-shard RPC whose reply never lands would leak an
+ *    active chain and trip this);
+ *  - every shard's engine is fully drained (in_flight() == 0);
+ *  - checker silence: ok() with a non-empty audit (chains_started > 0).
+ *
+ * Usage: cluster_soak [--wall-seconds N] [--shards N]
+ * Defaults: 30 wall-seconds, rotating shard counts {2, 3, 4}.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "check/invariant_checker.h"
+#include "cluster/datacenter.h"
+#include "workload/suites.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accelflow;
+  using Clock = std::chrono::steady_clock;
+
+  double wall_budget = 30.0;
+  std::size_t fixed_shards = 0;  // 0: rotate {2, 3, 4}.
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--wall-seconds" && i + 1 < argc) {
+      wall_budget = std::atof(argv[++i]);
+    } else if (a == "--shards" && i + 1 < argc) {
+      fixed_shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--wall-seconds N] [--shards N] [--verbose]\n";
+      return 2;
+    }
+  }
+
+  const auto t0 = Clock::now();
+  std::uint64_t iterations = 0;
+  std::uint64_t total_completed = 0;
+  std::uint64_t total_remote = 0;
+  std::uint64_t total_chains = 0;
+
+  while (seconds_since(t0) < wall_budget) {
+    const std::uint64_t seed = 0x50AC + 977u * iterations;
+    const std::size_t shards =
+        fixed_shards != 0 ? fixed_shards : 2 + iterations % 3;
+
+    cluster::ClusterConfig cfg;
+    cfg.experiment.specs = workload::social_network_specs();
+    cfg.experiment.load_model = workload::LoadGenerator::Model::kBursty;
+    cfg.experiment.rps_per_service =
+        4000.0 * static_cast<double>(shards);
+    cfg.experiment.warmup = sim::milliseconds(2);
+    cfg.experiment.measure = sim::milliseconds(10);
+    cfg.experiment.drain = sim::milliseconds(6);
+    cfg.experiment.seed = seed;
+    cfg.shards = shards;
+    cfg.policy = static_cast<cluster::BalancePolicy>(
+        iterations % cluster::kNumBalancePolicies);
+    cfg.remote_rpc_fraction = 0.35;
+    // Past the nominal horizon, run to true quiescence: only then is
+    // "zero lost chains" decidable (a fixed horizon can strand a
+    // fault-retried chain in the final lookahead window).
+    cfg.drain_to_quiescence = true;
+    // Alternate worker-thread counts so the soak also exercises the
+    // parallel window engine under the sanitizers.
+    cfg.threads = 1 + iterations % 4;
+
+    // An explicit checker on top of the AF_CHECK per-shard ones: its
+    // post-drain conservation audit is the zero-lost-chains oracle.
+    check::InvariantChecker checker;
+    cfg.experiment.checker = &checker;
+
+    if (verbose) {
+      std::cerr << "iter " << iterations << ": seed " << seed << ", shards "
+                << shards << ", policy "
+                << cluster::name_of(cfg.policy) << ", threads "
+                << cfg.threads << "\n";
+    }
+
+    cluster::Datacenter dc(cfg);
+    const cluster::ClusterResult res = dc.run();
+
+    if (!checker.ok()) {
+      std::cerr << "FAIL: checker violations at iteration " << iterations
+                << " (seed " << seed << ", shards " << shards << "):\n"
+                << checker.report();
+      return 1;
+    }
+    const auto& cs = checker.stats();
+    if (cs.chains_started == 0 || cs.chains_started != cs.chains_finished) {
+      std::cerr << "FAIL: lost chains at iteration " << iterations
+                << " (seed " << seed << ", shards " << shards << "): "
+                << cs.chains_started << " started, " << cs.chains_finished
+                << " finished\n";
+      return 1;
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (dc.engine(s).in_flight() != 0) {
+        std::cerr << "FAIL: shard " << s << " not drained at iteration "
+                  << iterations << " (seed " << seed << "): "
+                  << dc.engine(s).in_flight() << " in flight\n";
+        return 1;
+      }
+    }
+
+    total_completed += res.total_completed();
+    total_remote += res.remote_rpcs;
+    total_chains += cs.chains_started;
+    ++iterations;
+  }
+
+  std::cout << "soak ok: " << iterations << " iterations in "
+            << seconds_since(t0) << "s, " << total_completed
+            << " requests completed, " << total_remote
+            << " cross-shard RPCs, " << total_chains
+            << " chains audited, zero lost\n";
+  return iterations > 0 ? 0 : 1;
+}

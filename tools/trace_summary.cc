@@ -41,6 +41,7 @@
 #include "accel/accelerator.h"  // kTidStride: accel track width.
 #include "accel/types.h"
 #include "critpath/critpath.h"
+#include "obs/drain_pack.h"
 #include "sim/time.h"
 #include "stats/table.h"
 
@@ -66,6 +67,24 @@ double find_number(const std::string& line, const std::string& key,
   const auto start = pos + needle.size();
   try {
     return std::stod(line.substr(start));
+  } catch (...) {
+    return fallback;
+  }
+}
+
+/**
+ * Exact unsigned value of `"key":number` in `line`, or `fallback` when
+ * absent. Packed args (batch_drain) must not round-trip through a double:
+ * stod keeps only 53 bits, so a wide ring-wait in the upper 48 bits would
+ * silently corrupt the width field below it.
+ */
+std::uint64_t find_u64(const std::string& line, const std::string& key,
+                       std::uint64_t fallback = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return fallback;
+  try {
+    return std::stoull(line.substr(pos + needle.size()));
   } catch (...) {
     return fallback;
   }
@@ -152,14 +171,15 @@ int main(int argc, char** argv) {
       if (name == "batch_drain") {
         const auto tid = static_cast<std::uint32_t>(find_number(line, "tid"));
         // The arg packs the drain's summed ring-residency above its width
-        // (Accelerator::run_drain): arg = (wait_ps << 16) | width.
-        const auto arg = static_cast<std::uint64_t>(find_number(line, "arg"));
-        const std::uint64_t width = arg & 0xFFFF;
+        // (obs/drain_pack.h): arg = (wait_ps << 16) | width, both fields
+        // saturating at their limits. Parsed exactly — never via double.
+        const std::uint64_t arg = find_u64(line, "arg");
+        const std::uint64_t width = accelflow::obs::drain_arg_width(arg);
         DrainStats& d = drains[accel_of_tid(tid)];
         ++d.drains;
         d.actions += width;
         d.max_width = std::max(d.max_width, width);
-        d.wait_ps += arg >> 16;
+        d.wait_ps += accelflow::obs::drain_arg_wait_ps(arg);
       }
     } else if (ph == "s" || ph == "t" || ph == "f") {
       last_ts = std::max(last_ts, ts);
@@ -243,7 +263,8 @@ int main(int argc, char** argv) {
     Table t("Per-service critical-path attribution "
             "(share of end-to-end chain latency, %)");
     t.set_header({"Service", "Chains", "Mean us", "Bottleneck", "queue", "pe",
-                  "dma", "noc", "dispatch", "glue", "iommu", "core"});
+                  "dma", "noc", "network", "dispatch", "glue", "iommu",
+                  "core"});
     auto share = [](accelflow::sim::TimePs part, accelflow::sim::TimePs sum) {
       return Table::fmt(sum > 0 ? 100.0 * static_cast<double>(part) /
                                       static_cast<double>(sum)
@@ -260,8 +281,9 @@ int main(int argc, char** argv) {
                  std::string(cp::name_of(s.dominant())),
                  cat(cp::Category::kQueue), cat(cp::Category::kPeService),
                  cat(cp::Category::kDma), cat(cp::Category::kNoc),
-                 cat(cp::Category::kDispatch), cat(cp::Category::kGlue),
-                 cat(cp::Category::kTranslation), cat(cp::Category::kCore)});
+                 cat(cp::Category::kNetwork), cat(cp::Category::kDispatch),
+                 cat(cp::Category::kGlue), cat(cp::Category::kTranslation),
+                 cat(cp::Category::kCore)});
     };
     for (const cp::ServiceAttribution& s : analyzer.services()) row(s);
     cp::ServiceAttribution total = analyzer.total();

@@ -12,7 +12,7 @@ build="${1:-$root/build}"
 
 cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput \
   bench_kernel_events bench_snapshot_fork bench_fault_degradation \
-  bench_autotune -j
+  bench_autotune bench_cluster_scaling -j
 "$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
 "$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
 
@@ -27,7 +27,11 @@ AF_BENCH_FAULT_JSON="$root/BENCH_fault.json" \
   "$build/bench/bench_fault_degradation"
 AF_BENCH_CRITPATH_JSON="$root/BENCH_critpath.json" \
   "$build/bench/bench_autotune"
+# Full windows too: the cluster scaling keys are deterministic simulated
+# aggregate throughputs (DESIGN.md §17).
+AF_BENCH_CLUSTER_JSON="$root/BENCH_cluster.json" \
+  "$build/bench/bench_cluster_scaling"
 
 echo "Goldens updated; review the diff with: git diff $root/tests/golden"
 echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json" \
-  "BENCH_sweep.json BENCH_fault.json BENCH_critpath.json"
+  "BENCH_sweep.json BENCH_fault.json BENCH_critpath.json BENCH_cluster.json"
