@@ -27,6 +27,14 @@
  * machine-independent. Results land in BENCH_kernel.json (override the
  * path with AF_BENCH_KERNEL_JSON) for the machine-readable perf
  * trajectory.
+ *
+ * The calendar-backend axis (DESIGN.md §18) runs the three kernel
+ * workloads and the chain shapes on both backends — the indexed 4-ary
+ * heap and the hierarchical timing wheel — via simulators pinned with the
+ * explicit backend constructor. The gated sched_speedup_geomean is the
+ * wheel/heap geomean over hold, cancel and burst (the kernel-dominated
+ * workloads); the chain rows carry a wheel column for the diluted
+ * full-model view.
  */
 
 #include <algorithm>
@@ -123,6 +131,16 @@ class LegacySimulator {
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
+};
+
+/** sim::Simulator pinned to the 4-ary heap calendar, ignoring AF_SCHED. */
+struct HeapSim : sim::Simulator {
+  HeapSim() : sim::Simulator(sim::SchedBackend::kHeap) {}
+};
+
+/** sim::Simulator pinned to the hierarchical timing wheel calendar. */
+struct WheelSim : sim::Simulator {
+  WheelSim() : sim::Simulator(sim::SchedBackend::kWheel) {}
 };
 
 /** Deterministic 64-bit LCG: cheap enough to not dominate the measurement. */
@@ -250,11 +268,13 @@ struct ChainBenchResult {
  * wall-time ratios are true speedups.
  */
 ChainBenchResult run_chain_bench(bool compiled, bool zero,
-                                 std::uint64_t target) {
+                                 std::uint64_t target,
+                                 sim::SchedBackend sched) {
   core::MachineConfig mc;
   mc.accel_queue_entries = 4096;
   mc.overflow_capacity = 4096;
   mc.pes_per_accel = 64;
+  mc.sched = sched;
   core::Machine machine(mc);
 
   core::TraceLibrary lib;
@@ -372,21 +392,32 @@ double compiled_hop_ns(std::uint64_t iters) {
          1e9 / static_cast<double>(iters);
 }
 
-/** Best-of-3 wall times for one chain shape, interpreted and compiled
- *  reps interleaved so transient machine load degrades both backends
- *  alike instead of skewing the ratio. */
-std::pair<ChainBenchResult, ChainBenchResult> best_chain_pair(
-    bool zero, std::uint64_t target) {
-  ChainBenchResult interp, compiled;
+/** Best-of-3 wall times for one chain shape — interpreted-on-heap,
+ *  compiled-on-heap and interpreted-on-wheel reps interleaved so
+ *  transient machine load degrades every backend alike instead of
+ *  skewing the ratios. */
+struct ChainTriple {
+  ChainBenchResult interp;    ///< Interpreted chains, heap calendar.
+  ChainBenchResult compiled;  ///< Compiled chains, heap calendar.
+  ChainBenchResult wheel;     ///< Interpreted chains, wheel calendar.
+};
+
+ChainTriple best_chain_triple(bool zero, std::uint64_t target) {
+  ChainTriple best;
   for (int rep = 0; rep < 3; ++rep) {
-    const ChainBenchResult i = run_chain_bench(/*compiled=*/false, zero,
-                                               target);
-    const ChainBenchResult c = run_chain_bench(/*compiled=*/true, zero,
-                                               target);
-    if (interp.secs == 0 || i.secs < interp.secs) interp = i;
-    if (compiled.secs == 0 || c.secs < compiled.secs) compiled = c;
+    const ChainBenchResult i = run_chain_bench(
+        /*compiled=*/false, zero, target, sim::SchedBackend::kHeap);
+    const ChainBenchResult c = run_chain_bench(
+        /*compiled=*/true, zero, target, sim::SchedBackend::kHeap);
+    const ChainBenchResult w = run_chain_bench(
+        /*compiled=*/false, zero, target, sim::SchedBackend::kWheel);
+    if (best.interp.secs == 0 || i.secs < best.interp.secs) best.interp = i;
+    if (best.compiled.secs == 0 || c.secs < best.compiled.secs) {
+      best.compiled = c;
+    }
+    if (best.wheel.secs == 0 || w.secs < best.wheel.secs) best.wheel = w;
   }
-  return {interp, compiled};
+  return best;
 }
 
 template <typename Fn>
@@ -410,7 +441,14 @@ double events_per_sec(Fn fn) {
 
 int main() {
   using namespace accelflow;
+  using bench::HeapSim;
   using bench::LegacySimulator;
+  using bench::WheelSim;
+
+  // The benchmark pins each backend explicitly (HeapSim/WheelSim and the
+  // Machine's sched config); clear the env toggle so it cannot silently
+  // upgrade the heap runs.
+  unsetenv("AF_SCHED");
 
   const bool fast = []() {
     const char* v = std::getenv("AF_BENCH_FAST");
@@ -422,47 +460,63 @@ int main() {
 
   struct Row {
     const char* name;
-    double current;
+    double heap;
+    double wheel;
     double legacy;
   };
   std::vector<Row> rows;
 
   // Warm up the allocator/pools once per kernel, then measure.
-  (void)bench::run_hold<sim::Simulator>(kHoldEvents / 10);
+  (void)bench::run_hold<HeapSim>(kHoldEvents / 10);
+  (void)bench::run_hold<WheelSim>(kHoldEvents / 10);
   (void)bench::run_hold<LegacySimulator>(kHoldEvents / 10);
 
   rows.push_back(
       {"hold (self-rescheduling timers)",
        bench::events_per_sec(
-           [&] { return bench::run_hold<sim::Simulator>(kHoldEvents); }),
+           [&] { return bench::run_hold<HeapSim>(kHoldEvents); }),
+       bench::events_per_sec(
+           [&] { return bench::run_hold<WheelSim>(kHoldEvents); }),
        bench::events_per_sec(
            [&] { return bench::run_hold<LegacySimulator>(kHoldEvents); })});
   rows.push_back(
       {"cancel (armed timeouts)",
        bench::events_per_sec(
-           [&] { return bench::run_cancel<sim::Simulator>(kCancelRounds); }),
+           [&] { return bench::run_cancel<HeapSim>(kCancelRounds); }),
+       bench::events_per_sec(
+           [&] { return bench::run_cancel<WheelSim>(kCancelRounds); }),
        bench::events_per_sec([&] {
          return bench::run_cancel<LegacySimulator>(kCancelRounds);
        })});
   rows.push_back(
       {"burst (arrival fan-out)",
        bench::events_per_sec(
-           [&] { return bench::run_burst<sim::Simulator>(kBursts); }),
+           [&] { return bench::run_burst<HeapSim>(kBursts); }),
+       bench::events_per_sec(
+           [&] { return bench::run_burst<WheelSim>(kBursts); }),
        bench::events_per_sec(
            [&] { return bench::run_burst<LegacySimulator>(kBursts); })});
 
   stats::Table t("Event kernel throughput (events/sec)");
-  t.set_header({"Workload", "kernel", "seed kernel", "speedup"});
+  t.set_header({"Workload", "heap", "wheel", "seed kernel", "wheel/heap",
+                "heap/seed"});
   double geo = 1.0;
+  double sched_geo = 1.0;
   for (const Row& r : rows) {
-    const double speedup = r.current / r.legacy;
+    const double speedup = r.heap / r.legacy;
+    const double sched_speedup = r.wheel / r.heap;
     geo *= speedup;
-    t.add_row({r.name, stats::Table::fmt(r.current / 1e6, 2) + "M",
+    sched_geo *= sched_speedup;
+    t.add_row({r.name, stats::Table::fmt(r.heap / 1e6, 2) + "M",
+               stats::Table::fmt(r.wheel / 1e6, 2) + "M",
                stats::Table::fmt(r.legacy / 1e6, 2) + "M",
+               stats::Table::fmt(sched_speedup, 2) + "x",
                stats::Table::fmt(speedup, 2) + "x"});
   }
   geo = std::pow(geo, 1.0 / static_cast<double>(rows.size()));
-  t.add_row({"geomean", "", "", stats::Table::fmt(geo, 2) + "x"});
+  sched_geo = std::pow(sched_geo, 1.0 / static_cast<double>(rows.size()));
+  t.add_row({"geomean", "", "", "", stats::Table::fmt(sched_geo, 2) + "x",
+             stats::Table::fmt(geo, 2) + "x"});
   t.print(std::cout);
 
   // Chain orchestration: interpreted vs compiled+batched backend on the
@@ -473,15 +527,14 @@ int main() {
   struct ChainRow {
     const char* name;
     bool zero;
-    bench::ChainBenchResult interp;
-    bench::ChainBenchResult compiled;
+    bench::ChainTriple result;
   };
   std::vector<ChainRow> chain_rows = {
-      {"chain std (2048-chain waves)", false, {}, {}},
-      {"chain zero-overhead (2048-chain waves)", true, {}, {}},
+      {"chain std (2048-chain waves)", false, {}},
+      {"chain zero-overhead (2048-chain waves)", true, {}},
   };
   for (ChainRow& r : chain_rows) {
-    std::tie(r.interp, r.compiled) = bench::best_chain_pair(r.zero, kChains);
+    r.result = bench::best_chain_triple(r.zero, kChains);
   }
 
   // Per-hop dispatch micro pair (best of 3 each): the undiluted cost the
@@ -498,73 +551,105 @@ int main() {
   }
 
   stats::Table ct("Chain execution (interpreted vs compiled+batched)");
-  ct.set_header({"Workload", "interp ev/s", "compiled ev/s", "events",
-                 "speedup"});
+  ct.set_header({"Workload", "interp ev/s", "compiled ev/s", "wheel ev/s",
+                 "events", "speedup"});
   double compiled_geo = 1.0;
   for (const ChainRow& r : chain_rows) {
-    const double speedup = r.interp.secs / r.compiled.secs;
+    const double speedup = r.result.interp.secs / r.result.compiled.secs;
     compiled_geo *= speedup;
     ct.add_row(
         {r.name,
-         stats::Table::fmt(static_cast<double>(r.interp.events) /
-                               r.interp.secs / 1e6,
+         stats::Table::fmt(static_cast<double>(r.result.interp.events) /
+                               r.result.interp.secs / 1e6,
                            2) +
              "M",
-         stats::Table::fmt(static_cast<double>(r.compiled.events) /
-                               r.compiled.secs / 1e6,
+         stats::Table::fmt(static_cast<double>(r.result.compiled.events) /
+                               r.result.compiled.secs / 1e6,
                            2) +
              "M",
-         std::to_string(r.interp.events) + " -> " +
-             std::to_string(r.compiled.events),
+         stats::Table::fmt(static_cast<double>(r.result.wheel.events) /
+                               r.result.wheel.secs / 1e6,
+                           2) +
+             "M",
+         std::to_string(r.result.interp.events) + " -> " +
+             std::to_string(r.result.compiled.events),
          stats::Table::fmt(speedup, 2) + "x"});
   }
   const double micro_speedup = micro_interp / micro_compiled;
   compiled_geo *= micro_speedup;
   ct.add_row({"hop dispatch (micro, ns/hop)",
               stats::Table::fmt(micro_interp, 2),
-              stats::Table::fmt(micro_compiled, 2), "",
+              stats::Table::fmt(micro_compiled, 2), "", "",
               stats::Table::fmt(micro_speedup, 2) + "x"});
   compiled_geo = std::pow(
       compiled_geo, 1.0 / static_cast<double>(chain_rows.size() + 1));
-  ct.add_row({"geomean", "", "", "", stats::Table::fmt(compiled_geo, 2) + "x"});
+  ct.add_row(
+      {"geomean", "", "", "", "", stats::Table::fmt(compiled_geo, 2) + "x"});
   ct.print(std::cout);
 
-  // Kernel counters from a representative run (exact pending/cancel
-  // bookkeeping is part of what the indexed heap buys).
+  // Kernel counters from a representative run on each backend (exact
+  // pending/cancel bookkeeping is part of what the indexed calendars buy;
+  // the two backends must agree on every count).
   {
-    bench::HoldBench<sim::Simulator> h;
+    bench::HoldBench<HeapSim> h;
     h.run(4096, 500'000);
+    bench::HoldBench<WheelSim> w;
+    w.run(4096, 500'000);
     stats::Table k("Kernel counters (hold, 500K events)");
-    k.set_header({"Counter", "Value"});
+    k.set_header({"Counter", "heap", "wheel"});
     const sim::KernelStats& ks = h.sim.kernel_stats();
-    k.add_row({"events scheduled", std::to_string(ks.scheduled)});
-    k.add_row({"allocs avoided", std::to_string(ks.allocs_avoided())});
-    k.add_row({"pooled records", std::to_string(ks.pool_grown)});
-    k.add_row({"heap high water", std::to_string(ks.heap_high_water)});
+    const sim::KernelStats& ws = w.sim.kernel_stats();
+    k.add_row({"events scheduled", std::to_string(ks.scheduled),
+               std::to_string(ws.scheduled)});
+    k.add_row({"allocs avoided", std::to_string(ks.allocs_avoided()),
+               std::to_string(ws.allocs_avoided())});
+    k.add_row({"pooled records", std::to_string(ks.pool_grown),
+               std::to_string(ws.pool_grown)});
+    k.add_row({"pending high water", std::to_string(ks.pending_high_water),
+               std::to_string(ws.pending_high_water)});
+    k.add_row({"overflow promotions", "-",
+               std::to_string(ws.overflow_promotions)});
     k.print(std::cout);
 
     stats::CounterSet out;
-    out.set("hold_events_per_sec", rows[0].current);
-    out.set("cancel_events_per_sec", rows[1].current);
-    out.set("burst_events_per_sec", rows[2].current);
+    out.set("hold_events_per_sec", rows[0].heap);
+    out.set("cancel_events_per_sec", rows[1].heap);
+    out.set("burst_events_per_sec", rows[2].heap);
+    out.set("wheel_hold_events_per_sec", rows[0].wheel);
+    out.set("wheel_cancel_events_per_sec", rows[1].wheel);
+    out.set("wheel_burst_events_per_sec", rows[2].wheel);
     out.set("legacy_hold_events_per_sec", rows[0].legacy);
     out.set("legacy_cancel_events_per_sec", rows[1].legacy);
     out.set("legacy_burst_events_per_sec", rows[2].legacy);
     out.set("speedup_geomean", geo);
+    out.set("sched_speedup_geomean", sched_geo);
     out.set("allocs_avoided", static_cast<double>(ks.allocs_avoided()));
-    out.set("heap_high_water", static_cast<double>(ks.heap_high_water));
+    // The JSON key predates the backend-neutral rename; it still means
+    // "peak pending events" (KernelStats::pending_high_water) and keeps
+    // its name so perf-trajectory tooling sees one continuous series.
+    out.set("heap_high_water", static_cast<double>(ks.pending_high_water));
+    out.set("wheel_pending_high_water",
+            static_cast<double>(ws.pending_high_water));
+    out.set("wheel_overflow_promotions",
+            static_cast<double>(ws.overflow_promotions));
     out.set("chain_std_interp_events_per_sec",
-            static_cast<double>(chain_rows[0].interp.events) /
-                chain_rows[0].interp.secs);
+            static_cast<double>(chain_rows[0].result.interp.events) /
+                chain_rows[0].result.interp.secs);
     out.set("chain_std_compiled_events_per_sec",
-            static_cast<double>(chain_rows[0].compiled.events) /
-                chain_rows[0].compiled.secs);
+            static_cast<double>(chain_rows[0].result.compiled.events) /
+                chain_rows[0].result.compiled.secs);
+    out.set("chain_std_wheel_events_per_sec",
+            static_cast<double>(chain_rows[0].result.wheel.events) /
+                chain_rows[0].result.wheel.secs);
     out.set("chain_zero_interp_events_per_sec",
-            static_cast<double>(chain_rows[1].interp.events) /
-                chain_rows[1].interp.secs);
+            static_cast<double>(chain_rows[1].result.interp.events) /
+                chain_rows[1].result.interp.secs);
     out.set("chain_zero_compiled_events_per_sec",
-            static_cast<double>(chain_rows[1].compiled.events) /
-                chain_rows[1].compiled.secs);
+            static_cast<double>(chain_rows[1].result.compiled.events) /
+                chain_rows[1].result.compiled.secs);
+    out.set("chain_zero_wheel_events_per_sec",
+            static_cast<double>(chain_rows[1].result.wheel.events) /
+                chain_rows[1].result.wheel.secs);
     out.set("micro_interp_hop_ns", micro_interp);
     out.set("micro_compiled_hop_ns", micro_compiled);
     out.set("compiled_speedup_geomean", compiled_geo);

@@ -29,7 +29,14 @@ std::array<int, accel::kNumAccelTypes> accel_chiplet_assignment(
   }
 }
 
-Machine::Machine(const MachineConfig& config) : config_(config) {
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      // AF_SCHED mirrors AF_COMPILE: the env knob upgrades a default-heap
+      // config to the wheel, never the other way around.
+      sim_(config_.sched == sim::SchedBackend::kWheel ||
+                   sim::af_sched_wheel_enabled()
+               ? sim::SchedBackend::kWheel
+               : sim::SchedBackend::kHeap) {
   mem_ = std::make_unique<mem::MemorySystem>(sim_, config_.mem,
                                              config_.seed ^ 0x11);
   iommu_ = std::make_unique<mem::Iommu>(sim_, *mem_, config_.walk,
@@ -303,6 +310,11 @@ void Machine::snapshot_metrics(obs::MetricsRegistry& reg) const {
   reg.set("mem.iommu.faults", static_cast<double>(iommu_->stats().faults));
   reg.set("sim.events", static_cast<double>(sim_.executed_events()));
   reg.set("sim.now_ps", static_cast<double>(sim_.now()), Kind::kGauge);
+  reg.set("sim.pending_high_water",
+          static_cast<double>(sim_.kernel_stats().pending_high_water),
+          Kind::kGauge);
+  reg.set("sim.overflow_promotions",
+          static_cast<double>(sim_.kernel_stats().overflow_promotions));
 }
 
 }  // namespace accelflow::core

@@ -78,6 +78,17 @@ struct MachineConfig {
   double speedup_scale = 1.0;  ///< Section VII-C.5 sensitivity.
   accel::SchedPolicy policy = accel::SchedPolicy::kFifo;
 
+  /**
+   * Event-calendar backend for the machine's simulator (DESIGN.md §18):
+   * the indexed 4-ary heap (default, the differential oracle) or the
+   * hierarchical timing wheel. Like EngineConfig::compile, the AF_SCHED
+   * environment knob can only upgrade: AF_SCHED=wheel turns a kHeap
+   * config into a wheel machine; an explicit kWheel here wins regardless.
+   * Both backends are bit-identical by contract, so this never changes a
+   * result — only the wall-clock cost of reaching it.
+   */
+  sim::SchedBackend sched = sim::SchedBackend::kHeap;
+
   /** Package organization: 1, 2 (default), 3, 4 or 6 chiplets. */
   int num_chiplets = 2;
   double inter_chiplet_cycles = 60.0;  ///< Section VII-C.2 sensitivity.

@@ -8,6 +8,10 @@ namespace accelflow::noc {
 namespace {
 /** Index of the unordered pair (a, b), a != b, in a triangular layout. */
 std::size_t pair_index(int a, int b, int n) {
+  // The diagonal has no link: pair_index(a, a, n) would silently alias a
+  // neighboring pair's channel (and a == n - 1 would index out of range).
+  assert(a != b && "no inter-chiplet link from a chiplet to itself");
+  assert(a >= 0 && b >= 0 && a < n && b < n && "chiplet index out of range");
   if (a > b) std::swap(a, b);
   // Row-major upper triangle without diagonal.
   return static_cast<std::size_t>(a * n + b - (a + 1) * (a + 2) / 2);
@@ -32,10 +36,12 @@ Interconnect::Interconnect(sim::Simulator& sim,
 }
 
 sim::Channel& Interconnect::link(int a, int b) {
+  assert(a != b && "intra-chiplet traffic rides the mesh, not a link");
   return links_[pair_index(a, b, num_chiplets())];
 }
 
 const sim::Channel& Interconnect::link(int a, int b) const {
+  assert(a != b && "intra-chiplet traffic rides the mesh, not a link");
   return links_[pair_index(a, b, num_chiplets())];
 }
 

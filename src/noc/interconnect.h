@@ -117,6 +117,15 @@ class Interconnect {
     return c;
   }
 
+  /**
+   * The inter-chiplet channel carrying the unordered pair (a, b).
+   * Requires a != b (a chiplet has no link to itself — intra-chiplet
+   * traffic rides the mesh; debug builds assert) and both in
+   * [0, num_chiplets()). Exposed read-only so tests can pin the
+   * triangular pair indexing (symmetry, distinctness).
+   */
+  const sim::Channel& link(int a, int b) const;
+
   /** Restores state captured by checkpoint(). */
   void restore(const Checkpoint& c) {
     for (std::size_t i = 0; i < meshes_.size(); ++i) {
@@ -130,7 +139,6 @@ class Interconnect {
 
  private:
   sim::Channel& link(int a, int b);
-  const sim::Channel& link(int a, int b) const;
 
   /** Stretches [start, done] by the injected degradation factor, if any. */
   sim::TimePs apply_degradation(int chiplet, sim::TimePs start,

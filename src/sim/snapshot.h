@@ -17,6 +17,12 @@
  * and the kernel scalars (now, the monotonic insertion stamp, the
  * executed-event count, the free-list head, throughput counters).
  *
+ * The calendar is stored in canonical form regardless of the scheduler
+ * backend (DESIGN.md §18): the flat pending-event list sorted by
+ * (time, seq). A sorted array is a valid min-heap, so a heap restore
+ * adopts it verbatim, and a wheel restore re-places each entry into its
+ * buckets — one snapshot therefore restores into either backend.
+ *
  * The design is in-place restore, not serialization: restore() rebuilds
  * the pool and heap inside the *same* Simulator object, so raw pointers
  * captured by model callbacks (accelerators, engines, contexts) remain
@@ -46,7 +52,9 @@ struct Snapshot {
   /** Mirror of one pooled event record; the callback is a deep clone. */
   struct EventRecord {
     std::uint32_t gen = 1;       ///< Generation stamp at capture time.
-    std::uint32_t heap_pos = 0;  ///< Heap index, or the free sentinel.
+    /** Index into Snapshot::heap (the canonical sorted list) when the
+     *  slot is pending, or the free sentinel (0xFFFFFFFF) when free. */
+    std::uint32_t heap_pos = 0;
     std::uint32_t next_free = 0; ///< Free-list link.
     InlineCallback cb;           ///< Cloned callback (empty if slot free).
   };
@@ -65,7 +73,8 @@ struct Snapshot {
   Snapshot& operator=(const Snapshot&) = delete;
 
   std::vector<EventRecord> pool;      ///< Pooled event records.
-  std::vector<CalendarEntry> heap;    ///< 4-ary heap contents, in order.
+  /** Canonical calendar: pending events sorted by (time, seq). */
+  std::vector<CalendarEntry> heap;
   TimePs now = 0;                     ///< Simulated time at capture.
   std::uint64_t next_seq = 0;         ///< Next insertion stamp.
   std::uint64_t executed = 0;         ///< Events executed so far.
@@ -74,7 +83,9 @@ struct Snapshot {
   std::uint64_t stats_cancelled = 0;  ///< KernelStats::cancelled.
   std::uint64_t stats_clamped = 0;    ///< KernelStats::clamped_past.
   std::uint64_t stats_pool_grown = 0; ///< KernelStats::pool_grown.
-  std::size_t stats_heap_high = 0;    ///< KernelStats::heap_high_water.
+  std::size_t stats_pending_high = 0; ///< KernelStats::pending_high_water.
+  /** KernelStats::overflow_promotions. */
+  std::uint64_t stats_overflow_promotions = 0;
 };
 
 }  // namespace accelflow::sim

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "mem/iommu.h"
 #include "mem/memory_system.h"
 #include "noc/interconnect.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace accelflow::accel {
@@ -484,6 +486,70 @@ TEST(DmaPool, ReadyAtDefersTransfer) {
   const sim::TimePs t =
       dma.transfer({0, {0, 0}}, {0, {1, 0}}, 64, sim::microseconds(5));
   EXPECT_GE(t, sim::microseconds(5));
+}
+
+TEST(DmaPool, EngineSelectionMatchesFirstMinimumScan) {
+  // Pins the incremental earliest-free heap to its contract: every
+  // transfer must occupy exactly the engine a left-to-right
+  // std::min_element scan of the occupancy vector would return — ties on
+  // free time break toward the lowest index. The shadow below replays
+  // transfer()'s occupancy arithmetic against that scan; the per-engine
+  // vectors must stay byte-identical through tie-heavy and random phases.
+  sim::Simulator sim;
+  noc::InterconnectParams np;
+  noc::MeshParams mp;
+  mp.width = 2;
+  mp.height = 1;
+  np.chiplet_meshes = {mp};
+  noc::Interconnect net(sim, np);
+  DmaParams dp;
+  dp.num_engines = 4;
+  DmaPool dma(sim, net, dp);
+  const noc::Location a{0, {0, 0}}, b{0, {1, 0}};
+
+  const sim::TimePs latency = sim::nanoseconds(dp.latency_ns);
+  const double bytes_per_ps = dp.bandwidth_gbps * 1e9 / 1e12;
+  std::vector<sim::TimePs> shadow(4, 0);
+  const auto shadow_transfer = [&](std::uint64_t bytes,
+                                   sim::TimePs ready_at) {
+    const auto it = std::min_element(shadow.begin(), shadow.end());
+    const sim::TimePs start = std::max(ready_at, *it);
+    const auto ser = static_cast<sim::TimePs>(
+        static_cast<double>(bytes) / bytes_per_ps + 0.5);
+    *it = start + latency + ser;
+  };
+
+  // Tie-heavy phase: identical transfers leave all engines tied at every
+  // step, so selection is pure index tie-break (0, 1, 2, 3, 0, ...).
+  for (int i = 0; i < 12; ++i) {
+    dma.transfer(a, b, 1024);
+    shadow_transfer(1024, 0);
+    ASSERT_EQ(dma.checkpoint().engine_free_at, shadow) << "tie step " << i;
+  }
+  // Random phase: mixed sizes and ready times churn the ordering.
+  sim::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t bytes = 64 + rng.next_below(8192);
+    const sim::TimePs ready = rng.next_below(2'000'000);
+    dma.transfer(a, b, bytes, ready);
+    shadow_transfer(bytes, ready);
+    ASSERT_EQ(dma.checkpoint().engine_free_at, shadow) << "rand step " << i;
+  }
+  // The pool-resize and restore paths rebuild the heap; both must keep
+  // honouring the scan contract afterwards.
+  const DmaPool::Checkpoint snap = dma.checkpoint();
+  dma.set_num_engines(3);
+  EXPECT_EQ(dma.checkpoint().engine_free_at,
+            std::vector<sim::TimePs>(3, 0));
+  dma.restore(snap);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t bytes = 64 + rng.next_below(8192);
+    const sim::TimePs ready = rng.next_below(2'000'000);
+    dma.transfer(a, b, bytes, ready);
+    shadow_transfer(bytes, ready);
+    ASSERT_EQ(dma.checkpoint().engine_free_at, shadow)
+        << "restored step " << i;
+  }
 }
 
 }  // namespace

@@ -17,6 +17,13 @@
  * conservative-lookahead window engine must replay the identical cluster
  * timeline no matter how many threads advance the shards, and observing
  * it must not perturb a bit.
+ *
+ * A fifth axis covers the event-calendar backend (DESIGN.md §18): whether
+ * the kernel orders events with the indexed 4-ary heap or the
+ * hierarchical timing wheel (MachineConfig::sched or AF_SCHED=wheel) must
+ * not change a single bit of any result — the heap is the wheel's
+ * differential oracle, and this matrix crosses it with the compile and
+ * cluster axes.
  */
 
 #include <gtest/gtest.h>
@@ -27,6 +34,7 @@
 
 #include "check/invariant_checker.h"
 #include "cluster/datacenter.h"
+#include "sim/simulator.h"
 #include "workload/experiment.h"
 #include "workload/parallel_runner.h"
 #include "workload/suites.h"
@@ -115,6 +123,78 @@ class ScopedNoAfCompile {
   bool had_ = false;
   std::string saved_;
 };
+
+/** Drops AF_SCHED from the environment for the scope (the sanitize CI
+ *  job exports it, which would silently put the "heap" runs on the
+ *  wheel). */
+class ScopedNoAfSched {
+ public:
+  ScopedNoAfSched() {
+    const char* v = std::getenv("AF_SCHED");
+    if (v != nullptr) {
+      saved_ = v;
+      had_ = true;
+    }
+    unsetenv("AF_SCHED");
+  }
+  ~ScopedNoAfSched() {
+    if (had_) {
+      setenv("AF_SCHED", saved_.c_str(), 1);
+    } else {
+      unsetenv("AF_SCHED");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(DeterminismMatrix, WheelMatchesHeap) {
+  ScopedNoAfSched no_env;
+  const std::vector<ExperimentConfig> configs = matrix_configs();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ExperimentConfig wheel = configs[i];
+    wheel.machine.sched = sim::SchedBackend::kWheel;
+    const ExperimentResult w = run_experiment(wheel);
+    const ExperimentResult heap = run_experiment(configs[i]);
+    expect_identical(w, heap, "sched axis, config " + std::to_string(i));
+  }
+}
+
+TEST(DeterminismMatrix, SchedEnvToggleMatchesConfigToggle) {
+  ScopedNoAfSched no_env;
+  const ExperimentConfig cfg = matrix_configs()[0];
+  ExperimentConfig wheel = cfg;
+  wheel.machine.sched = sim::SchedBackend::kWheel;
+  const ExperimentResult via_config = run_experiment(wheel);
+  setenv("AF_SCHED", "wheel", 1);
+  const ExperimentResult via_env = run_experiment(cfg);
+  unsetenv("AF_SCHED");
+  expect_identical(via_config, via_env, "AF_SCHED env toggle");
+}
+
+TEST(DeterminismMatrix, WheelMatchesHeapCompiled) {
+  // Sched axis crossed with the compiled-chain backend: all four corners
+  // of (heap|wheel) x (interpreted|compiled) replay the same timeline.
+  ScopedNoAfSched no_sched;
+  ScopedNoAfCompile no_compile;
+  const ExperimentConfig base = matrix_configs()[0];
+  std::vector<ExperimentResult> corners;
+  for (const bool compile : {false, true}) {
+    for (const bool wheel : {false, true}) {
+      ExperimentConfig cfg = base;
+      cfg.engine.compile = compile;
+      cfg.machine.sched =
+          wheel ? sim::SchedBackend::kWheel : sim::SchedBackend::kHeap;
+      corners.push_back(run_experiment(cfg));
+    }
+  }
+  for (std::size_t i = 1; i < corners.size(); ++i) {
+    expect_identical(corners[0], corners[i],
+                     "compile x sched corner " + std::to_string(i));
+  }
+}
 
 TEST(DeterminismMatrix, CompiledMatchesInterpreted) {
   ScopedNoAfCompile no_env;
@@ -230,6 +310,33 @@ TEST(DeterminismMatrix, ClusterShardThreadCheckerAxes) {
     EXPECT_TRUE(checker.ok()) << checker.report();
   }
   if (af_check != nullptr) setenv("AF_CHECK", saved.c_str(), 1);
+}
+
+TEST(DeterminismMatrix, ClusterWheelMatchesHeap) {
+  // Sched axis at cluster scale: every shard kernel on the timing wheel
+  // (including the window engine's next-event idle fast-forward) must
+  // replay the heap cluster timeline bit for bit, serial and threaded.
+  ScopedNoAfSched no_env;
+  const ExperimentConfig base = matrix_configs()[0];
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    auto run_cluster = [&](unsigned threads, sim::SchedBackend sched) {
+      cluster::ClusterConfig cfg;
+      cfg.experiment = base;
+      cfg.experiment.machine.sched = sched;
+      cfg.shards = shards;
+      cfg.remote_rpc_fraction = 0.4;
+      cfg.threads = threads;
+      cluster::Datacenter dc(cfg);
+      return dc.run();
+    };
+    const cluster::ClusterResult heap =
+        run_cluster(1, sim::SchedBackend::kHeap);
+    const std::string tag = "shards=" + std::to_string(shards);
+    expect_identical(heap, run_cluster(1, sim::SchedBackend::kWheel),
+                     tag + " wheel serial");
+    expect_identical(heap, run_cluster(4, sim::SchedBackend::kWheel),
+                     tag + " wheel threaded");
+  }
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "noc/interconnect.h"
 #include "noc/mesh.h"
 #include "sim/simulator.h"
@@ -128,6 +130,43 @@ TEST(Interconnect, ManyChiplets) {
     }
   }
 }
+
+TEST(Interconnect, PairLinksAreSymmetricAndDistinct) {
+  // Pins the triangular pair indexing behind link(a, b): the unordered
+  // pair (a, b) and (b, a) must resolve to the same channel, and every
+  // distinct pair in a 6-chiplet package to a different one — in
+  // particular no pair may alias a neighbour of the (excluded) diagonal.
+  sim::Simulator sim;
+  InterconnectParams p;
+  for (int i = 0; i < 6; ++i) p.chiplet_meshes.push_back(small_mesh());
+  const Interconnect net(sim, p);
+  std::vector<const sim::Channel*> seen;
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      const sim::Channel* ab = &net.link(a, b);
+      EXPECT_EQ(ab, &net.link(b, a)) << a << "," << b;
+      for (const sim::Channel* prior : seen) {
+        EXPECT_NE(ab, prior) << a << "," << b;
+      }
+      seen.push_back(ab);
+    }
+  }
+  // All 6*5/2 links exist, including both boundary pairs (0,1), (4,5).
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(InterconnectDeathTest, SelfLinkAsserts) {
+  // A chiplet has no link to itself: before the assert, pair_index(a, a)
+  // silently aliased a neighbouring pair's channel (and (n-1, n-1)
+  // indexed out of range).
+  sim::Simulator sim;
+  Interconnect net(sim, two_chiplets());
+  const Interconnect& cnet = net;
+  EXPECT_DEATH((void)cnet.link(1, 1), "no inter-chiplet link|a != b");
+  EXPECT_DEATH((void)cnet.link(0, 0), "no inter-chiplet link|a != b");
+}
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
 
 }  // namespace
 }  // namespace accelflow::noc

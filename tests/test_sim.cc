@@ -233,7 +233,7 @@ TEST(Simulator, KernelStatsTrackScheduledAndPool) {
   EXPECT_EQ(ks.scheduled, 60u);
   EXPECT_EQ(ks.pool_grown, 10u);
   EXPECT_EQ(ks.allocs_avoided(), 50u);
-  EXPECT_EQ(ks.heap_high_water, 10u);
+  EXPECT_EQ(ks.pending_high_water, 10u);
 }
 
 TEST(Simulator, DeterministicForSeed) {
