@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Multi-tenant QoS antagonist drill (DESIGN.md §19).
+ *
+ * Runs the ISSUE's acceptance scenario at bench scale: a latency-sensitive
+ * victim service (p99 SLO) sharing a deliberately small ensemble with a
+ * bursty best-effort antagonist offered at 3x its quota, under a 1%
+ * uniform fault storm. Three operating points:
+ *
+ *   uncontrolled  — no QoS policy: the burst blows the victim's SLO,
+ *   controlled    — admission control + quotas + reserved slots + aging:
+ *                   shedding confines itself to the antagonist and the
+ *                   victim holds its target,
+ *   power-capped  — the controlled point under a package power budget:
+ *                   the DVFS governor trades latency for watts without
+ *                   breaking tenant accounting.
+ *
+ * Results land in BENCH_qos.json (override with AF_BENCH_QOS_JSON). The
+ * *_per_sec keys are deterministic simulated-domain throughputs gated by
+ * tools/perf_gate.py at the default 0.8 ratio; `victim_slo_retention`
+ * (fraction of controlled victim completions inside the SLO) and
+ * `shed_antagonist_fraction` (share of sheds charged to the antagonist)
+ * are held to absolute floors in CI — the isolation properties themselves,
+ * not just throughput, are regression-gated. Every point runs under the
+ * invariant checker: a chain lost while shedding fails the binary.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "check/invariant_checker.h"
+#include "fault/fault_plan.h"
+#include "qos/policy.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+
+namespace accelflow::bench {
+namespace {
+
+constexpr std::size_t kVictim = 1;      // ReadHomeTimeline-like.
+constexpr std::size_t kAntagonist = 0;  // ComposePost-like (heavy).
+constexpr double kVictimRps = 4000.0;
+constexpr double kAntagonistQuota = 6000.0;
+constexpr double kVictimSloUs = 600.0;
+
+/** The drill scenario; `controlled` attaches the QoS policy. */
+workload::ExperimentConfig drill_config(bool controlled, double budget_w) {
+  workload::ExperimentConfig cfg;
+  cfg.kind = core::OrchKind::kAccelFlow;
+  cfg.specs = workload::social_network_specs();
+  cfg.load_model = workload::LoadGenerator::Model::kPoisson;
+  cfg.per_service_rps.assign(cfg.specs.size(), 0.0);
+  cfg.per_service_rps[kVictim] = kVictimRps;
+  cfg.per_service_rps[kAntagonist] = 3.0 * kAntagonistQuota;
+  cfg.machine.pes_per_accel = 2;  // Small ensemble: contention is real.
+  // Fixed windows chosen once and *not* scaled by AF_BENCH_FAST, so the
+  // gated keys do not depend on the environment. The long warmup lets the
+  // shed hysteresis reach its operating point before the measured window
+  // (reset_stats() keeps the EWMA state).
+  cfg.warmup = sim::milliseconds(10);
+  cfg.measure = sim::milliseconds(15);
+  cfg.drain = sim::milliseconds(10);
+  cfg.seed = 61;
+  cfg.faults = fault::FaultPlan::uniform(0.01);
+  cfg.power.budget_w = budget_w;
+  if (!controlled) return cfg;
+
+  qos::QosPolicy p;
+  p.tenants.resize(cfg.specs.size());
+  qos::TenantSlo& victim = p.tenants[kVictim];
+  victim.cls = qos::TenantClass::kLatencySensitive;
+  victim.p99_target = sim::microseconds(kVictimSloUs);
+  victim.min_rps = 1.5 * kVictimRps;  // Floor above offer: never shed.
+  victim.priority = 2;
+  p.tenants[kAntagonist].quota_rps = kAntagonistQuota;
+  p.reserved_input_slots = 4;
+  p.aging_quantum_us = 25.0;
+  cfg.qos = p;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace accelflow::bench
+
+int main(int argc, char** argv) {
+  using namespace accelflow;
+  const bench::ObsOptions obs = bench::parse_obs_options(argc, argv);
+  (void)obs;  // No golden mode: the drill is perf-gated, not byte-compared.
+
+  const std::vector<std::pair<std::string, workload::ExperimentConfig>>
+      points = {
+          {"uncontrolled", bench::drill_config(false, 0.0)},
+          {"controlled", bench::drill_config(true, 0.0)},
+          {"powercap", bench::drill_config(true, 120.0)},
+      };
+  std::vector<workload::ExperimentConfig> configs;
+  configs.reserve(points.size());
+  for (const auto& [name, cfg] : points) configs.push_back(cfg);
+  std::vector<check::InvariantChecker> checkers(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].checker = &checkers[i];
+  }
+
+  const std::vector<workload::ExperimentResult> results =
+      bench::run_all(configs);
+
+  stats::Table t(
+      "Antagonist drill: LS victim vs 3x-quota best-effort burst, 1% "
+      "faults (AccelFlow, 2 PEs/accel)");
+  t.set_header({"Point", "victim kRPS", "victim p99 (us)", "ant kRPS",
+                "shed", "ant shed %", "SLO ret %", "min scale"});
+  stats::CounterSet out;
+  bool failed = false;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string& name = points[i].first;
+    const workload::ExperimentResult& r = results[i];
+    const double secs = sim::to_seconds(configs[i].measure);
+    const double victim_rps =
+        static_cast<double>(r.services[bench::kVictim].completed) / secs;
+    const double ant_rps =
+        static_cast<double>(r.services[bench::kAntagonist].completed) /
+        secs;
+    double ant_share = 0.0;
+    double retention = 0.0;
+    if (bench::kVictim < r.qos_tenants.size()) {
+      const auto& v = r.qos_tenants[bench::kVictim];
+      retention = v.completions > 0
+                      ? 1.0 - static_cast<double>(v.slo_violations) /
+                                  static_cast<double>(v.completions)
+                      : 0.0;
+      ant_share =
+          r.qos_shed_total > 0
+              ? static_cast<double>(
+                    r.qos_tenants[bench::kAntagonist].shed) /
+                    static_cast<double>(r.qos_shed_total)
+              : 0.0;
+    }
+    t.add_row({name, stats::Table::fmt(victim_rps / 1000.0, 1),
+               stats::Table::fmt(r.services[bench::kVictim].p99_us, 1),
+               stats::Table::fmt(ant_rps / 1000.0, 1),
+               std::to_string(r.qos_shed_total),
+               stats::Table::fmt(100.0 * ant_share, 1),
+               stats::Table::fmt(100.0 * retention, 1),
+               stats::Table::fmt(r.power.epochs > 0 ? r.power.min_scale
+                                                    : 1.0,
+                                 2)});
+    out.set("qos_" + name + "_victim_requests_per_sec", victim_rps);
+    out.set("qos_" + name + "_antagonist_requests_per_sec", ant_rps);
+    out.set("qos_" + name + "_victim_p99_us",
+            r.services[bench::kVictim].p99_us);
+    if (name == "controlled") {
+      out.set("victim_slo_retention", retention);
+      out.set("shed_antagonist_fraction", ant_share);
+      out.set("controlled_shed_total",
+              static_cast<double>(r.qos_shed_total));
+    }
+    if (!checkers[i].ok()) {
+      failed = true;
+      std::cerr << "\nchecker violation at point " << name << ":\n"
+                << checkers[i].report();
+    }
+  }
+  t.print(std::cout);
+
+  // The drill's teeth, enforced by the binary itself: the identical burst
+  // without admission control must blow the SLO the controlled run holds.
+  const double p99_off = results[0].services[bench::kVictim].p99_us;
+  const double p99_on = results[1].services[bench::kVictim].p99_us;
+  if (!(p99_off > bench::kVictimSloUs && p99_on <= bench::kVictimSloUs)) {
+    failed = true;
+    std::cerr << "\ndrill lost its teeth: uncontrolled p99 " << p99_off
+              << "us vs controlled " << p99_on << "us (SLO "
+              << bench::kVictimSloUs << "us)\n";
+  }
+
+  {
+    const char* p = std::getenv("AF_BENCH_QOS_JSON");
+    const std::string file = p != nullptr ? p : "BENCH_qos.json";
+    std::ofstream os(file);
+    out.write_json(os);
+    std::cout << "\nwrote " << file << "\n";
+  }
+  return failed ? 1 : 0;
+}

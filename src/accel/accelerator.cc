@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <functional>
 
 #include "obs/drain_pack.h"
@@ -21,7 +22,13 @@ Accelerator::Accelerator(sim::Simulator& sim, const AccelParams& params,
       input_(params.input_queue_entries),
       output_(params.output_queue_entries),
       pes_(static_cast<std::size_t>(params.num_pes)),
-      free_pes_(params.num_pes) {}
+      free_pes_(params.num_pes) {
+  // QoS headroom applies to admission (the input queue) only; the output
+  // queue is drained by the dispatcher regardless of priority.
+  if (params.reserved_input_slots > 0) {
+    input_.set_reserved(params.reserved_input_slots);
+  }
+}
 
 void Accelerator::set_num_pes(int num_pes) {
   assert(num_pes > 0);
@@ -120,7 +127,10 @@ void Accelerator::drain_overflow() {
         mem_.read(kInlineDataBytes, /*llc_hit_prob=*/0.4).complete_at;
     e.ready = false;
     e.pending_inputs = 1;
-    const SlotId slot = input_.allocate(std::move(e));
+    // Overflowed entries already passed the admission edge once: refills
+    // bypass the reserved headroom, or a priority-0 head would deadlock
+    // the drain loop against a non-full queue.
+    const SlotId slot = input_.allocate(std::move(e), /*bypass_reserve=*/true);
     assert(slot != kInvalidSlot);
     schedule_deliver(done, slot);
   }
@@ -300,6 +310,22 @@ SlotId Accelerator::pick_ready_entry() {
     return kInvalidSlot;
   }
   SlotId best = kInvalidSlot;
+  // Priority aging (DESIGN.md §19): with a nonzero quantum, an entry's
+  // effective priority rises by one per quantum waited, so a saturating
+  // prioritized tenant cannot starve best-effort entries indefinitely.
+  // Quantum 0 (the default) keeps the raw priority — bit-identical to
+  // the pre-aging scheduler.
+  const sim::TimePs quantum =
+      params_.aging_quantum_us > 0.0
+          ? sim::microseconds(params_.aging_quantum_us)
+          : sim::TimePs{0};
+  const auto effective = [&](const QueueEntry& e) -> std::uint64_t {
+    std::uint64_t p = e.priority;
+    if (quantum > 0 && sim_.now() > e.enqueued_at) {
+      p += static_cast<std::uint64_t>((sim_.now() - e.enqueued_at) / quantum);
+    }
+    return p;
+  };
   input_.for_each_occupied([&](SlotId s, QueueEntry& e) {
     if (!e.ready) return;
     if (best == kInvalidSlot) {
@@ -311,12 +337,14 @@ SlotId Accelerator::pick_ready_entry() {
       case SchedPolicy::kFifo:
         if (e.seq < b.seq) best = s;
         break;
-      case SchedPolicy::kPriority:
-        if (e.priority > b.priority ||
-            (e.priority == b.priority && e.seq < b.seq)) {
+      case SchedPolicy::kPriority: {
+        const std::uint64_t ep = effective(e);
+        const std::uint64_t bp = effective(b);
+        if (ep > bp || (ep == bp && e.seq < b.seq)) {
           best = s;
         }
         break;
+      }
       case SchedPolicy::kEdf:
         if (e.deadline < b.deadline ||
             (e.deadline == b.deadline && e.seq < b.seq)) {

@@ -62,6 +62,13 @@ struct AccelParams {
   std::size_t tlb_entries = 512;
   std::size_t tlb_ways = 8;
   double fault_service_us = 5.0;  ///< OS page-fault handling round trip.
+  /** Input-queue slots held back from priority-0 entries (QoS headroom
+   *  for prioritized tenants, DESIGN.md §19). 0 = off. */
+  std::size_t reserved_input_slots = 0;
+  /** Waiting time per effective-priority level under SchedPolicy::
+   *  kPriority: entries age upward so best-effort tenants cannot starve
+   *  behind a saturating prioritized tenant. 0 = aging off. */
+  double aging_quantum_us = 0.0;
 };
 
 /** Observable accelerator counters. */

@@ -27,11 +27,27 @@ void SramQueue::set_capacity(std::size_t capacity) {
   }
 }
 
-SlotId SramQueue::allocate(QueueEntry e) {
+void SramQueue::set_reserved(std::size_t n) {
+  assert(n < slots_.size() &&
+         "reserved headroom must leave at least one usable slot");
+  reserved_ = n;
+}
+
+SlotId SramQueue::allocate(QueueEntry e, bool bypass_reserve) {
   ++stats_.allocations;
   if (free_list_.empty()) {
     ++stats_.alloc_failures;
     --stats_.allocations;  // Count only successful allocations.
+    return kInvalidSlot;
+  }
+  // Reserved headroom (DESIGN.md §19): the last `reserved_` free slots
+  // admit prioritized entries only, so a best-effort flood cannot fill
+  // the queue wall-to-wall against a latency-sensitive tenant.
+  if (!bypass_reserve && reserved_ > 0 && e.priority == 0 &&
+      free_list_.size() <= reserved_) {
+    ++stats_.alloc_failures;
+    ++stats_.reserved_denials;
+    --stats_.allocations;
     return kInvalidSlot;
   }
   const SlotId slot = free_list_.back();

@@ -28,6 +28,9 @@ struct QueueStats {
   std::uint64_t alloc_failures = 0;  ///< Enqueue attempts on a full queue.
   std::uint64_t releases = 0;
   std::uint64_t max_occupancy = 0;
+  /** Subset of alloc_failures: the queue had free slots, but a priority-0
+   *  entry was refused the reserved headroom (QosPolicy, DESIGN.md §19). */
+  std::uint64_t reserved_denials = 0;
 };
 
 /**
@@ -42,8 +45,25 @@ class SramQueue {
  public:
   explicit SramQueue(std::size_t capacity);
 
-  /** Allocates a slot and moves `e` into it; kInvalidSlot if full. */
-  SlotId allocate(QueueEntry e);
+  /**
+   * Allocates a slot and moves `e` into it; kInvalidSlot if full — or if
+   * `e` is best-effort (priority 0) and only the reserved headroom is
+   * left (see set_reserved). `bypass_reserve` admits regardless of
+   * priority: re-admission paths (the overflow drain) use it, since
+   * their entries already passed the admission edge once.
+   */
+  SlotId allocate(QueueEntry e, bool bypass_reserve = false);
+
+  /**
+   * Holds the last `n` free slots back from priority-0 entries: headroom
+   * for prioritized tenants under a QosPolicy (DESIGN.md §19). Must stay
+   * below the capacity; 0 (the default) restores plain behavior.
+   * Configuration, not mutable run state — set at construction time,
+   * outside the checkpoint like the capacity itself.
+   */
+  void set_reserved(std::size_t n);
+
+  std::size_t reserved() const { return reserved_; }
 
   /** Frees a slot. */
   void release(SlotId slot);
@@ -147,6 +167,8 @@ class SramQueue {
   std::vector<SlotId> free_list_;
   std::size_t occupancy_ = 0;
   std::uint64_t next_seq_ = 0;
+  /** Free slots a priority-0 entry may not consume (QoS headroom). */
+  std::size_t reserved_ = 0;
   QueueStats stats_;
 };
 

@@ -58,6 +58,11 @@ struct Datacenter::Shard {
   std::unique_ptr<workload::RequestEngine> engine;
   std::vector<std::unique_ptr<workload::LoadGenerator>> gens;
   std::vector<double> gen_rates;
+  /** Per-shard QoS boundary: each shard guards its own arrivals and caps
+   *  its own package power (DESIGN.md §19). Null when the run carries no
+   *  policy / power budget. */
+  std::unique_ptr<qos::AdmissionController> admission;
+  std::unique_ptr<qos::PowerGovernor> governor;
 
   /** Local vs remote decision stream for nested RPCs (shard-private, so
    *  draws happen race-free on the shard's own worker thread). */
@@ -86,6 +91,8 @@ struct Datacenter::ForkState {
     std::vector<workload::LoadGenerator::Checkpoint> gens;
     check::InvariantChecker::Checkpoint checker;
     fault::FaultInjector::Checkpoint injector;
+    qos::AdmissionController::Checkpoint admission;
+    qos::PowerGovernor::Checkpoint governor;
     std::array<std::uint64_t, 4> remote_rng{};
     std::uint64_t next_rpc = 0;
   };
@@ -201,6 +208,13 @@ Datacenter::Datacenter(const ClusterConfig& config, bool fork_mode)
   const sim::TimePs issue_until =
       fork_mode_ ? e.warmup : e.warmup + e.measure;
 
+  // QoS (DESIGN.md §19): one policy cluster-wide, one admission boundary
+  // and power governor per shard — exactly run_experiment()'s attachments
+  // replicated, so the 1-shard conformance identity holds under QoS too.
+  const qos::QosPolicy qos_policy = workload::resolve_qos_policy(e);
+  core::EngineConfig engine_config = e.engine;
+  if (qos_policy.enabled()) engine_config.qos = qos_policy;
+
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto sh = std::make_unique<Shard>();
@@ -208,7 +222,7 @@ Datacenter::Datacenter(const ClusterConfig& config, bool fork_mode)
     // unperturbed machine/engine/fault seeds — which is what makes the
     // 1-shard Datacenter byte-identical to the bare harness (the
     // conformance oracle). Shards beyond 0 derive decorrelated seeds.
-    core::MachineConfig mc = e.machine;
+    core::MachineConfig mc = workload::with_qos(e.machine, qos_policy);
     if (i > 0) mc.seed = mix(mc.seed, 0x5AD0 + i);
     sh->machine = std::make_unique<core::Machine>(mc);
     if (i == 0 && e.tracer != nullptr) sh->machine->set_tracer(e.tracer);
@@ -229,7 +243,7 @@ Datacenter::Datacenter(const ClusterConfig& config, bool fork_mode)
     for (auto& s : sh->services) service_ptrs.push_back(s.get());
 
     sh->orch = core::make_orchestrator(e.kind, *sh->machine, sh->lib,
-                                       e.engine);
+                                       engine_config);
 
     // Fault injection: config plan or AF_FAULTS, engine-family only —
     // exactly run_experiment()'s policy. Shard faults are independent
@@ -268,6 +282,21 @@ Datacenter::Datacenter(const ClusterConfig& config, bool fork_mode)
           sh->machine->sim(), *sh->engine, s, e.load_model, rps, issue_until,
           e.seed ^ (0x10AD + 1315423911ull * (s + 1))));
       sh->gen_rates.push_back(rps);
+    }
+
+    if (qos_policy.enabled()) {
+      sh->admission = std::make_unique<qos::AdmissionController>(
+          sh->machine->sim(), qos_policy);
+      sh->engine->set_admission(sh->admission.get());
+      for (auto& g : sh->gens) g->set_admission(sh->admission.get());
+    }
+    if (e.power.budget_w > 0.0) {
+      sh->governor =
+          std::make_unique<qos::PowerGovernor>(*sh->machine, e.power);
+      // Fork mode stops governing at the warmup horizon so the calendar
+      // drains to quiescence; run_point() re-arms it per point.
+      sh->governor->start(fork_mode_ ? e.warmup
+                                     : e.warmup + e.measure + e.drain);
     }
 
     if (config_.shards > 1) {
@@ -520,6 +549,8 @@ void Datacenter::reset_stats() {
   for (auto& sh : shards_) {
     sh->engine->reset_stats();
     if (sh->injector != nullptr) sh->injector->reset_stats();
+    if (sh->admission != nullptr) sh->admission->reset_stats();
+    if (sh->governor != nullptr) sh->governor->reset_stats();
     std::uint64_t admitted = 0;
     std::uint64_t generated = 0;
     for (const auto& g : sh->gens) {
@@ -606,6 +637,8 @@ void Datacenter::prepare() {
     for (const auto& g : sh.gens) f.gens.push_back(g->checkpoint());
     if (sh.checker != nullptr) f.checker = sh.checker->checkpoint();
     if (sh.injector != nullptr) f.injector = sh.injector->checkpoint();
+    if (sh.admission != nullptr) f.admission = sh.admission->checkpoint();
+    if (sh.governor != nullptr) f.governor = sh.governor->checkpoint();
     f.remote_rng = sh.remote_rng.state();
     f.next_rpc = sh.next_rpc;
   }
@@ -625,6 +658,8 @@ ClusterResult Datacenter::run_point(double rate_factor) {
     }
     if (sh.checker != nullptr) sh.checker->restore(f.checker);
     if (sh.injector != nullptr) sh.injector->restore(f.injector);
+    if (sh.admission != nullptr) sh.admission->restore(f.admission);
+    if (sh.governor != nullptr) sh.governor->restore(f.governor);
     sh.remote_rng.set_state(f.remote_rng);
     sh.next_rpc = f.next_rpc;
     sh.outbox.clear();
@@ -638,6 +673,9 @@ ClusterResult Datacenter::run_point(double rate_factor) {
   for (auto& sh : shards_) {
     for (std::size_t g = 0; g < sh->gens.size(); ++g) {
       sh->gens[g]->resume(sh->gen_rates[g] * rate_factor, issue_until);
+    }
+    if (sh->governor != nullptr) {
+      sh->governor->resume(issue_until + e.drain);
     }
   }
   advance_to(issue_until + e.drain);
@@ -660,6 +698,19 @@ ClusterResult Datacenter::harvest() {
       out.shards.back().faults = sh.injector->stats();
       if (i == 0 && config_.experiment.metrics != nullptr) {
         sh.injector->snapshot_metrics(*config_.experiment.metrics);
+      }
+    }
+    if (sh.admission != nullptr) {
+      out.shards.back().qos_tenants = sh.admission->tenant_stats();
+      out.shards.back().qos_shed_total = sh.admission->total_shed();
+      if (i == 0 && config_.experiment.metrics != nullptr) {
+        sh.admission->snapshot_metrics(*config_.experiment.metrics);
+      }
+    }
+    if (sh.governor != nullptr) {
+      out.shards.back().power = sh.governor->stats();
+      if (i == 0 && config_.experiment.metrics != nullptr) {
+        sh.governor->snapshot_metrics(*config_.experiment.metrics);
       }
     }
     std::uint64_t admitted = 0;

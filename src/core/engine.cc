@@ -21,6 +21,13 @@ std::uint64_t entry_dma_bytes(const QueueEntry& e) {
   return std::min<std::uint64_t>(e.payload.size_bytes, kInlineDataBytes) +
          kEntryHeaderBytes;
 }
+
+/** Grow-on-demand slot of a per-tenant counter vector (EngineStats). */
+std::uint64_t& tenant_count(std::vector<std::uint64_t>& v,
+                            accel::TenantId tenant) {
+  if (tenant >= v.size()) v.resize(static_cast<std::size_t>(tenant) + 1, 0);
+  return v[tenant];
+}
 }  // namespace
 
 AccelFlowEngine::AccelFlowEngine(Machine& machine, const TraceLibrary& lib,
@@ -54,14 +61,24 @@ std::uint32_t AccelFlowEngine::tenant_active(accel::TenantId tenant) const {
 
 void AccelFlowEngine::start_chain(ChainContext* ctx, AtmAddr first) {
   // Per-tenant trace throttling (Section IV-D): over-threshold starts wait
-  // until one of the tenant's traces retires.
+  // until one of the tenant's traces retires. The QosPolicy per-tenant
+  // cap (DESIGN.md §19) composes with the global knob: the tighter of the
+  // two binds.
   auto& active = tenant_slot(ctx->tenant);
-  if (active >= config_.tenant_max_active) {
+  const qos::TenantSlo& slo = config_.qos.tenant(ctx->tenant);
+  const std::uint32_t cap =
+      std::min(config_.tenant_max_active, slo.max_active_chains);
+  if (active >= cap) {
     ++stats_.tenant_throttled;
+    if (active < config_.tenant_max_active) ++stats_.quota_throttled;
     throttled_.push_back(PendingStart{ctx, first});
     return;
   }
   ++active;
+  // The SLO class's scheduling priority floors the caller-provided one,
+  // so a latency-sensitive tenant's entries win SchedPolicy::kPriority
+  // picks without every injector knowing about the policy.
+  if (slo.priority > ctx->priority) ctx->priority = slo.priority;
   ++stats_.chains_started;
   if (ValidationHooks* c = chk()) c->on_chain_start(*ctx, first);
 
@@ -688,6 +705,7 @@ void AccelFlowEngine::continue_chain_on_cpu(ChainContext* ctx,
   // The CPU path cannot lose a chain (every branch below completes it or
   // re-enters the ensemble, which re-arms): the watchdog stands down.
   disarm_hop(ctx);
+  ++tenant_count(stats_.fallback_by_tenant, ctx->tenant);
   if (obs::Tracer* t = trc()) {
     t->instant(obs::Subsys::kCpu, obs::SpanKind::kCpuFallback,
                static_cast<std::uint32_t>(ctx->core), machine_.sim().now(),
@@ -895,6 +913,23 @@ void AccelFlowEngine::snapshot_metrics(obs::MetricsRegistry& reg) const {
   reg.set("engine.notifications", static_cast<double>(stats_.notifications));
   reg.set("engine.tenant_throttled",
           static_cast<double>(stats_.tenant_throttled));
+  reg.set("engine.quota_throttled",
+          static_cast<double>(stats_.quota_throttled));
+  // Per-tenant families (DESIGN.md §19): one series per tenant that ever
+  // completed a chain, so single-tenant runs add no cardinality.
+  for (std::size_t t = 0; t < stats_.completed_by_tenant.size(); ++t) {
+    const std::string base = "engine.tenant." + std::to_string(t);
+    reg.set(base + ".completed",
+            static_cast<double>(stats_.completed_by_tenant[t]));
+    if (t < stats_.faulted_by_tenant.size()) {
+      reg.set(base + ".faulted",
+              static_cast<double>(stats_.faulted_by_tenant[t]));
+    }
+    if (t < stats_.fallback_by_tenant.size()) {
+      reg.set(base + ".fallbacks",
+              static_cast<double>(stats_.fallback_by_tenant[t]));
+    }
+  }
   reg.set("engine.hop_timeouts", static_cast<double>(stats_.hop_timeouts));
   reg.set("engine.hop_retries", static_cast<double>(stats_.hop_retries));
   reg.set("engine.hop_probes", static_cast<double>(stats_.hop_probes));
@@ -925,8 +960,10 @@ void AccelFlowEngine::complete_chain(ChainContext* ctx,
   if (ctx->faulted) {
     res.faulted = true;
     ++stats_.chains_faulted;
+    ++tenant_count(stats_.faulted_by_tenant, ctx->tenant);
   }
   ++stats_.chains_completed;
+  ++tenant_count(stats_.completed_by_tenant, ctx->tenant);
   if (ValidationHooks* c = chk()) c->on_chain_finish(*ctx, res);
   if (obs::Tracer* t = trc()) {
     const obs::FlowId flow = obs::flow_id(ctx->request, ctx->chain);
@@ -943,11 +980,20 @@ void AccelFlowEngine::complete_chain(ChainContext* ctx,
   std::uint32_t& active = tenant_slot(ctx->tenant);
   if (active > 0) --active;
   ctx->finish(res);
-  // Admit a throttled start of any tenant now below its cap.
-  while (!throttled_.empty()) {
-    const PendingStart next = throttled_.front();
-    if (tenant_slot(next.ctx->tenant) >= config_.tenant_max_active) break;
-    throttled_.pop_front();
+  // Admit throttled starts whose tenant is now below its cap. The scan
+  // skips blocked entries (rather than stopping at the head) so one
+  // capped tenant cannot head-block every other tenant's waiting starts
+  // — per-tenant FIFO order is still preserved.
+  for (std::size_t i = 0; i < throttled_.size();) {
+    const PendingStart next = throttled_[i];
+    const std::uint32_t cap =
+        std::min(config_.tenant_max_active,
+                 config_.qos.tenant(next.ctx->tenant).max_active_chains);
+    if (tenant_slot(next.ctx->tenant) >= cap) {
+      ++i;
+      continue;
+    }
+    throttled_.erase(throttled_.begin() + static_cast<std::ptrdiff_t>(i));
     start_chain(next.ctx, next.first);
   }
 }

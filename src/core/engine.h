@@ -16,6 +16,7 @@
 #include "core/tenant_mba.h"
 #include "core/trace_library.h"
 #include "core/validation_hooks.h"
+#include "qos/policy.h"
 #include "sim/pool.h"
 #include "stats/summary.h"
 
@@ -109,6 +110,13 @@ struct EngineConfig {
 
   /** Fault-recovery policy; active only with a fault sink attached. */
   ResilienceConfig resilience;
+
+  /**
+   * Multi-tenant QoS policy (DESIGN.md §19): per-tenant active-chain
+   * quotas and scheduling priorities honored at chain start. The default
+   * (no tenants) is a behavioral no-op.
+   */
+  qos::QosPolicy qos;
 };
 
 /** Engine-level counters (Sections VII-B.2, VII-B.6). */
@@ -127,6 +135,15 @@ struct EngineStats {
   std::uint64_t atm_loads = 0;
   std::uint64_t notifications = 0;
   std::uint64_t tenant_throttled = 0;
+  /** Subset of tenant_throttled: the QosPolicy per-tenant quota (not the
+   *  global tenant_max_active knob) was the binding cap (DESIGN.md §19). */
+  std::uint64_t quota_throttled = 0;
+  // Per-tenant accounting (grow-on-demand, indexed by tenant id): the
+  // end-to-end evidence that a chain's tenant tag survives re-routing —
+  // CPU fallback, quarantine, cross-shard RPCs (DESIGN.md §19 tests).
+  std::vector<std::uint64_t> completed_by_tenant;
+  std::vector<std::uint64_t> faulted_by_tenant;
+  std::vector<std::uint64_t> fallback_by_tenant;
   // Fault-recovery accounting (DESIGN.md §14; zero on fault-free runs).
   std::uint64_t hop_timeouts = 0;       ///< Hops declared lost by watchdogs.
   std::uint64_t hop_retries = 0;        ///< Lost hops re-issued.

@@ -95,6 +95,8 @@ Machine::Machine(const MachineConfig& config)
     ap.clock_ghz = config_.cpu.clock_ghz;
     ap.overflow_capacity = config_.overflow_capacity;
     ap.policy = config_.policy;
+    ap.reserved_input_slots = config_.reserved_input_slots;
+    ap.aging_quantum_us = config_.sched_aging_quantum_us;
     accels_[i] =
         std::make_unique<accel::Accelerator>(sim_, ap, *mem_, *iommu_, loc);
   }

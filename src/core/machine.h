@@ -77,6 +77,12 @@ struct MachineConfig {
   std::size_t overflow_capacity = 64;
   double speedup_scale = 1.0;  ///< Section VII-C.5 sensitivity.
   accel::SchedPolicy policy = accel::SchedPolicy::kFifo;
+  /** Input-queue slots per accelerator held back from priority-0 entries
+   *  (QoS headroom, DESIGN.md §19). 0 = off. */
+  std::size_t reserved_input_slots = 0;
+  /** Priority-aging quantum in µs under SchedPolicy::kPriority
+   *  (DESIGN.md §19); 0 = aging off. */
+  double sched_aging_quantum_us = 0.0;
 
   /**
    * Event-calendar backend for the machine's simulator (DESIGN.md §18):

@@ -21,10 +21,18 @@ sim::TimePs TenantBandwidthLimiter::acquire(accel::TenantId tenant,
     b.refilled = now;
     b.initialized = true;
   }
-  // Refill since the last acquire, capped at the burst allowance.
+  // Refill since the last acquire, clamped at the burst allowance — the
+  // single clamp site for the bucket. The fill test compares *times*
+  // instead of forming `elapsed_s * rate`: across a multi-hour idle gap
+  // at a multi-GB/s rate that product leaves double's exact-integer range
+  // (2^53 bytes), so adding it and clamping after would round the bucket
+  // instead of pinning it exactly at the allowance.
+  const double burst = rate * config_.burst_seconds;
   const double elapsed_s = sim::to_seconds(now - b.refilled);
-  b.tokens = std::min(b.tokens + elapsed_s * rate,
-                      rate * config_.burst_seconds);
+  if (b.tokens < burst) {
+    const double fill_s = (burst - b.tokens) / rate;  // Time to top off.
+    b.tokens = elapsed_s >= fill_s ? burst : b.tokens + elapsed_s * rate;
+  }
   b.refilled = now;
 
   ++b.stats.transfers;

@@ -59,9 +59,14 @@ class TenantBandwidthLimiter {
     return it != config_.limit_bytes_per_sec.end() && it->second > 0;
   }
 
-  /** Accounting for `tenant` (created zeroed on first access). */
-  const MbaTenantStats& stats(accel::TenantId tenant) {
-    return tenants_[tenant].stats;
+  /** Accounting for `tenant`; a zeroed sentinel for tenants that never
+   *  acquired. Read-only by construction: a stats query must not create a
+   *  bucket, or observing stats between checkpoint() and restore() would
+   *  diverge the checkpointed tenant map across a fork. */
+  const MbaTenantStats& stats(accel::TenantId tenant) const {
+    static const MbaTenantStats kNone{};
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? kNone : it->second.stats;
   }
 
  private:

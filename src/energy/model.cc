@@ -1,7 +1,33 @@
 #include "energy/model.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace accelflow::energy {
 
+double dvfs_power_factor(double freq_scale) {
+  if (!std::isfinite(freq_scale) || freq_scale <= 0) return 0.0;
+  const double s = std::min(freq_scale, 1.0);
+  return s * s * s;  // f * V^2, with V tracking f.
+}
+
+double accel_power_w(const Activity& activity, const PowerModel& power,
+                     const AreaModel& area, double freq_scale) {
+  const double factor = dvfs_power_factor(freq_scale);
+  const double elapsed_s = sim::to_seconds(activity.elapsed);
+  double w = 0;
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    const double max_w = power.accel_w(t, area);
+    const double busy_s =
+        sim::to_seconds(activity.accel_busy[accel::index_of(t)]);
+    const double total_s = elapsed_s * activity.pes_per_accel;
+    const double util =
+        total_s > 0 ? std::min(busy_s / total_s, 1.0) : 0.0;
+    // Dynamic power scales with the DVFS factor; leakage does not.
+    w += max_w * (util * factor + (1.0 - util) * power.idle_fraction);
+  }
+  return w;
+}
 
 EnergyReport compute_energy(const Activity& activity,
                             const PowerModel& power, const AreaModel& area) {
@@ -13,17 +39,19 @@ EnergyReport compute_energy(const Activity& activity,
   const double core_total_s =
       sim::to_seconds(activity.elapsed) * power.num_cores;
   r.core_j = core_busy_s * power.core_active_w +
-             (core_total_s - core_busy_s) * power.core_idle_w;
+             std::max(core_total_s - core_busy_s, 0.0) * power.core_idle_w;
 
   r.uncore_j = sim::to_seconds(activity.elapsed) * power.uncore_w;
 
-  // Accelerators: busy time is summed across the 8 PEs; an accelerator's
-  // max power corresponds to all PEs active.
+  // Accelerators: busy time is summed across the PEs; an accelerator's
+  // max power corresponds to all PEs active. A zero-PE config has no
+  // utilization denominator and contributes leakage only.
   for (const accel::AccelType t : accel::kAllAccelTypes) {
     const double w = power.accel_w(t, area);
     const double busy_s =
         sim::to_seconds(activity.accel_busy[accel::index_of(t)]);
-    const double total_s = sim::to_seconds(activity.elapsed) * 8.0;
+    const double total_s =
+        sim::to_seconds(activity.elapsed) * activity.pes_per_accel;
     const double util = total_s > 0 ? busy_s / total_s : 0.0;
     const double elapsed_s = sim::to_seconds(activity.elapsed);
     r.accel_j += elapsed_s * w * (util + (1.0 - util) * power.idle_fraction);

@@ -66,10 +66,13 @@ struct PowerModel {
   double idle_fraction = 0.12;     ///< Leakage share of max power.
   int num_cores = 36;
 
-  /** Max power of one accelerator (area-proportional split). */
+  /** Max power of one accelerator (area-proportional split). A zero-area
+   *  model (every accelerator ablated away) draws nothing rather than
+   *  dividing by zero and seeding NaN into downstream DVFS factors. */
   double accel_w(accel::AccelType t, const AreaModel& area = {}) const {
-    return accel_max_total_w * area.accel_mm2[accel::index_of(t)] /
-           area.accelerators_mm2();
+    const double total = area.accelerators_mm2();
+    if (total <= 0) return 0.0;
+    return accel_max_total_w * area.accel_mm2[accel::index_of(t)] / total;
   }
 
   double server_max_w() const {
@@ -86,6 +89,10 @@ struct Activity {
   sim::TimePs dispatcher_busy = 0;
   sim::TimePs dma_busy = 0;
   std::uint64_t requests = 0;
+  /** PEs per accelerator: the denominator turning summed per-PE busy time
+   *  into utilization. Zero (a PE-ablated config) is inert — accelerators
+   *  contribute leakage only, never a divide-by-zero. */
+  int pes_per_accel = 8;
 };
 
 /** Energy accounting for one run. */
@@ -103,6 +110,25 @@ struct EnergyReport {
 EnergyReport compute_energy(const Activity& activity,
                             const PowerModel& power = {},
                             const AreaModel& area = {});
+
+/**
+ * Relative power draw of the accelerator complex at DVFS frequency scale
+ * `freq_scale` in (0, 1]: dynamic power tracks f*V^2 and voltage scales
+ * roughly with frequency, so the factor is cubic. Non-finite or
+ * non-positive scales clamp to 0 and scales above 1 to 1 — the factor is
+ * always a finite value in [0, 1], so a degenerate governor input can
+ * never propagate NaN into an energy report.
+ */
+double dvfs_power_factor(double freq_scale);
+
+/**
+ * Power draw of the accelerator complex under `power` at the given busy
+ * times, with dynamic power scaled by dvfs_power_factor(freq_scale).
+ * Leakage (PowerModel::idle_fraction) does not scale with frequency.
+ * Zero-PE or zero-elapsed activities draw leakage only.
+ */
+double accel_power_w(const Activity& activity, const PowerModel& power,
+                     const AreaModel& area, double freq_scale);
 
 }  // namespace accelflow::energy
 

@@ -1,0 +1,140 @@
+#include "qos/power.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace accelflow::qos {
+
+PowerGovernor::PowerGovernor(core::Machine& machine, PowerCapConfig config)
+    : machine_(machine), config_(std::move(config)) {
+  // Inertness guards: a non-positive budget, a degenerate epoch, or an
+  // unusable ladder leaves the governor attached but doing nothing — no
+  // events, no speed changes, no division anywhere.
+  active_ = config_.budget_w > 0 && config_.epoch_us > 0 &&
+            !config_.ladder.empty() && config_.ladder.front() > 0;
+  if (!active_) return;
+  for (double s : config_.ladder) {
+    if (!std::isfinite(s) || s <= 0) {
+      active_ = false;
+      return;
+    }
+  }
+  config_.power.num_cores = machine_.config().cpu.num_cores;
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    base_speedup_[accel::index_of(t)] =
+        machine_.accel(t).params().speedup;
+  }
+}
+
+void PowerGovernor::start(sim::TimePs until) {
+  if (!active_) return;
+  until_ = until;
+  prev_ = snapshot_busy();
+  epoch_start_ = machine_.sim().now();
+  const auto epoch = static_cast<sim::TimePs>(
+      sim::microseconds(config_.epoch_us));
+  const sim::TimePs next = machine_.sim().now() + epoch;
+  if (next > until_) return;
+  machine_.sim().schedule_at(next, [this] { on_epoch(); });
+}
+
+PowerGovernor::BusySnapshot PowerGovernor::snapshot_busy() const {
+  BusySnapshot s;
+  s.core_busy = machine_.cores().stats().busy_time;
+  s.dma_busy = machine_.dma().stats().busy_time;
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    const auto& acc = machine_.accel(t);
+    s.accel_busy[accel::index_of(t)] = acc.stats().pe_busy_time;
+    s.dispatcher_busy += acc.dispatcher_busy_time();
+  }
+  return s;
+}
+
+double PowerGovernor::estimate_power_w(const energy::Activity& activity,
+                                       double scale) const {
+  // Price the epoch through the energy model, swapping the accelerator
+  // term for the DVFS-scaled one: dynamic accelerator power tracks
+  // dvfs_power_factor(scale), everything else is frequency-independent.
+  const energy::EnergyReport rep =
+      energy::compute_energy(activity, config_.power, config_.area);
+  const double elapsed_s = sim::to_seconds(activity.elapsed);
+  if (elapsed_s <= 0) return 0.0;
+  const double unscaled_accel_w = rep.accel_j / elapsed_s;
+  const double scaled_accel_w =
+      energy::accel_power_w(activity, config_.power, config_.area, scale);
+  return rep.avg_power_w - unscaled_accel_w + scaled_accel_w;
+}
+
+void PowerGovernor::apply_level(std::size_t level) {
+  const double scale = config_.ladder[level];
+  for (const accel::AccelType t : accel::kAllAccelTypes) {
+    machine_.accel(t).set_speedup(base_speedup_[accel::index_of(t)] *
+                                  scale);
+  }
+}
+
+void PowerGovernor::on_epoch() {
+  const sim::TimePs now = machine_.sim().now();
+  const BusySnapshot cur = snapshot_busy();
+
+  energy::Activity act;
+  act.elapsed = now - epoch_start_;
+  act.core_busy = cur.core_busy - prev_.core_busy;
+  for (std::size_t i = 0; i < act.accel_busy.size(); ++i) {
+    act.accel_busy[i] = cur.accel_busy[i] - prev_.accel_busy[i];
+  }
+  act.dispatcher_busy = cur.dispatcher_busy - prev_.dispatcher_busy;
+  act.dma_busy = cur.dma_busy - prev_.dma_busy;
+  act.pes_per_accel = machine_.config().pes_per_accel;
+  prev_ = cur;
+  epoch_start_ = now;
+
+  const double power_w = estimate_power_w(act, config_.ladder[level_]);
+  ++stats_.epochs;
+  stats_.last_power_w = power_w;
+  stats_.sum_power_w += power_w;
+  stats_.max_power_w = std::max(stats_.max_power_w, power_w);
+
+  if (power_w > config_.budget_w && level_ + 1 < config_.ladder.size()) {
+    ++level_;
+    ++stats_.steps_down;
+    apply_level(level_);
+  } else if (level_ > 0 &&
+             estimate_power_w(act, config_.ladder[level_ - 1]) <
+                 config_.step_up_headroom * config_.budget_w) {
+    --level_;
+    ++stats_.steps_up;
+    apply_level(level_);
+  }
+  if (level_ > 0) ++stats_.capped_epochs;
+  stats_.min_scale = std::min(stats_.min_scale, config_.ladder[level_]);
+
+  const auto epoch = static_cast<sim::TimePs>(
+      sim::microseconds(config_.epoch_us));
+  const sim::TimePs next = now + epoch;
+  if (next > until_) return;  // Horizon reached: let the calendar drain.
+  machine_.sim().schedule_at(next, [this] { on_epoch(); });
+}
+
+void PowerGovernor::restore(const Checkpoint& c) {
+  level_ = c.level;
+  prev_ = c.prev;
+  epoch_start_ = c.epoch_start;
+  stats_ = c.stats;
+  if (active_) apply_level(level_);
+}
+
+void PowerGovernor::snapshot_metrics(obs::MetricsRegistry& reg) const {
+  using Kind = obs::MetricsRegistry::Kind;
+  reg.set("qos.power.budget_w", config_.budget_w, Kind::kGauge);
+  reg.set("qos.power.scale", scale(), Kind::kGauge);
+  reg.set("qos.power.epochs", static_cast<double>(stats_.epochs));
+  reg.set("qos.power.capped_epochs",
+          static_cast<double>(stats_.capped_epochs));
+  reg.set("qos.power.steps_down", static_cast<double>(stats_.steps_down));
+  reg.set("qos.power.steps_up", static_cast<double>(stats_.steps_up));
+  reg.set("qos.power.avg_w", stats_.avg_power_w(), Kind::kGauge);
+  reg.set("qos.power.max_w", stats_.max_power_w, Kind::kGauge);
+}
+
+}  // namespace accelflow::qos

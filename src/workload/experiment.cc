@@ -25,6 +25,29 @@ double af_fault_rate() {
   return std::min(rate, 1.0);
 }
 
+bool af_qos_enabled() {
+  const char* v = std::getenv("AF_QOS");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+qos::QosPolicy resolve_qos_policy(const ExperimentConfig& config) {
+  if (config.qos.enabled() || !af_qos_enabled()) return config.qos;
+  return qos::QosPolicy::isolation_defaults(config.specs.size());
+}
+
+core::MachineConfig with_qos(core::MachineConfig mc,
+                             const qos::QosPolicy& policy) {
+  if (policy.enabled()) {
+    if (policy.reserved_input_slots > 0) {
+      mc.reserved_input_slots = policy.reserved_input_slots;
+    }
+    if (policy.aging_quantum_us > 0.0) {
+      mc.sched_aging_quantum_us = policy.aging_quantum_us;
+    }
+  }
+  return mc;
+}
+
 ExperimentResult harvest_result(core::Machine& machine,
                                 const core::Orchestrator& orch,
                                 const RequestEngine& engine,
@@ -97,7 +120,13 @@ ExperimentResult harvest_result(core::Machine& machine,
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  core::Machine machine(config.machine);
+  // QoS policy resolution (DESIGN.md §19): the config's policy, or —
+  // under AF_QOS=1 — the tenant-isolation defaults for runs that carry
+  // none. The policy's dispatcher knobs thread into the machine config
+  // (so accelerators are *built* with the reserved headroom and aging
+  // quantum), its quotas/priorities into the engine config below.
+  const qos::QosPolicy policy = resolve_qos_policy(config);
+  core::Machine machine(with_qos(config.machine, policy));
   if (config.tracer != nullptr) machine.set_tracer(config.tracer);
   core::TraceLibrary lib;
   core::register_templates(lib);
@@ -119,8 +148,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::vector<Service*> service_ptrs;
   for (auto& s : services) service_ptrs.push_back(s.get());
 
+  core::EngineConfig engine_config = config.engine;
+  if (policy.enabled()) engine_config.qos = policy;
   auto orch =
-      core::make_orchestrator(config.kind, machine, lib, config.engine);
+      core::make_orchestrator(config.kind, machine, lib, engine_config);
 
   // Fault injection: the config's plan, or — under AF_FAULTS=<rate> — a
   // uniform plan applied to every run. The injector is run-owned state
@@ -147,6 +178,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     engine.set_step_deadline_budget(config.step_deadline_budget);
   }
 
+  // QoS admission controller (DESIGN.md §19): one per run, consulted by
+  // every generator before injection and fed every completion's latency.
+  std::unique_ptr<qos::AdmissionController> admission;
+  if (policy.enabled()) {
+    admission =
+        std::make_unique<qos::AdmissionController>(machine.sim(), policy);
+    engine.set_admission(admission.get());
+  }
+
   const sim::TimePs issue_until = config.warmup + config.measure;
   std::vector<std::unique_ptr<LoadGenerator>> gens;
   for (std::size_t s = 0; s < services.size(); ++s) {
@@ -157,12 +197,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     gens.push_back(std::make_unique<LoadGenerator>(
         machine.sim(), engine, s, config.load_model, rps, issue_until,
         config.seed ^ (0x10AD + 1315423911ull * (s + 1))));
+    if (admission != nullptr) gens.back()->set_admission(admission.get());
+  }
+
+  // Power cap (DESIGN.md §19): the governor's epoch events stop at the
+  // drain horizon, so the calendar still drains to quiescence.
+  std::unique_ptr<qos::PowerGovernor> governor;
+  if (config.power.budget_w > 0.0) {
+    governor = std::make_unique<qos::PowerGovernor>(machine, config.power);
+    governor->start(issue_until + config.drain);
   }
 
   // Warmup: run, then clear the recorders so only steady state counts.
   machine.sim().run_until(config.warmup);
   engine.reset_stats();
   if (injector != nullptr) injector->reset_stats();
+  if (admission != nullptr) admission->reset_stats();
+  if (governor != nullptr) governor->reset_stats();
   machine.sim().run_until(issue_until + config.drain);
 
   ExperimentResult out =
@@ -171,6 +222,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     out.faults = injector->stats();
     if (config.metrics != nullptr) {
       injector->snapshot_metrics(*config.metrics);
+    }
+  }
+  if (admission != nullptr) {
+    out.qos_tenants = admission->tenant_stats();
+    out.qos_shed_total = admission->total_shed();
+    if (config.metrics != nullptr) {
+      admission->snapshot_metrics(*config.metrics);
+    }
+  }
+  if (governor != nullptr) {
+    out.power = governor->stats();
+    if (config.metrics != nullptr) {
+      governor->snapshot_metrics(*config.metrics);
     }
   }
   if (checker != nullptr) {

@@ -12,6 +12,8 @@
 #include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "qos/admission.h"
+#include "qos/power.h"
 #include "workload/load_generator.h"
 #include "workload/request_engine.h"
 #include "workload/suites.h"
@@ -81,6 +83,24 @@ struct ExperimentConfig {
    * baseline runs ignore the plan and stay fault-free.
    */
   fault::FaultPlan faults;
+
+  /**
+   * Multi-tenant QoS policy (DESIGN.md §19). When enabled, the run
+   * constructs a qos::AdmissionController at the load-generator boundary,
+   * threads the policy into the engine (per-tenant chain quotas, entry
+   * priorities) and the machine (reserved input slots, priority aging).
+   * The default empty policy is a behavioral no-op. Independent of this
+   * field, AF_QOS=1 in the environment applies
+   * qos::QosPolicy::isolation_defaults() to runs with no explicit policy.
+   */
+  qos::QosPolicy qos;
+
+  /**
+   * Package power cap (DESIGN.md §19): budget_w > 0 attaches a
+   * qos::PowerGovernor that DVFS-scales every accelerator's PE speed to
+   * hold the modeled power under the budget. Default: off.
+   */
+  qos::PowerCapConfig power;
 };
 
 /** Per-service outcome. */
@@ -121,6 +141,11 @@ struct ExperimentResult {
   core::BaselineStats baseline;   ///< Baseline runs.
   fault::FaultStats faults;       ///< Injected faults (zero when disabled).
 
+  // QoS accounting (DESIGN.md §19; empty/zero unless a policy was active).
+  std::vector<qos::TenantAdmissionStats> qos_tenants;  ///< By tenant id.
+  std::uint64_t qos_shed_total = 0;  ///< Arrivals shed at the boundary.
+  qos::PowerStats power;             ///< Governor stats (budget_w > 0).
+
   // High-overhead event rates (Section VII-B.6).
   std::uint64_t overflow_enqueues = 0;
   std::uint64_t overflow_rejections = 0;
@@ -149,6 +174,21 @@ bool af_check_enabled();
  *  applies fault::FaultPlan::uniform(rate) to every run whose config does
  *  not already carry a plan. Returns 0 when unset or unparsable. */
 double af_fault_rate();
+
+/** True when AF_QOS=1 (anything but "0"/"") is set in the environment:
+ *  runs whose config carries no explicit QoS policy get
+ *  qos::QosPolicy::isolation_defaults() instead (DESIGN.md §19). */
+bool af_qos_enabled();
+
+/** The run's effective QoS policy: config.qos, or — under AF_QOS=1 when
+ *  that is empty — qos::QosPolicy::isolation_defaults() for the config's
+ *  services. Shared by run_experiment() and SweepSession. */
+qos::QosPolicy resolve_qos_policy(const ExperimentConfig& config);
+
+/** Copies `mc` with `policy`'s dispatcher knobs (reserved input slots,
+ *  aging quantum) applied, so accelerators are built with them. */
+core::MachineConfig with_qos(core::MachineConfig mc,
+                             const qos::QosPolicy& policy);
 
 // A third environment knob rides along the same way: AF_SCHED=wheel runs
 // every machine's event calendar on the hierarchical timing wheel instead

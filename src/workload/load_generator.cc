@@ -89,8 +89,15 @@ void LoadGenerator::schedule_next() {
       const std::uint64_t seq = generated_++;
       if (router_ == nullptr ||
           router_->route(service_, seq, sim_.now()) == self_shard_) {
-        engine_.inject(service_);
-        ++admitted_;
+        // Shed decision strictly after the ownership decision: replicated
+        // cross-shard streams must agree on seq regardless of QoS state.
+        if (admission_ == nullptr ||
+            admission_->admit(static_cast<accel::TenantId>(service_))) {
+          engine_.inject(service_);
+          ++admitted_;
+        } else {
+          ++shed_;
+        }
       }
     }
     schedule_next();

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "qos/admission.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "workload/request_engine.h"
@@ -79,6 +80,20 @@ class LoadGenerator {
    *  router; the owned subset of the replicated stream with one). */
   std::uint64_t admitted() const { return admitted_; }
 
+  /** Owned arrivals refused by the admission controller (DESIGN.md §19). */
+  std::uint64_t shed() const { return shed_; }
+
+  /**
+   * Attaches a QoS admission controller (DESIGN.md §19): from now on each
+   * owned arrival is offered to `admission` first and dropped — counted in
+   * shed(), never injected — when it declines. Null detaches. Shedding
+   * happens *after* the ownership decision, so replicated cross-shard
+   * streams stay aligned; the controller must outlive the generator.
+   */
+  void set_admission(qos::AdmissionController* admission) {
+    admission_ = admission;
+  }
+
   /**
    * Attaches a shard-ownership router: from now on only arrivals that
    * route() assigns to `self_shard` are injected, though every arrival
@@ -102,6 +117,7 @@ class LoadGenerator {
     std::array<std::uint64_t, 4> rng{};    ///< Arrival stream state.
     std::uint64_t generated = 0;           ///< Invocations issued so far.
     std::uint64_t admitted = 0;            ///< Owned arrivals injected.
+    std::uint64_t shed = 0;                ///< Owned arrivals refused (QoS).
     double rate_multiplier = 1.0;          ///< kTrace window multiplier.
     sim::TimePs window_end = 0;            ///< kTrace window boundary.
     bool on = false;                       ///< kBursty ON/OFF state.
@@ -111,8 +127,9 @@ class LoadGenerator {
   /** Captures the arrival-process state. */
   Checkpoint checkpoint() const {
     return Checkpoint{rps_,        until_,    rng_.state(),
-                      generated_,  admitted_, rate_multiplier_,
-                      window_end_, on_,       phase_end_};
+                      generated_,  admitted_, shed_,
+                      rate_multiplier_,       window_end_,
+                      on_,         phase_end_};
   }
 
   /** Restores state captured by checkpoint(). Does not schedule events:
@@ -123,6 +140,7 @@ class LoadGenerator {
     rng_.set_state(c.rng);
     generated_ = c.generated;
     admitted_ = c.admitted;
+    shed_ = c.shed;
     rate_multiplier_ = c.rate_multiplier;
     window_end_ = c.window_end;
     on_ = c.on;
@@ -154,8 +172,10 @@ class LoadGenerator {
   sim::Rng rng_;
   std::uint64_t generated_ = 0;
   std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;                 ///< Arrivals the QoS layer refused.
   const ArrivalRouter* router_ = nullptr;  ///< Shard-ownership filter.
   std::size_t self_shard_ = 0;             ///< Shard this generator feeds.
+  qos::AdmissionController* admission_ = nullptr;  ///< QoS shed decision.
   // kTrace: piecewise-constant rate multiplier, redrawn every window.
   double rate_multiplier_ = 1.0;
   sim::TimePs window_end_ = 0;

@@ -168,6 +168,12 @@ void RequestEngine::complete(ActiveRequest* r) {
   if (r->fell_back) ++st.fallbacks;
   if (r->faulted) ++st.faulted;
   st.latency.record(machine_.sim().now() - r->arrived);
+  if (admission_ != nullptr) {
+    // SLO feedback (DESIGN.md §19): every completion — top-level or
+    // nested — reports its latency to the shed hysteresis.
+    admission_->record_latency(static_cast<accel::TenantId>(r->service),
+                               machine_.sim().now() - r->arrived);
+  }
   if (r->on_complete) {
     // Nested sub-request: hand the response back to the caller after the
     // wire round trip.

@@ -9,6 +9,7 @@
 #include "core/machine.h"
 #include "core/orchestrator.h"
 #include "mem/address.h"
+#include "qos/admission.h"
 #include "sim/arena.h"
 #include "stats/latency_recorder.h"
 #include "workload/service.h"
@@ -84,6 +85,16 @@ class RequestEngine {
   }
 
   /**
+   * Attaches a QoS admission controller (DESIGN.md §19): every request
+   * completion reports its end-to-end latency so the controller's SLO
+   * hysteresis tracks the tenant it belongs to. Null detaches; the
+   * controller must outlive the engine.
+   */
+  void set_admission(qos::AdmissionController* admission) {
+    admission_ = admission;
+  }
+
+  /**
    * Deep copy of the engine's measurement and determinism state
    * (DESIGN.md §13). In-flight requests hold raw pointers into the
    * simulator calendar and are *not* captured: restore() drops them
@@ -139,6 +150,7 @@ class RequestEngine {
   std::uint64_t seed_;
   accel::RequestId next_id_ = 1;
   std::vector<sim::TimePs> step_budgets_;
+  qos::AdmissionController* admission_ = nullptr;  ///< SLO latency feedback.
   std::unordered_map<accel::RequestId, ActiveRequest*> active_;
   // Hot-path arenas: requests and chain contexts churn at the arrival
   // rate; slab recycling avoids a malloc/free pair per object and lets

@@ -19,10 +19,14 @@ struct SweepSession::Fork {
   std::vector<LoadGenerator::Checkpoint> gens;
   check::InvariantChecker::Checkpoint checker;
   fault::FaultInjector::Checkpoint injector;  ///< RNG streams + counters.
+  qos::AdmissionController::Checkpoint admission;  ///< Buckets + hysteresis.
+  qos::PowerGovernor::Checkpoint governor;         ///< DVFS level + anchors.
 };
 
 SweepSession::SweepSession(const ExperimentConfig& config)
-    : config_(config), machine_(config.machine) {
+    : config_(config),
+      qos_policy_(resolve_qos_policy(config)),
+      machine_(with_qos(config.machine, qos_policy_)) {
   if (config_.tracer != nullptr) machine_.set_tracer(config_.tracer);
   core::register_templates(lib_);
   register_relief_traces(lib_);
@@ -38,8 +42,10 @@ SweepSession::SweepSession(const ExperimentConfig& config)
   std::vector<Service*> service_ptrs;
   for (auto& s : services_) service_ptrs.push_back(s.get());
 
+  core::EngineConfig engine_config = config_.engine;
+  if (qos_policy_.enabled()) engine_config.qos = qos_policy_;
   orch_ = core::make_orchestrator(config_.kind, machine_, lib_,
-                                  config_.engine);
+                                  engine_config);
 
   // Fault injection: config plan or the AF_FAULTS env knob, exactly as in
   // run_experiment() — engine-family orchestrators only, since baselines
@@ -64,6 +70,20 @@ SweepSession::SweepSession(const ExperimentConfig& config)
     engine_->set_step_deadline_budget(config_.step_deadline_budget);
   }
 
+  // QoS attachments (DESIGN.md §19), mirroring run_experiment(). The
+  // governor's warmup epochs stop at the warmup horizon so the calendar
+  // still drains to quiescence before the fork; run_point() re-arms it.
+  if (qos_policy_.enabled()) {
+    admission_ = std::make_unique<qos::AdmissionController>(machine_.sim(),
+                                                            qos_policy_);
+    engine_->set_admission(admission_.get());
+  }
+  if (config_.power.budget_w > 0.0) {
+    governor_ = std::make_unique<qos::PowerGovernor>(machine_,
+                                                     config_.power);
+    governor_->start(config_.warmup);
+  }
+
   // Warmup generators stop issuing at `warmup`, so the machine can drain
   // to quiescence before the fork point; run_point() revives them per
   // point via resume(). Seeding matches run_experiment() exactly, so the
@@ -77,6 +97,7 @@ SweepSession::SweepSession(const ExperimentConfig& config)
         machine_.sim(), *engine_, s, config_.load_model, rps,
         config_.warmup,
         config_.seed ^ (0x10AD + 1315423911ull * (s + 1))));
+    if (admission_ != nullptr) gens_.back()->set_admission(admission_.get());
     gen_rates_.push_back(rps);
   }
 }
@@ -102,6 +123,8 @@ void SweepSession::prepare() {
   for (const auto& g : gens_) fork_->gens.push_back(g->checkpoint());
   if (checker_ != nullptr) fork_->checker = checker_->checkpoint();
   if (injector_ != nullptr) fork_->injector = injector_->checkpoint();
+  if (admission_ != nullptr) fork_->admission = admission_->checkpoint();
+  if (governor_ != nullptr) fork_->governor = governor_->checkpoint();
 }
 
 ExperimentResult SweepSession::run_point(const SweepPoint& point) {
@@ -114,17 +137,22 @@ ExperimentResult SweepSession::run_point(const SweepPoint& point) {
   }
   if (checker_ != nullptr) checker_->restore(fork_->checker);
   if (injector_ != nullptr) injector_->restore(fork_->injector);
+  if (admission_ != nullptr) admission_->restore(fork_->admission);
+  if (governor_ != nullptr) governor_->restore(fork_->governor);
 
   if (point.mutate) point.mutate(machine_);
 
   // Steady state only, as in run_experiment()'s post-warmup reset.
   engine_->reset_stats();
   if (injector_ != nullptr) injector_->reset_stats();
+  if (admission_ != nullptr) admission_->reset_stats();
+  if (governor_ != nullptr) governor_->reset_stats();
 
   const sim::TimePs issue_until = t_fork_ + config_.measure;
   for (std::size_t i = 0; i < gens_.size(); ++i) {
     gens_[i]->resume(gen_rates_[i] * point.rate_factor, issue_until);
   }
+  if (governor_ != nullptr) governor_->resume(issue_until + config_.drain);
   machine_.sim().run_until(issue_until + config_.drain);
 
   ExperimentResult out =
@@ -133,6 +161,19 @@ ExperimentResult SweepSession::run_point(const SweepPoint& point) {
     out.faults = injector_->stats();
     if (config_.metrics != nullptr) {
       injector_->snapshot_metrics(*config_.metrics);
+    }
+  }
+  if (admission_ != nullptr) {
+    out.qos_tenants = admission_->tenant_stats();
+    out.qos_shed_total = admission_->total_shed();
+    if (config_.metrics != nullptr) {
+      admission_->snapshot_metrics(*config_.metrics);
+    }
+  }
+  if (governor_ != nullptr) {
+    out.power = governor_->stats();
+    if (config_.metrics != nullptr) {
+      governor_->snapshot_metrics(*config_.metrics);
     }
   }
   if (checker_ != nullptr) {

@@ -95,8 +95,16 @@ class SweepSession {
   struct Fork;  // The checkpoint bundle (machine + harness state).
 
   ExperimentConfig config_;
+  /** Effective QoS policy (config.qos or the AF_QOS defaults); resolved
+   *  before machine_ so the accelerators are built with its dispatcher
+   *  knobs, exactly as run_experiment() builds them. */
+  qos::QosPolicy qos_policy_;
   core::Machine machine_;
   core::TraceLibrary lib_;
+  /** QoS admission controller / power governor (DESIGN.md §19); forked
+   *  with the machine — buckets, EWMAs and the DVFS level are run state. */
+  std::unique_ptr<qos::AdmissionController> admission_;
+  std::unique_ptr<qos::PowerGovernor> governor_;
   /** Owned fault injector (config plan or AF_FAULTS); forked with the
    *  machine — its RNG streams are deterministic run state. */
   std::unique_ptr<fault::FaultInjector> injector_;

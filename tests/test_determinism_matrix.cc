@@ -24,6 +24,12 @@
  * not change a single bit of any result — the heap is the wheel's
  * differential oracle, and this matrix crosses it with the compile and
  * cluster axes.
+ *
+ * A sixth axis covers the multi-tenant QoS layer (DESIGN.md §19): a run
+ * carrying a QoS policy and a power budget (ExperimentConfig::qos/power
+ * or AF_QOS=1) must stay bit-identical across worker-thread counts and
+ * across the sched x compile corners, and the AF_QOS env toggle must
+ * match the equivalent config toggle.
  */
 
 #include <gtest/gtest.h>
@@ -34,6 +40,7 @@
 
 #include "check/invariant_checker.h"
 #include "cluster/datacenter.h"
+#include "qos/policy.h"
 #include "sim/simulator.h"
 #include "workload/experiment.h"
 #include "workload/parallel_runner.h"
@@ -81,6 +88,17 @@ void expect_identical(const ExperimentResult& a, const ExperimentResult& b,
   EXPECT_EQ(a.accel_invocations, b.accel_invocations) << what;
   EXPECT_EQ(a.interrupts, b.interrupts) << what;
   EXPECT_EQ(a.overflow_enqueues, b.overflow_enqueues) << what;
+  // QoS/power accounting (all zero/empty when the run carries no policy).
+  EXPECT_EQ(a.engine.quota_throttled, b.engine.quota_throttled) << what;
+  EXPECT_EQ(a.qos_shed_total, b.qos_shed_total) << what;
+  ASSERT_EQ(a.qos_tenants.size(), b.qos_tenants.size()) << what;
+  for (std::size_t t = 0; t < a.qos_tenants.size(); ++t) {
+    EXPECT_EQ(a.qos_tenants[t].offered, b.qos_tenants[t].offered) << what;
+    EXPECT_EQ(a.qos_tenants[t].admitted, b.qos_tenants[t].admitted) << what;
+    EXPECT_EQ(a.qos_tenants[t].shed, b.qos_tenants[t].shed) << what;
+  }
+  EXPECT_EQ(a.power.epochs, b.power.epochs) << what;
+  EXPECT_EQ(a.power.sum_power_w, b.power.sum_power_w) << what;
 }
 
 TEST(DeterminismMatrix, IdenticalAcrossThreadCounts) {
@@ -261,6 +279,105 @@ TEST(DeterminismMatrix, CheckerDoesNotPerturbResults) {
     EXPECT_GT(checker.stats().chains_started, 0u);
   }
   if (af_check != nullptr) setenv("AF_CHECK", saved.c_str(), 1);
+}
+
+/** Drops AF_QOS from the environment for the scope (it would silently
+ *  apply the isolation defaults to the "no policy" runs). */
+class ScopedNoAfQos {
+ public:
+  ScopedNoAfQos() {
+    const char* v = std::getenv("AF_QOS");
+    if (v != nullptr) {
+      saved_ = v;
+      had_ = true;
+    }
+    unsetenv("AF_QOS");
+  }
+  ~ScopedNoAfQos() {
+    if (had_) {
+      setenv("AF_QOS", saved_.c_str(), 1);
+    } else {
+      unsetenv("AF_QOS");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+/** A matrix config carrying the full QoS bundle: isolation defaults plus
+ *  an SLO'd latency-sensitive tenant, a quota'd tenant, and a power cap —
+ *  every feedback loop (latency EWMA, token buckets, DVFS ladder) live. */
+ExperimentConfig qos_matrix_config() {
+  ExperimentConfig cfg = matrix_configs()[0];
+  cfg.qos = qos::QosPolicy::isolation_defaults(cfg.specs.size());
+  cfg.qos.tenants[0].cls = qos::TenantClass::kLatencySensitive;
+  cfg.qos.tenants[0].p99_target = sim::microseconds(400);
+  cfg.qos.tenants[1].quota_rps = 800.0;
+  cfg.power.budget_w = 120.0;
+  return cfg;
+}
+
+TEST(DeterminismMatrix, QosPolicyIdenticalAcrossThreadCounts) {
+  ScopedNoAfQos no_env;
+  std::vector<ExperimentConfig> configs = matrix_configs();
+  for (ExperimentConfig& cfg : configs) {
+    cfg.qos = qos_matrix_config().qos;
+    cfg.power = qos_matrix_config().power;
+  }
+  const std::vector<ExperimentResult> serial =
+      ParallelRunner(1).run(configs);
+  EXPECT_GT(serial[0].qos_tenants.size(), 0u);
+  EXPECT_GT(serial[0].power.epochs, 0u);
+  for (const unsigned threads : {2u, 8u}) {
+    const std::vector<ExperimentResult> parallel =
+        ParallelRunner(threads).run(configs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_identical(serial[i], parallel[i],
+                       "qos threads=" + std::to_string(threads) +
+                           " config " + std::to_string(i));
+    }
+  }
+}
+
+TEST(DeterminismMatrix, QosEnvToggleMatchesConfigToggle) {
+  ScopedNoAfQos no_env;
+  const ExperimentConfig cfg = matrix_configs()[0];
+  ExperimentConfig via = cfg;
+  via.qos = qos::QosPolicy::isolation_defaults(via.specs.size());
+  const ExperimentResult via_config = run_experiment(via);
+  setenv("AF_QOS", "1", 1);
+  const ExperimentResult via_env = run_experiment(cfg);
+  unsetenv("AF_QOS");
+  expect_identical(via_config, via_env, "AF_QOS env toggle");
+  EXPECT_GT(via_env.qos_tenants.size(), 0u);
+}
+
+TEST(DeterminismMatrix, QosCrossesSchedAndCompileAxes) {
+  // The QoS bundle crossed with the event-calendar and compiled-chain
+  // backends: all four (heap|wheel) x (interpreted|compiled) corners of a
+  // policy-carrying, power-capped run replay the same timeline.
+  ScopedNoAfQos no_qos;
+  ScopedNoAfSched no_sched;
+  ScopedNoAfCompile no_compile;
+  const ExperimentConfig base = qos_matrix_config();
+  std::vector<ExperimentResult> corners;
+  for (const bool compile : {false, true}) {
+    for (const bool wheel : {false, true}) {
+      ExperimentConfig cfg = base;
+      cfg.engine.compile = compile;
+      cfg.machine.sched =
+          wheel ? sim::SchedBackend::kWheel : sim::SchedBackend::kHeap;
+      corners.push_back(run_experiment(cfg));
+    }
+  }
+  EXPECT_GT(corners[0].power.epochs, 0u);
+  for (std::size_t i = 1; i < corners.size(); ++i) {
+    expect_identical(corners[0], corners[i],
+                     "qos x compile x sched corner " + std::to_string(i));
+  }
 }
 
 /** Cluster results that must match bit for bit across the axes. */

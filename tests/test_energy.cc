@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "energy/model.h"
 
 namespace accelflow::energy {
@@ -88,6 +91,86 @@ TEST(Energy, RequestsPerJouleScalesWithWork) {
   a.requests = 2000;
   const auto r2 = compute_energy(a);
   EXPECT_NEAR(r2.requests_per_joule, 2 * r1.requests_per_joule, 1e-9);
+}
+
+TEST(EnergyEdgeCases, ZeroAreaModelDrawsNothingNotNaN) {
+  // Ablating every accelerator used to divide by the zero total area in
+  // accel_w and seed NaN into the report (and, downstream, into DVFS
+  // factors). A zero-area complex now simply draws nothing.
+  AreaModel area;
+  area.accel_mm2.fill(0.0);
+  const PowerModel power;
+  for (const auto t : accel::kAllAccelTypes) {
+    EXPECT_EQ(power.accel_w(t, area), 0.0);
+  }
+  Activity act;
+  act.elapsed = sim::milliseconds(10);
+  act.core_busy = sim::milliseconds(5);
+  act.accel_busy.fill(sim::milliseconds(1));
+  act.requests = 100;
+  const EnergyReport r = compute_energy(act, power, area);
+  EXPECT_TRUE(std::isfinite(r.total_j));
+  EXPECT_TRUE(std::isfinite(r.avg_power_w));
+  EXPECT_EQ(r.accel_j, 0.0);
+  EXPECT_GT(r.total_j, 0.0);
+  EXPECT_EQ(accel_power_w(act, power, area, 1.0), 0.0);
+}
+
+TEST(EnergyEdgeCases, ZeroPeConfigIsInert) {
+  // pes_per_accel == 0 (a PE-ablated machine) has no utilization
+  // denominator: accelerators contribute leakage only, never a
+  // divide-by-zero or a utilization above 1.
+  Activity act;
+  act.elapsed = sim::milliseconds(10);
+  act.accel_busy.fill(sim::milliseconds(3));
+  act.pes_per_accel = 0;
+  const PowerModel power;
+  const AreaModel area;
+  const EnergyReport r = compute_energy(act, power, area);
+  EXPECT_TRUE(std::isfinite(r.accel_j));
+  // Leakage only: elapsed * max_w * idle_fraction summed over types.
+  const double leak_j = sim::to_seconds(act.elapsed) *
+                        power.accel_max_total_w * power.idle_fraction;
+  EXPECT_NEAR(r.accel_j, leak_j, 1e-9);
+  const double w = accel_power_w(act, power, area, 1.0);
+  EXPECT_NEAR(w, power.accel_max_total_w * power.idle_fraction, 1e-9);
+}
+
+TEST(EnergyEdgeCases, DvfsPowerFactorIsBoundedAndFinite) {
+  // Nominal frequency draws full dynamic power; half frequency roughly an
+  // eighth (f * V^2 with V tracking f).
+  EXPECT_DOUBLE_EQ(dvfs_power_factor(1.0), 1.0);
+  EXPECT_NEAR(dvfs_power_factor(0.5), 0.125, 1e-12);
+  // Degenerate inputs clamp instead of propagating NaN/inf or negative
+  // power into an energy report.
+  EXPECT_EQ(dvfs_power_factor(0.0), 0.0);
+  EXPECT_EQ(dvfs_power_factor(-2.0), 0.0);
+  EXPECT_EQ(dvfs_power_factor(std::numeric_limits<double>::quiet_NaN()),
+            0.0);
+  EXPECT_EQ(dvfs_power_factor(std::numeric_limits<double>::infinity()),
+            0.0);
+  EXPECT_EQ(dvfs_power_factor(7.0), 1.0);  // Overclock clamps to nominal.
+  // Busy time beyond the per-PE capacity clamps utilization at 1 inside
+  // accel_power_w, so the complex never "draws" more than its max.
+  Activity act;
+  act.elapsed = sim::milliseconds(1);
+  act.accel_busy.fill(sim::seconds(10));  // Absurdly over-busy.
+  const PowerModel power;
+  const AreaModel area;
+  EXPECT_LE(accel_power_w(act, power, area, 1.0),
+            power.accel_max_total_w + 1e-9);
+}
+
+TEST(EnergyEdgeCases, NonPositivePowerBudgetGovernorInputsStayFinite) {
+  // The governor treats budget <= 0 as "off"; the model side of that
+  // contract is that every pricing path stays finite for empty activity.
+  Activity act;  // elapsed == 0.
+  const EnergyReport r = compute_energy(act);
+  EXPECT_EQ(r.total_j, 0.0);
+  EXPECT_EQ(r.avg_power_w, 0.0);
+  EXPECT_EQ(r.requests_per_joule, 0.0);
+  EXPECT_TRUE(std::isfinite(accel_power_w(act, PowerModel{}, AreaModel{},
+                                          0.4)));
 }
 
 }  // namespace

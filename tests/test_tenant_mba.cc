@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "core/engine.h"
 #include "core/machine.h"
 #include "core/tenant_mba.h"
@@ -56,6 +58,92 @@ TEST(TenantMba, NonPositiveRatesAreInert) {
   EXPECT_EQ(mba.stats(3).transfers, 0u);
   EXPECT_EQ(mba.stats(3).throttle_delay, 0u);
   EXPECT_EQ(mba.stats(4).transfers, 0u);
+}
+
+TEST(TenantMba, StatsQueryIsReadOnlyAcrossFork) {
+  // Regression: stats() used to default-insert a bucket for a tenant that
+  // had never acquired, so merely *observing* stats between checkpoint()
+  // and restore() grew the tenant map and diverged forked timelines.
+  sim::Simulator sim;
+  MbaConfig cfg;
+  cfg.limit_bytes_per_sec[2] = 1e9;
+  TenantBandwidthLimiter mba(sim, cfg);
+  (void)mba.acquire(2, 4096);
+
+  const auto before = mba.checkpoint();
+  // Query tenants never seen (including an unconfigured one): must return
+  // the zeroed sentinel and leave no trace in the bucket map.
+  EXPECT_EQ(mba.stats(7).transfers, 0u);
+  EXPECT_EQ(mba.stats(7).bytes, 0u);
+  EXPECT_EQ(mba.stats(7).throttle_delay, 0u);
+  EXPECT_EQ(mba.stats(99).transfers, 0u);
+  const auto after = mba.checkpoint();
+  EXPECT_EQ(before.tenants.size(), after.tenants.size());
+  EXPECT_EQ(after.tenants.count(7), 0u);
+  EXPECT_EQ(after.tenants.count(99), 0u);
+
+  // Fork equivalence: a timeline that observed stats and one that did not
+  // behave identically after restore.
+  mba.restore(before);
+  const sim::TimePs a = mba.acquire(2, 1 << 20);
+  mba.restore(before);
+  (void)mba.stats(2);
+  (void)mba.stats(50);
+  const sim::TimePs b = mba.acquire(2, 1 << 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TenantMba, RefillClampsExactlyAtBurstAcrossIdleGaps) {
+  // Satellite fix: the refill used to compute tokens + elapsed_s * rate
+  // and clamp the *product*, so a long idle gap pushed a huge intermediate
+  // through double precision. The clamp now compares elapsed time against
+  // the time-to-fill, which is exact for arbitrarily long gaps. Boundary
+  // gaps: zero, about one timing-wheel span (~0.27s), and hours.
+  const double rate = 1e9;        // 1 GB/s.
+  const double burst_s = 0.0011;  // ~1.1 MB of credit.
+  const auto run_gap = [&](sim::TimePs gap) {
+    sim::Simulator sim;
+    MbaConfig cfg;
+    cfg.limit_bytes_per_sec[5] = rate;
+    cfg.burst_seconds = burst_s;
+    TenantBandwidthLimiter mba(sim, cfg);
+    (void)mba.acquire(5, 1 << 20);  // Drain most of the burst.
+    if (gap > 0) {
+      sim.schedule_at(sim.now() + gap, [] {});
+      sim.run();
+    }
+    // After any full-refill gap the bucket holds exactly the burst: one
+    // 1MB transfer is immediate, and the next is delayed by the deficit.
+    const sim::TimePs first = mba.acquire(5, 1 << 20);
+    const sim::TimePs second = mba.acquire(5, 1 << 20);
+    return std::pair<sim::TimePs, sim::TimePs>(first - sim.now(),
+                                               second - sim.now());
+  };
+
+  // gap = 0: no refill — the second acquire of the pair pays ~2MB-burst.
+  {
+    sim::Simulator sim;
+    MbaConfig cfg;
+    cfg.limit_bytes_per_sec[5] = rate;
+    cfg.burst_seconds = burst_s;
+    TenantBandwidthLimiter mba(sim, cfg);
+    const sim::TimePs t0 = mba.acquire(5, 1 << 20);
+    EXPECT_EQ(t0, sim.now());  // Within burst.
+    const sim::TimePs t1 = mba.acquire(5, 1 << 20);
+    EXPECT_GT(t1, sim.now());  // Past it, with zero elapsed time.
+  }
+
+  // gap ~ the timing-wheel span (2^38 ps ~ 0.275s) and gap ~ 3 hours:
+  // both refill to exactly the burst — identical post-gap behavior.
+  const auto wheel = run_gap(sim::TimePs{1} << 38);
+  const auto hours = run_gap(sim::seconds(3.0 * 3600.0));
+  EXPECT_EQ(wheel.first, 0);  // Burst covers the first MB.
+  EXPECT_EQ(hours.first, 0);
+  EXPECT_GT(wheel.second, 0);  // Deficit delays the second.
+  EXPECT_EQ(wheel.second, hours.second);  // Clamp is exact, not gap-sized.
+  // The deficit is (2MB - burst) / rate.
+  const double expect_s = (2.0 * (1 << 20) - rate * burst_s) / rate;
+  EXPECT_NEAR(sim::to_seconds(wheel.second), expect_s, 1e-6);
 }
 
 TEST(TenantMba, BucketRefillsOverTime) {

@@ -12,7 +12,7 @@ build="${1:-$root/build}"
 
 cmake --build "$build" --target bench_fig11_latency bench_fig14_throughput \
   bench_kernel_events bench_snapshot_fork bench_fault_degradation \
-  bench_autotune bench_cluster_scaling -j
+  bench_autotune bench_cluster_scaling bench_qos -j
 "$build/bench/bench_fig11_latency" --golden="$root/tests/golden/fig11.json"
 "$build/bench/bench_fig14_throughput" --golden="$root/tests/golden/fig14.json"
 
@@ -31,7 +31,12 @@ AF_BENCH_CRITPATH_JSON="$root/BENCH_critpath.json" \
 # aggregate throughputs (DESIGN.md §17).
 AF_BENCH_CLUSTER_JSON="$root/BENCH_cluster.json" \
   "$build/bench/bench_cluster_scaling"
+# Fixed windows (the drill ignores AF_BENCH_FAST): the QoS isolation keys
+# are deterministic simulated values (DESIGN.md §19).
+AF_BENCH_QOS_JSON="$root/BENCH_qos.json" \
+  "$build/bench/bench_qos"
 
 echo "Goldens updated; review the diff with: git diff $root/tests/golden"
 echo "Perf baselines updated: BENCH_kernel.json BENCH_snapshot.json" \
-  "BENCH_sweep.json BENCH_fault.json BENCH_critpath.json BENCH_cluster.json"
+  "BENCH_sweep.json BENCH_fault.json BENCH_critpath.json" \
+  "BENCH_cluster.json BENCH_qos.json"
